@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Dgrace_core Dgrace_sim Dgrace_workloads Hashtbl Instance List Measure Option Printf Spec Staged String Sys Tables Test Time

@@ -1,0 +1,1 @@
+bench/measure.ml: Dgrace_core Dgrace_detectors Dgrace_events Dgrace_sim Dgrace_workloads Engine Float Hashtbl List Option Spec Suppression Workload

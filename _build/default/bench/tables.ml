@@ -1,0 +1,377 @@
+(* The paper's evaluation, regenerated: one printer per table/figure.
+   Absolute numbers differ from the paper (our substrate is a
+   simulator, not the authors' Core Duo + PIN testbed); the *shape* —
+   who wins, by what factor, where the crossovers are — is the
+   reproduction target, recorded in EXPERIMENTS.md. *)
+
+open Dgrace_core
+open Dgrace_workloads
+
+let line = String.make 110 '-'
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let byte = Spec.byte
+let word = Spec.word
+let dynamic = Spec.dynamic
+let grans = [ ("Byte", byte); ("Word", word); ("Dynamic", dynamic) ]
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header
+    "Table 1. Overall results: FastTrack with byte / word / dynamic granularity";
+  Printf.printf "%-14s %10s %4s %9s | %7s %7s %7s | %8s %8s %8s | %6s %6s %6s\n"
+    "program" "accesses" "thr" "base(ms)" "slw-B" "slw-W" "slw-D" "memB-KB"
+    "memW-KB" "memD-KB" "racB" "racW" "racD";
+  let slows = Hashtbl.create 8 and mems = Hashtbl.create 8 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let base = Measure.get w Spec.No_detection in
+      Printf.printf "%-14s %10d %4d %9.1f |" w.name base.sim_accesses
+        base.sim_threads (1000. *. base.elapsed);
+      List.iter
+        (fun (n, g) ->
+          let s = Measure.slowdown w g in
+          Hashtbl.replace slows (n, w.name) s;
+          Printf.printf " %7.2f" s)
+        grans;
+      Printf.printf " |";
+      List.iter
+        (fun (n, g) ->
+          let m = Measure.get w g in
+          Hashtbl.replace mems (n, w.name) m.mem.peak_bytes;
+          Printf.printf " %8d" (Measure.kb m.mem.peak_bytes))
+        grans;
+      Printf.printf " |";
+      List.iter (fun (_, g) -> Printf.printf " %6d" (Measure.get w g).races) grans;
+      print_newline ())
+    Registry.all;
+  let avg f = Measure.geomean (List.map f Registry.all) in
+  Printf.printf "%-14s %10s %4s %9s |" "geomean" "" "" "";
+  List.iter (fun (_, g) -> Printf.printf " %7.2f" (avg (fun w -> Measure.slowdown w g))) grans;
+  Printf.printf " |";
+  List.iter
+    (fun (_, g) ->
+      Printf.printf " %8.2f" (avg (fun w -> Measure.mem_vs_byte w g)))
+    grans;
+  Printf.printf "  (memory relative to byte)\n";
+  let dyn_vs_byte =
+    avg (fun w -> Measure.slowdown w byte /. Measure.slowdown w dynamic)
+  in
+  let dyn_vs_word =
+    avg (fun w -> Measure.slowdown w word /. Measure.slowdown w dynamic)
+  in
+  Printf.printf
+    "\ndynamic is %.2fx faster than byte and %.2fx than word (paper: 1.43x, 1.25x);\n"
+    dyn_vs_byte dyn_vs_word;
+  Printf.printf "dynamic uses %.0f%% less memory than byte (paper: 60%%).\n"
+    (100. *. (1. -. avg (fun w -> Measure.mem_vs_byte w dynamic)))
+
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  header "Table 2. Memory overhead split: hash / vector clock / bitmap (KB)";
+  Printf.printf "%-14s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n" "program"
+    "B-hash" "B-vc" "B-bmap" "W-hash" "W-vc" "W-bmap" "D-hash" "D-vc" "D-bmap";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%-14s |" w.name;
+      List.iter
+        (fun (_, g) ->
+          let m = (Measure.get w g).mem in
+          Printf.printf " %8d %8d %8d"
+            (Measure.kb m.peak_hash_bytes)
+            (Measure.kb m.peak_vc_bytes)
+            (Measure.kb m.peak_bitmap_bytes);
+          print_string " |")
+        grans;
+      print_newline ())
+    Registry.all;
+  print_endline
+    "\nshape check: D-vc << B-vc (the paper's ~4x saving on vector clocks);";
+  print_endline "B-hash ~ D-hash (dynamic does not save on indexing, paper §V.A)."
+
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header "Table 3. Maximum number of vector clocks present, and average sharing";
+  Printf.printf "%-14s %10s %10s %10s %14s\n" "program" "Byte" "Word" "Dynamic"
+    "avg sharing(D)";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%-14s %10d %10d %10d %14.1f\n" w.name
+        (Measure.get w byte).mem.peak_vcs (Measure.get w word).mem.peak_vcs
+        (Measure.get w dynamic).mem.peak_vcs
+        (Measure.get w dynamic).mem.avg_sharing)
+    Registry.all;
+  print_endline
+    "\nshape check: byte ~ word on word-access programs (paper Table 3),";
+  print_endline "dynamic collapses clock counts by 10-1000x; pbzip2 shares widest."
+
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  header "Table 4. Same-epoch access ratio vs slowdown";
+  Printf.printf "%-14s | %8s %8s %8s | %8s %8s %8s\n" "program" "slw-B" "slw-W"
+    "slw-D" "same-B" "same-W" "same-D";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%-14s |" w.name;
+      List.iter (fun (_, g) -> Printf.printf " %8.2f" (Measure.slowdown w g)) grans;
+      Printf.printf " |";
+      List.iter
+        (fun (_, g) ->
+          Printf.printf " %7.0f%%" (100. *. (Measure.get w g).same_epoch_ratio))
+        grans;
+      print_newline ())
+    Registry.all;
+  print_endline
+    "\nshape check: performance gains track the same-epoch ratio (paper §V.A);";
+  print_endline
+    "streamcluster jumps from ~30% (byte) to ~60%+ (dynamic), canneal stays flat."
+
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  header "Table 5. State machine ablations (paper Table 5)";
+  let no_init_sharing = Spec.Dynamic { init_state = true; init_sharing = false } in
+  let no_init_state = Spec.Dynamic { init_state = false; init_sharing = false } in
+  Printf.printf "%-14s | %12s %12s | %10s %10s\n" "program" "mem:no-share"
+    "mem:share" "races:noIS" "races:full";
+  List.iter
+    (fun (w : Workload.t) ->
+      let m_nosh = (Measure.get w no_init_sharing).mem.peak_bytes in
+      let m_full = (Measure.get w dynamic).mem.peak_bytes in
+      let r_nois = (Measure.get w no_init_state).races in
+      let r_full = (Measure.get w dynamic).races in
+      Printf.printf "%-14s | %11dK %11dK | %10d %10d\n" w.name
+        (Measure.kb m_nosh) (Measure.kb m_full) r_nois r_full)
+    Registry.all;
+  print_endline
+    "\nshape check: sharing at Init lowers peak memory (left pair);";
+  print_endline
+    "removing the Init state (single first-epoch decision) adds false alarms";
+  print_endline "(right pair), the paper's argument for the two-decision design."
+
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  header "Table 6. Valgrind-DRD-style and Inspector-style tools vs dynamic";
+  let specs =
+    [ ("drd", Spec.Drd); ("inspector", Spec.Inspector); ("ft-dynamic", dynamic) ]
+  in
+  Printf.printf "%-14s |" "program";
+  List.iter (fun (n, _) -> Printf.printf " %9s-slw %9s-mem %9s-rac |" n n n) specs;
+  print_newline ();
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%-14s |" w.name;
+      List.iter
+        (fun (_, g) ->
+          let m = Measure.get w g in
+          Printf.printf " %13.2f %12dK %13d |" (Measure.slowdown w g)
+            (Measure.kb m.mem.peak_bytes) m.races)
+        specs;
+      print_newline ())
+    Registry.all;
+  let avg f = Measure.geomean (List.map f Registry.all) in
+  let rel spec =
+    avg (fun w -> Measure.slowdown w spec /. Measure.slowdown w dynamic)
+  in
+  let relmem spec =
+    avg (fun w ->
+        float_of_int (Measure.get w spec).mem.peak_bytes
+        /. float_of_int (Measure.get w dynamic).mem.peak_bytes)
+  in
+  Printf.printf
+    "\nDRD is %.1fx slower than dynamic (paper: 2.2x); Inspector is %.1fx slower\n"
+    (rel Spec.Drd) (rel Spec.Inspector);
+  Printf.printf
+    "and uses %.1fx the memory (paper: 2.8x).  DRD memory is %.1fx dynamic's.\n"
+    (relmem Spec.Inspector) (relmem Spec.Drd)
+
+(* ------------------------------------------------------------------ *)
+
+let ext () =
+  header
+    "Extension (paper SVII future work): resharing after the 2nd epoch + write-guided reads";
+  Printf.printf "%-14s | %8s %8s | %10s %10s | %6s %6s\n" "program" "dyn-slw"
+    "ext-slw" "dyn-VCs" "ext-VCs" "dyn-r" "ext-r";
+  List.iter
+    (fun (w : Workload.t) ->
+      let d = Measure.get w dynamic and e = Measure.get w Spec.Dynamic_ext in
+      Printf.printf "%-14s | %8.2f %8.2f | %10d %10d | %6d %6d\n" w.name
+        (Measure.slowdown w dynamic)
+        (Measure.slowdown w Spec.Dynamic_ext)
+        d.mem.peak_vcs e.mem.peak_vcs d.races e.races)
+    Registry.all;
+  print_endline
+    "\nthe extensions are race-neutral on the suite; they pay off on programs";
+  print_endline
+    "whose sharing opportunities only appear after the second epoch (see the";
+  print_endline "dynamic.extension unit tests for the targeted patterns)."
+
+(* thread scaling: vector clocks are O(n) in DJIT+ but O(1) in the
+   FastTrack family — visible as DJIT+'s memory growing with the
+   worker count while the epoch-based detectors stay flat *)
+let threads () =
+  header "Thread scaling: epoch O(1) vs full-vector-clock O(n) state";
+  let counts = [ 2; 4; 8; 16; 32 ] in
+  (* every thread touches every location under a lock: each DJIT+
+     location clock accumulates one component per thread, while the
+     FastTrack family keeps a single last-access epoch *)
+  let kernel nthreads () =
+    let open Dgrace_sim in
+    let words = 512 in
+    let arr = Sim.static_alloc (4 * words) in
+    let m = Sim.mutex () in
+    let worker _ =
+      for round = 1 to 3 do
+        ignore round;
+        for i = 0 to words - 1 do
+          Sim.with_lock m (fun () ->
+              Sim.read (arr + (4 * i)) 4;
+              Sim.write (arr + (4 * i)) 4)
+        done
+      done
+    in
+    let ts = List.init nthreads (fun i -> Sim.spawn (fun () -> worker i)) in
+    List.iter Sim.join ts
+  in
+  Printf.printf "%-10s" "threads";
+  List.iter (fun n -> Printf.printf " | %8s-slw %8s-vcKB" n n)
+    [ "djit"; "byte"; "dynamic" ];
+  print_newline ();
+  List.iter
+    (fun t ->
+      let base = (Engine.run ~spec:Spec.No_detection (kernel t)).elapsed in
+      Printf.printf "%-10d" t;
+      List.iter
+        (fun spec ->
+          let s = Engine.run ~spec (kernel t) in
+          Printf.printf " | %12.2f %12d"
+            (if base > 0. then s.elapsed /. base else Float.nan)
+            (s.mem.peak_vc_bytes / 1024))
+        [ Spec.Djit { granularity = 4 }; byte; dynamic ];
+      print_newline ())
+    counts;
+  print_endline
+    "\nshape check: DJIT+'s clock bytes grow with the thread count (O(n) per";
+  print_endline
+    "location); the epoch-based byte/dynamic detectors stay nearly flat (O(1))."
+
+(* one flat CSV with every (workload x detector) measurement, for
+   external plotting *)
+let csv () =
+  let specs =
+    [ Spec.No_detection; byte; word; dynamic;
+      Spec.Dynamic { init_state = true; init_sharing = false };
+      Spec.Dynamic { init_state = false; init_sharing = false };
+      Spec.Dynamic_ext; Spec.Djit { granularity = 4 }; Spec.Drd;
+      Spec.Inspector; Spec.Eraser; Spec.Multirace;
+      Spec.Racetrack { region = 64 }; Spec.Literace ]
+  in
+  print_endline
+    "workload,detector,slowdown,elapsed_s,peak_bytes,peak_hash,peak_vc,peak_bitmap,peak_vcs,avg_sharing,same_epoch_ratio,accesses,races,suppressed";
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun spec ->
+          let m = Measure.get w spec in
+          Printf.printf "%s,%s,%.4f,%.6f,%d,%d,%d,%d,%d,%.2f,%.4f,%d,%d,%d\n"
+            w.name (Spec.name spec)
+            (Measure.slowdown w spec)
+            m.elapsed m.mem.peak_bytes m.mem.peak_hash_bytes m.mem.peak_vc_bytes
+            m.mem.peak_bitmap_bytes m.mem.peak_vcs m.mem.avg_sharing
+            m.same_epoch_ratio m.accesses m.races m.suppressed)
+        specs)
+    Registry.all
+
+let related () =
+  header
+    "Related work (paper SVI): RaceTrack-style adaptive, LiteRace-style sampling, MultiRace";
+  let specs =
+    [ ("byte", byte); ("racetrack", Spec.Racetrack { region = 64 });
+      ("literace", Spec.Literace); ("multirace", Spec.Multirace) ]
+  in
+  Printf.printf "%-14s |" "program";
+  List.iter (fun (n, _) -> Printf.printf " %10s-r %8s-slw |" n n) specs;
+  print_newline ();
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%-14s |" w.name;
+      List.iter
+        (fun (_, g) ->
+          let m = Measure.get w g in
+          Printf.printf " %12d %12.2f |" m.races (Measure.slowdown w g))
+        specs;
+      print_newline ())
+    Registry.all;
+  print_endline
+    "\nshape check: RaceTrack-style refinement misses one-shot/rare races";
+  print_endline
+    "(ferret) and conflates packed fields (ffmpeg, like word granularity);";
+  print_endline
+    "LiteRace's sampling is fast but loses most of x264's hot races;";
+  print_endline
+    "MultiRace matches the happens-before verdict on discipline-violating";
+  print_endline "locations while suppressing Eraser-only alarms."
+
+let fig1 () =
+  header "Figure 1. DJIT+ example execution (clock evolution and the race)";
+  let open Dgrace_sim in
+  let open Dgrace_events in
+  let x = ref 0 in
+  let program () =
+    x := Sim.static_alloc 4;
+    let s = Sim.mutex () in
+    let t1 =
+      Sim.spawn (fun () ->
+          Sim.with_lock s (fun () -> ());
+          Sim.write ~loc:"t1:write-x" !x 4)
+    in
+    Sim.with_lock s (fun () -> Sim.write ~loc:"t0:write-x" !x 4);
+    Sim.join t1
+  in
+  let events = ref [] in
+  let _ = Sim.run ~policy:Scheduler.Round_robin ~sink:(fun e -> events := e :: !events) program in
+  let events = List.rev !events in
+  let env = Dgrace_detectors.Vc_env.create () in
+  List.iter
+    (fun e ->
+      ignore (Dgrace_detectors.Vc_env.handle env e ~on_boundary:(fun _ -> ()) : bool);
+      Printf.printf "  %-28s T0=%-10s T1=%s\n" (Event.to_string e)
+        (Dgrace_vclock.Vector_clock.to_string (Dgrace_detectors.Vc_env.clock_of env 0))
+        (Dgrace_vclock.Vector_clock.to_string (Dgrace_detectors.Vc_env.clock_of env 1)))
+    events;
+  let s = Engine.replay ~spec:(Spec.Djit { granularity = 4 }) (List.to_seq events) in
+  List.iter (fun r -> Printf.printf "\n  DJIT+ reports: %s\n" (Report.to_string r)) s.races
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header "Figure 4. Indexing-array expansion: m/4 word slots -> m byte slots";
+  let open Dgrace_shadow in
+  let run_stream name accesses =
+    let a = Accounting.create () in
+    let t : int Shadow_table.t = Shadow_table.create ~mode:Shadow_table.Adaptive ~account:a () in
+    List.iter
+      (fun (addr, size) ->
+        Shadow_table.ensure_granularity t ~addr ~size;
+        Shadow_table.set t addr 1)
+      accesses;
+    Printf.printf "  %-34s entries=%4d index-bytes=%7d\n" name
+      (Shadow_table.entry_count t) (Shadow_table.bytes t)
+  in
+  (* identical 16 KiB address span for all three streams *)
+  let n = 4096 in
+  run_stream "all word-aligned accesses"
+    (List.init n (fun i -> (0x10000 + (4 * i), 4)));
+  run_stream "1% unaligned byte accesses"
+    (List.init n (fun i ->
+         if i mod 100 = 0 then (0x10000 + (4 * i) + 1, 1) else (0x10000 + (4 * i), 4)));
+  run_stream "all byte accesses"
+    (List.init n (fun i -> (0x10000 + (4 * i) + 1, 1)));
+  print_endline
+    "\nshape check: indexing cost grows ~4x only for the entries that actually";
+  print_endline "see byte accesses (the paper's adaptive m/4 -> m expansion)."

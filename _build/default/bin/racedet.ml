@@ -1,0 +1,348 @@
+(* racedet — command-line front end.
+
+   Subcommands:
+     run      analyse a workload with one detector
+     compare  analyse a workload with several detectors side by side
+     record   record a workload's event stream to a trace file
+     replay   analyse a recorded trace
+     list     list workloads and detectors *)
+
+open Cmdliner
+open Dgrace_core
+open Dgrace_workloads
+open Dgrace_events
+
+(* ------------------------------------------------------------------ *)
+(* converters and shared options *)
+
+let spec_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Spec.of_string s) in
+  let print ppf s = Format.pp_print_string ppf (Spec.name s) in
+  Arg.conv (parse, print)
+
+let workload_conv =
+  let parse s =
+    match Registry.find s with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown workload %S (try: %s)" s
+              (String.concat ", " Registry.names)))
+  in
+  let print ppf (w : Workload.t) = Format.pp_print_string ppf w.name in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Benchmark workload to run (see $(b,list)).")
+
+let spec_arg =
+  Arg.(
+    value
+    & opt spec_conv Spec.dynamic
+    & info [ "d"; "detector" ] ~docv:"DETECTOR"
+        ~doc:
+          (Printf.sprintf "Detection algorithm: one of %s."
+             (String.concat ", " Spec.all_names)))
+
+let threads_arg =
+  Arg.(value & opt (some int) None & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker thread count.")
+
+let scale_arg =
+  Arg.(value & opt (some int) None & info [ "s"; "scale" ] ~docv:"K" ~doc:"Workload size factor.")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Workload PRNG seed.")
+
+let sched_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "sched-seed" ] ~docv:"SEED" ~doc:"Scheduler interleaving seed.")
+
+let no_suppress_arg =
+  Arg.(
+    value & flag
+    & info [ "no-suppressions" ]
+        ~doc:"Disable the default runtime suppression rules (libc/ld/pthread).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race report.")
+
+let params w threads scale seed = Workload.with_params ?threads ?scale ?seed w
+
+let suppression no_suppress =
+  if no_suppress then Suppression.empty else Suppression.default_runtime
+
+let policy sched_seed = Dgrace_sim.Scheduler.Chunked { seed = sched_seed; chunk = 64 }
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let action w spec threads scale seed sched_seed no_suppress verbose =
+    let p = params w threads scale seed in
+    let s =
+      Engine.run ~policy:(policy sched_seed) ~suppression:(suppression no_suppress)
+        ~spec
+        (w.Workload.program p)
+    in
+    Format.printf "workload: %s (threads=%d scale=%d seed=%d)@." w.name p.threads
+      p.scale p.seed;
+    Format.printf "%a@." Engine.pp_summary s;
+    if verbose then
+      List.iter (fun r -> Format.printf "%s@." (Report.to_string r)) s.races;
+    if s.race_count > 0 then exit 2
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
+      $ seed_arg $ sched_seed_arg $ no_suppress_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one detector."
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Exit code 2 when races are found, 0 when clean." ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_cmd =
+  let action w threads scale seed sched_seed no_suppress =
+    let p = params w threads scale seed in
+    Format.printf "workload: %s (threads=%d scale=%d seed=%d)@.@." w.name
+      p.threads p.scale p.seed;
+    Format.printf "%-28s %8s %10s %12s %10s %10s@." "detector" "races"
+      "time(ms)" "peak-mem" "peak-VCs" "same-ep";
+    let base = ref 0. in
+    List.iter
+      (fun spec ->
+        let s =
+          Engine.run ~policy:(policy sched_seed)
+            ~suppression:(suppression no_suppress) ~spec
+            (w.Workload.program p)
+        in
+        if spec = Spec.No_detection then base := s.elapsed;
+        Format.printf "%-28s %8d %10.1f %11dK %10d %9.0f%%@." s.detector
+          s.race_count (1000. *. s.elapsed)
+          (s.mem.peak_bytes / 1024)
+          s.mem.peak_vcs
+          (100. *. Dgrace_detectors.Run_stats.same_epoch_ratio s.stats))
+      [
+        Spec.No_detection; Spec.byte; Spec.word; Spec.dynamic;
+        Spec.Djit { granularity = 4 }; Spec.Drd; Spec.Inspector; Spec.Eraser;
+        Spec.Multirace; Spec.Racetrack { region = 64 }; Spec.Literace;
+      ]
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
+      $ sched_seed_arg $ no_suppress_arg)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run one workload under every detector.") term
+
+(* ------------------------------------------------------------------ *)
+(* record / replay *)
+
+let trace_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"Trace file path.")
+
+let record_cmd =
+  let action w threads scale seed sched_seed path =
+    let p = params w threads scale seed in
+    let sim, n =
+      Dgrace_trace.Trace_writer.to_file path (fun sink ->
+          Workload.run ~policy:(policy sched_seed) ~params:p ~sink w)
+    in
+    Format.printf "recorded %d events (%d accesses, %d threads) to %s@." n
+      sim.accesses sim.threads path
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
+      $ sched_seed_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a workload's event stream to a trace file.")
+    term
+
+let replay_cmd =
+  let action path spec no_suppress verbose =
+    let events = Dgrace_trace.Trace_reader.read_file path in
+    let s =
+      Engine.replay ~suppression:(suppression no_suppress) ~spec
+        (List.to_seq events)
+    in
+    Format.printf "%a@." Engine.pp_summary s;
+    if verbose then
+      List.iter (fun r -> Format.printf "%s@." (Report.to_string r)) s.races;
+    if s.race_count > 0 then exit 2
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let term =
+    Term.(const action $ path_arg $ spec_arg $ no_suppress_arg $ verbose_arg)
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Analyse a recorded trace.") term
+
+(* ------------------------------------------------------------------ *)
+(* explore: schedule sensitivity *)
+
+let explore_cmd =
+  let action w spec threads scale seed seeds no_suppress =
+    let p = params w threads scale seed in
+    Format.printf "workload: %s, detector: %s, %d scheduler seeds@.@." w.name
+      (Spec.name spec) seeds;
+    let union = Hashtbl.create 64 and inter = ref None in
+    let counts =
+      List.init seeds (fun i ->
+          let s =
+            Engine.run ~policy:(policy (i + 1))
+              ~suppression:(suppression no_suppress) ~spec
+              (w.Workload.program p)
+          in
+          let addrs =
+            List.map (fun (r : Report.t) -> r.addr) s.races
+            |> List.sort_uniq compare
+          in
+          List.iter (fun a -> Hashtbl.replace union a ()) addrs;
+          (inter :=
+             match !inter with
+             | None -> Some addrs
+             | Some prev -> Some (List.filter (fun a -> List.mem a addrs) prev));
+          s.race_count)
+    in
+    List.iteri (fun i c -> Format.printf "seed %2d: %d race(s)@." (i + 1) c) counts;
+    let inter = Option.value !inter ~default:[] in
+    Format.printf
+      "@.%d distinct racy location(s) across all seeds; %d found under every seed@."
+      (Hashtbl.length union) (List.length inter);
+    if Hashtbl.length union > List.length inter then
+      Format.printf
+        "schedule-sensitive: some races only surface under some interleavings@."
+  in
+  let seeds_arg =
+    Arg.(value & opt int 5 & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of scheduler seeds (default 5).")
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
+      $ seed_arg $ seeds_arg $ no_suppress_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Run a workload under several scheduler seeds and report race stability.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace-info / trace-dump *)
+
+let trace_path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let trace_info_cmd =
+  let action path =
+    let accesses = ref 0 and reads = ref 0 and writes = ref 0 in
+    let syncs = ref 0 and allocs = ref 0 and frees = ref 0 in
+    let forks = ref 0 and bytes_alloc = ref 0 in
+    let tids = Hashtbl.create 16 and locks = Hashtbl.create 16 in
+    let lo_addr = ref max_int and hi_addr = ref 0 in
+    let total =
+      Dgrace_trace.Trace_reader.fold_file path
+        (fun n ev ->
+          (match ev with
+           | Event.Access { tid; kind; addr; size; _ } ->
+             incr accesses;
+             (if kind = Event.Read then incr reads else incr writes);
+             Hashtbl.replace tids tid ();
+             lo_addr := min !lo_addr addr;
+             hi_addr := max !hi_addr (addr + size)
+           | Event.Acquire { tid; lock; _ } | Event.Release { tid; lock; _ } ->
+             incr syncs;
+             Hashtbl.replace tids tid ();
+             Hashtbl.replace locks lock ()
+           | Event.Fork { parent; child } ->
+             incr forks;
+             Hashtbl.replace tids parent ();
+             Hashtbl.replace tids child ()
+           | Event.Join _ -> incr syncs
+           | Event.Alloc { size; _ } ->
+             incr allocs;
+             bytes_alloc := !bytes_alloc + size
+           | Event.Free _ -> incr frees
+           | Event.Thread_exit _ -> ());
+          n + 1)
+        0
+    in
+    Printf.printf "events:    %d
+" total;
+    Printf.printf "accesses:  %d (%d reads, %d writes)
+" !accesses !reads !writes;
+    Printf.printf "sync ops:  %d on %d sync objects
+" !syncs (Hashtbl.length locks);
+    Printf.printf "threads:   %d (%d forks)
+" (Hashtbl.length tids) !forks;
+    Printf.printf "heap:      %d allocs / %d frees, %d bytes total
+" !allocs !frees !bytes_alloc;
+    if !accesses > 0 then
+      Printf.printf "addresses: 0x%x - 0x%x
+" !lo_addr !hi_addr
+  in
+  Cmd.v
+    (Cmd.info "trace-info" ~doc:"Summarise a recorded trace.")
+    Term.(const action $ trace_path_arg)
+
+let trace_dump_cmd =
+  let action path limit =
+    let printed =
+      Dgrace_trace.Trace_reader.fold_file path
+        (fun n ev ->
+          if n < limit then print_endline (Event.to_string ev);
+          n + 1)
+        0
+    in
+    if printed > limit then Printf.printf "... (%d more events)
+" (printed - limit)
+  in
+  let limit_arg =
+    Arg.(value & opt int 100 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Events to print (default 100).")
+  in
+  Cmd.v
+    (Cmd.info "trace-dump" ~doc:"Print the events of a recorded trace.")
+    Term.(const action $ trace_path_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let action () =
+    print_endline "workloads:";
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "  %-14s %s (threads=%d, %d seeded races)\n" w.name
+          w.description w.defaults.threads w.expected_races)
+      Registry.all;
+    print_endline "\ndetectors:";
+    List.iter (Printf.printf "  %s\n") Spec.all_names
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available workloads and detectors.")
+    Term.(const action $ const ())
+
+let () =
+  let doc = "dynamic-granularity data race detection (IPDPS 2014 reproduction)" in
+  let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; compare_cmd; explore_cmd; record_cmd; replay_cmd;
+            trace_info_cmd; trace_dump_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/djit_figure1.ml: Dgrace_core Dgrace_detectors Dgrace_events Dgrace_sim Dgrace_vclock Engine Event List Printf Report Scheduler Sim Spec

@@ -1,0 +1,1 @@
+examples/djit_figure1.mli:

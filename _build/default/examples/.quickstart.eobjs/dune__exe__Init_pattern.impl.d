@@ -1,0 +1,1 @@
+examples/init_pattern.ml: Array Dgrace_core Dgrace_events Dgrace_sim Engine List Printf Sim Spec

@@ -1,0 +1,1 @@
+examples/init_pattern.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dgrace_core Dgrace_events Dgrace_sim Engine Format List Printf Report Sim Spec

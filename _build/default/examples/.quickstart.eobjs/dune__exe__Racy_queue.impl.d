@@ -1,0 +1,1 @@
+examples/racy_queue.ml: Array Dgrace_core Dgrace_sim Engine List Printf Sim Spec

@@ -1,0 +1,1 @@
+examples/racy_queue.mli:

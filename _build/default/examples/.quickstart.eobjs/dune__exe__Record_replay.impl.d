@@ -1,0 +1,1 @@
+examples/record_replay.ml: Dgrace_core Dgrace_detectors Dgrace_trace Dgrace_workloads Engine Filename List Option Printf Registry Spec Sys Trace_reader Trace_writer Unix Workload

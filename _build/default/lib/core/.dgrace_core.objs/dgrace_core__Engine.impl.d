@@ -1,0 +1,1 @@
+lib/core/engine.ml: Accounting Detector Dgrace_detectors Dgrace_events Dgrace_shadow Dgrace_sim Format List Report Run_stats Seq Sim Spec Unix

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Detector Dgrace_detectors Dgrace_events Dgrace_sim Event Format Report Run_stats Scheduler Seq Sim Spec Suppression

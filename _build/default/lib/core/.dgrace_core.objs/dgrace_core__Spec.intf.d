@@ -1,0 +1,1 @@
+lib/core/spec.mli: Detector Dgrace_detectors Dgrace_events Suppression

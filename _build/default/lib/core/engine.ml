@@ -1,0 +1,77 @@
+open Dgrace_events
+open Dgrace_detectors
+open Dgrace_shadow
+open Dgrace_sim
+
+type summary = {
+  detector : string;
+  races : Report.t list;
+  race_count : int;
+  suppressed : int;
+  stats : Run_stats.t;
+  mem : mem_summary;
+  elapsed : float;
+  sim : Sim.result option;
+}
+
+and mem_summary = {
+  peak_bytes : int;
+  peak_hash_bytes : int;
+  peak_vc_bytes : int;
+  peak_bitmap_bytes : int;
+  peak_vcs : int;
+  total_vcs : int;
+  avg_sharing : float;
+}
+
+let mem_of_account a =
+  {
+    peak_bytes = Accounting.peak_bytes a;
+    peak_hash_bytes = Accounting.peak_hash_bytes a;
+    peak_vc_bytes = Accounting.peak_vc_bytes a;
+    peak_bitmap_bytes = Accounting.peak_bitmap_bytes a;
+    peak_vcs = Accounting.peak_vcs a;
+    total_vcs = Accounting.total_vcs_created a;
+    avg_sharing = Accounting.avg_sharing a;
+  }
+
+let summarize (d : Detector.t) ~elapsed ~sim =
+  {
+    detector = d.name;
+    races = Detector.races d;
+    race_count = Detector.race_count d;
+    suppressed = Report.Collector.suppressed d.collector;
+    stats = d.stats;
+    mem = mem_of_account d.account;
+    elapsed;
+    sim;
+  }
+
+let with_detector ?policy (d : Detector.t) program =
+  let t0 = Unix.gettimeofday () in
+  let sim = Sim.run ?policy ~sink:d.on_event program in
+  d.finish ();
+  let elapsed = Unix.gettimeofday () -. t0 in
+  summarize d ~elapsed ~sim:(Some sim)
+
+let run ?policy ?suppression ~spec program =
+  with_detector ?policy (Spec.to_detector ?suppression spec) program
+
+let replay ?suppression ~spec events =
+  let d = Spec.to_detector ?suppression spec in
+  let t0 = Unix.gettimeofday () in
+  Seq.iter d.on_event events;
+  d.finish ();
+  let elapsed = Unix.gettimeofday () -. t0 in
+  summarize d ~elapsed ~sim:None
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>detector: %s@,elapsed: %.3fs@,%a@," s.detector
+    s.elapsed Run_stats.pp s.stats;
+  Format.fprintf ppf
+    "memory: peak=%dB (hash=%d vc=%d bitmap=%d) peak-vcs=%d avg-sharing=%.1f@,"
+    s.mem.peak_bytes s.mem.peak_hash_bytes s.mem.peak_vc_bytes
+    s.mem.peak_bitmap_bytes s.mem.peak_vcs s.mem.avg_sharing;
+  Format.fprintf ppf "races: %d (%d suppressed)" s.race_count s.suppressed;
+  List.iter (fun r -> Format.fprintf ppf "@,  %a" Report.pp r) s.races;
+  Format.fprintf ppf "@]"

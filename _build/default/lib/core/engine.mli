@@ -1,0 +1,65 @@
+(** The analysis engine: run a simulated program (or a recorded event
+    stream) under a detector and collect everything the evaluation
+    needs — races, stream statistics, shadow-memory accounting and
+    wall-clock time.
+
+    This is the main entry point of the library:
+
+    {[
+      let summary =
+        Engine.run ~spec:Spec.dynamic (fun () ->
+          let a = Sim.malloc 64 in
+          let t = Sim.spawn (fun () -> Sim.write a 4) in
+          Sim.write a 4;
+          Sim.join t)
+      in
+      List.iter (fun r -> print_endline (Report.to_string r)) summary.races
+    ]} *)
+
+open Dgrace_events
+open Dgrace_detectors
+open Dgrace_sim
+
+type summary = {
+  detector : string;  (** detector name *)
+  races : Report.t list;  (** distinct-location races, detection order *)
+  race_count : int;
+  suppressed : int;  (** reports dropped by suppression rules *)
+  stats : Run_stats.t;
+  mem : mem_summary;
+  elapsed : float;  (** wall-clock seconds for the instrumented run *)
+  sim : Sim.result option;  (** simulator result (None for replays) *)
+}
+
+and mem_summary = {
+  peak_bytes : int;  (** peak of hash + vector clock + bitmap bytes *)
+  peak_hash_bytes : int;
+  peak_vc_bytes : int;
+  peak_bitmap_bytes : int;
+  peak_vcs : int;  (** max vector clocks simultaneously live *)
+  total_vcs : int;  (** vector clocks ever created *)
+  avg_sharing : float;  (** average bytes sharing one vector clock *)
+}
+
+val run :
+  ?policy:Scheduler.policy ->
+  ?suppression:Suppression.t ->
+  spec:Spec.t ->
+  (unit -> unit) ->
+  summary
+(** Execute the program under the simulator, feeding every event to a
+    fresh detector built from [spec]. *)
+
+val replay :
+  ?suppression:Suppression.t ->
+  spec:Spec.t ->
+  Event.t Seq.t ->
+  summary
+(** Analyse a pre-recorded event stream (see {!Dgrace_trace}). *)
+
+val with_detector :
+  ?policy:Scheduler.policy -> Detector.t -> (unit -> unit) -> summary
+(** Like {!run} for an externally constructed detector. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,106 @@
+open Dgrace_detectors
+
+type t =
+  | No_detection
+  | Fasttrack of { granularity : int }
+  | Djit of { granularity : int }
+  | Dynamic of { init_state : bool; init_sharing : bool }
+  | Dynamic_ext
+  | Drd
+  | Inspector
+  | Eraser
+  | Multirace
+  | Racetrack of { region : int }
+  | Literace
+
+let byte = Fasttrack { granularity = 1 }
+let word = Fasttrack { granularity = 4 }
+let dynamic = Dynamic { init_state = true; init_sharing = true }
+
+let name = function
+  | No_detection -> "none"
+  | Fasttrack { granularity = 1 } -> "ft-byte"
+  | Fasttrack { granularity = 4 } -> "ft-word"
+  | Fasttrack { granularity } -> Printf.sprintf "ft-%dB" granularity
+  | Djit { granularity = 1 } -> "djit"
+  | Djit { granularity } -> Printf.sprintf "djit-%dB" granularity
+  | Dynamic { init_state = true; init_sharing = true } -> "ft-dynamic"
+  | Dynamic { init_state = true; init_sharing = false } ->
+    "ft-dynamic-no-init-sharing"
+  | Dynamic { init_state = false; _ } -> "ft-dynamic-no-init-state"
+  | Dynamic_ext -> "ft-dynamic-ext"
+  | Multirace -> "multirace"
+  | Racetrack { region } -> Printf.sprintf "racetrack-%dB" region
+  | Literace -> "literace"
+  | Drd -> "drd"
+  | Inspector -> "inspector"
+  | Eraser -> "eraser"
+
+let parse_gran prefix s =
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    int_of_string_opt (String.sub s plen (String.length s - plen))
+  else None
+
+let of_string s =
+  match s with
+  | "none" -> Ok No_detection
+  | "byte" | "ft-byte" -> Ok byte
+  | "word" | "ft-word" -> Ok word
+  | "dynamic" | "ft-dynamic" -> Ok dynamic
+  | "dynamic-no-init-sharing" ->
+    Ok (Dynamic { init_state = true; init_sharing = false })
+  | "dynamic-no-init-state" ->
+    Ok (Dynamic { init_state = false; init_sharing = false })
+  | "dynamic-ext" -> Ok Dynamic_ext
+  | "djit" -> Ok (Djit { granularity = 1 })
+  | "drd" -> Ok Drd
+  | "inspector" -> Ok Inspector
+  | "eraser" -> Ok Eraser
+  | "multirace" -> Ok Multirace
+  | "racetrack" -> Ok (Racetrack { region = 64 })
+  | "literace" -> Ok Literace
+  | _ -> (
+    match parse_gran "ft:" s with
+    | Some g -> Ok (Fasttrack { granularity = g })
+    | None -> (
+      match parse_gran "djit:" s with
+      | Some g -> Ok (Djit { granularity = g })
+      | None -> (
+        match parse_gran "racetrack:" s with
+        | Some region -> Ok (Racetrack { region })
+        | None -> Error (Printf.sprintf "unknown detector %S" s))))
+
+let all_names =
+  [
+    "none"; "byte"; "word"; "dynamic"; "dynamic-no-init-sharing";
+    "dynamic-no-init-state"; "dynamic-ext"; "djit"; "djit:<n>"; "ft:<n>"; "drd"; "inspector";
+    "eraser"; "multirace"; "racetrack"; "racetrack:<n>"; "literace";
+  ]
+
+let to_detector ?suppression spec =
+  match spec with
+  | No_detection -> Detector.null ()
+  | Fasttrack { granularity = 1 } ->
+    (* the paper's byte detector: access-footprint locations with
+       byte-resolution indexing (see Dynamic_granularity) *)
+    Dynamic_granularity.create ~sharing:false ~name:"ft-byte" ?suppression ()
+  | Fasttrack { granularity = 4 } ->
+    (* the paper's word detector: the same machinery, addresses masked
+       to word granules *)
+    Dynamic_granularity.create ~sharing:false
+      ~index:(Dgrace_shadow.Shadow_table.Fixed_bytes 4) ~name:"ft-word"
+      ?suppression ()
+  | Fasttrack { granularity } -> Fasttrack.create ~granularity ?suppression ()
+  | Djit { granularity } -> Djit.create ~granularity ?suppression ()
+  | Dynamic { init_state; init_sharing } ->
+    Dynamic_granularity.create ~init_state ~init_sharing ?suppression ()
+  | Dynamic_ext ->
+    Dynamic_granularity.create ~reshare_after:4 ~write_guided_reads:true
+      ?suppression ()
+  | Drd -> Drd_segment.create ?suppression ()
+  | Inspector -> Hybrid_inspector.create ?suppression ()
+  | Eraser -> Lockset.create ?suppression ()
+  | Multirace -> Multirace.create ?suppression ()
+  | Racetrack { region } -> Racetrack_adaptive.create ~region ?suppression ()
+  | Literace -> Literace_sampling.create ?suppression ()

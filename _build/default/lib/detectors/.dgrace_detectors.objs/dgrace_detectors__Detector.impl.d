@@ -1,0 +1,1 @@
+lib/detectors/detector.ml: Accounting Dgrace_events Dgrace_shadow Event Report Run_stats

@@ -1,0 +1,1 @@
+lib/detectors/djit.ml: Accounting Detector Dgrace_events Dgrace_shadow Dgrace_util Dgrace_vclock Epoch_bitmap Event Printf Race_info Report Run_stats Shadow_table Suppression Vc_env Vector_clock

@@ -1,0 +1,1 @@
+lib/detectors/djit.mli: Detector Dgrace_events Suppression

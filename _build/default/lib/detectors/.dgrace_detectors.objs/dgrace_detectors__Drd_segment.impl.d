@@ -1,0 +1,1 @@
+lib/detectors/drd_segment.ml: Accounting Bytes Char Detector Dgrace_events Dgrace_shadow Dgrace_util Dgrace_vclock Event Hashtbl List Report Run_stats Suppression Vc_env Vector_clock

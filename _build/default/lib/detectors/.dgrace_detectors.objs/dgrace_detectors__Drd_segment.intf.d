@@ -1,0 +1,1 @@
+lib/detectors/drd_segment.mli: Detector Dgrace_events Suppression

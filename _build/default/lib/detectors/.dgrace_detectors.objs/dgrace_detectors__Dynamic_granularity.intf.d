@@ -1,0 +1,1 @@
+lib/detectors/dynamic_granularity.mli: Detector Dgrace_events Dgrace_shadow Suppression

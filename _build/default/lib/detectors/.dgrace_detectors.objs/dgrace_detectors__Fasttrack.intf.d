@@ -1,0 +1,1 @@
+lib/detectors/fasttrack.mli: Detector Dgrace_events Suppression

@@ -1,0 +1,1 @@
+lib/detectors/hybrid_inspector.ml: Accounting Detector Dgrace_events Dgrace_shadow Dgrace_vclock Event Hashtbl List Lock_tracker Report Run_stats Shadow_table Suppression Vc_env Vector_clock

@@ -1,0 +1,1 @@
+lib/detectors/hybrid_inspector.mli: Detector Dgrace_events Suppression

@@ -1,0 +1,1 @@
+lib/detectors/literace_sampling.ml: Detector Dgrace_events Dynamic_granularity Event Hashtbl Run_stats Suppression

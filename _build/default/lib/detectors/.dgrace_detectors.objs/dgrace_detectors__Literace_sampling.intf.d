@@ -1,0 +1,1 @@
+lib/detectors/literace_sampling.mli: Detector Dgrace_events Suppression

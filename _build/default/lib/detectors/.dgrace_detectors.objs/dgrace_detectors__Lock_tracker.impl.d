@@ -1,0 +1,1 @@
+lib/detectors/lock_tracker.ml: Array Dgrace_events Int Set

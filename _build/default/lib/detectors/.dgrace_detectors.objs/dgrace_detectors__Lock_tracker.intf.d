@@ -1,0 +1,1 @@
+lib/detectors/lock_tracker.mli: Dgrace_events Set

@@ -1,0 +1,1 @@
+lib/detectors/lockset.ml: Accounting Detector Dgrace_events Dgrace_shadow Event Lock_tracker Report Run_stats Shadow_table Suppression

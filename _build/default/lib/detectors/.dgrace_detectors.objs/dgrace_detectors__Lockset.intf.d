@@ -1,0 +1,1 @@
+lib/detectors/lockset.mli: Detector Dgrace_events Suppression

@@ -1,0 +1,1 @@
+lib/detectors/multirace.ml: Detector Dgrace_events Djit List Lockset Report Suppression

@@ -1,0 +1,1 @@
+lib/detectors/multirace.mli: Detector Dgrace_events Suppression

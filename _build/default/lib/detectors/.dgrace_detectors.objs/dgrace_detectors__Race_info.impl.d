@@ -1,0 +1,1 @@
+lib/detectors/race_info.ml: Dgrace_events Dgrace_vclock Epoch Event Read_state Report Vector_clock

@@ -1,0 +1,1 @@
+lib/detectors/racetrack_adaptive.mli: Detector Dgrace_events Suppression

@@ -1,0 +1,1 @@
+lib/detectors/read_state.mli: Dgrace_vclock Epoch Format Vector_clock

@@ -1,0 +1,1 @@
+lib/detectors/run_stats.ml: Format

@@ -1,0 +1,1 @@
+lib/detectors/share_state.ml: Format

@@ -1,0 +1,1 @@
+lib/detectors/vc_env.ml: Dgrace_events Dgrace_util Dgrace_vclock Epoch Event Hashtbl Vector_clock

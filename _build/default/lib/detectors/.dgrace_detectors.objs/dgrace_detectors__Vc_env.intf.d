@@ -1,0 +1,1 @@
+lib/detectors/vc_env.mli: Dgrace_events Dgrace_vclock Epoch Event Vector_clock

@@ -1,0 +1,24 @@
+open Dgrace_events
+open Dgrace_shadow
+
+type t = {
+  name : string;
+  on_event : Event.t -> unit;
+  finish : unit -> unit;
+  collector : Report.Collector.t;
+  account : Accounting.t;
+  stats : Run_stats.t;
+}
+
+let races t = Report.Collector.races t.collector
+let race_count t = Report.Collector.count t.collector
+
+let null () =
+  {
+    name = "none";
+    on_event = (fun (_ : Event.t) -> ());
+    finish = (fun () -> ());
+    collector = Report.Collector.create ();
+    account = Accounting.create ();
+    stats = Run_stats.create ();
+  }

@@ -1,0 +1,30 @@
+(** First-class detector values.
+
+    A detector is a consumer of {!Dgrace_events.Event.t} plus the three
+    observable products of a run: race reports, memory accounting, and
+    stream statistics.  Representing detectors as records (rather than
+    functors) lets the engine and the benchmark harness treat every
+    algorithm — FastTrack at any granularity, DJIT+, segment-based DRD,
+    lockset, hybrid — uniformly. *)
+
+open Dgrace_events
+open Dgrace_shadow
+
+type t = {
+  name : string;  (** e.g. ["fasttrack-dynamic"] *)
+  on_event : Event.t -> unit;
+      (** consume the next event of the stream, in order *)
+  finish : unit -> unit;
+      (** end of stream: flush anything pending (e.g. final segment
+          comparisons in the DRD detector) *)
+  collector : Report.Collector.t;  (** the races found *)
+  account : Accounting.t;  (** shadow-memory accounting *)
+  stats : Run_stats.t;  (** stream statistics *)
+}
+
+val races : t -> Report.t list
+val race_count : t -> int
+
+val null : unit -> t
+(** A detector that ignores everything — the "base time" measurement of
+    the paper's slowdown columns (the workload running uninstrumented). *)

@@ -1,0 +1,17 @@
+(** DJIT+ (Pozniansky & Schuster), the paper's §II.B baseline.
+
+    Each location granule keeps two {e full} vector clocks — one for
+    reads, one for writes — so the per-access cost and the shadow
+    footprint are O(n) in the thread count.  FastTrack's epoch
+    optimisation reduces exactly this; running both detectors on the
+    same stream demonstrates (and our property tests check) that they
+    report the same first race per location. *)
+
+open Dgrace_events
+
+val create :
+  ?granularity:int ->
+  ?suppression:Suppression.t ->
+  unit ->
+  Detector.t
+(** Granularity defaults to 1 byte; must be a power of two. *)

@@ -1,0 +1,475 @@
+open Dgrace_vclock
+open Dgrace_events
+open Dgrace_shadow
+module Vec = Dgrace_util.Vec
+
+(* A cell is one vector clock shared by the locations in [lo, hi).
+   Cells live in one plane only (read or write); the dormant history
+   field of the other plane stays at its initial value.  [refs] counts
+   the address-bytes whose shadow slot points at this cell: splits,
+   merges and frees keep it in step, and [refs = hi - lo] means the
+   covered range has no holes. *)
+type cell = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable refs : int;
+  mutable cstate : Share_state.t;
+  mutable born : Epoch.t;
+  mutable w : Epoch.t;
+  mutable r : Read_state.t;
+  mutable loc : string;
+  mutable evidence : int;
+      (* §VII extension: consecutive steady-state accesses whose clock
+         matched a settled neighbour's; reaching the threshold re-opens
+         the sharing decision *)
+}
+
+(* header + 8 fields + the stored access location pointer *)
+let cell_cost = 8 * 10
+
+type state = {
+  sharing : bool;  (* false = the paper's byte detector: footprint
+                      locations, no clock sharing at all *)
+  init_state : bool;
+  init_sharing : bool;
+  reshare_after : int;  (* 0 = off; k>0 = the §VII "more dynamic"
+                           extension: a Private cell whose clock has
+                           matched a settled neighbour's on k
+                           consecutive analysed accesses merges *)
+  write_guided_reads : bool;
+      (* §VII extension: a read location with no read history of its
+         own may join a neighbour whose write clocks it already shares *)
+  env : Vc_env.t;
+  rplane : cell Shadow_table.t;
+  wplane : cell Shadow_table.t;
+  bitmaps : Epoch_bitmap.t option Vec.t;
+  account : Accounting.t;
+  stats : Run_stats.t;
+  collector : Report.Collector.t;
+}
+
+let plane st ~write = if write then st.wplane else st.rplane
+
+let bitmap st tid =
+  while Vec.length st.bitmaps <= tid do
+    Vec.push st.bitmaps None
+  done;
+  match Vec.get st.bitmaps tid with
+  | Some b -> b
+  | None ->
+    let b = Epoch_bitmap.create ~account:st.account () in
+    Vec.set st.bitmaps tid (Some b);
+    b
+
+let fresh_cell st ~lo ~hi ~born ~state =
+  Accounting.vc_created st.account;
+  Accounting.bind_locations st.account (hi - lo);
+  Accounting.add_vc st.account cell_cost;
+  {
+    lo;
+    hi;
+    refs = hi - lo;
+    cstate = state;
+    born;
+    w = Epoch.none;
+    r = Read_state.No_reads;
+    loc = "";
+    evidence = 0;
+  }
+
+let retire st c =
+  Accounting.vc_freed st.account;
+  Accounting.add_vc st.account (-(cell_cost + Read_state.bytes c.r))
+
+let hist_equal ~write a b =
+  if write then Epoch.equal a.w b.w else Read_state.equal a.r b.r
+
+let update_hist st ~write c ~tid ~tvc ~here ~loc =
+  if write then c.w <- here
+  else begin
+    let before = Read_state.bytes c.r in
+    c.r <- Read_state.update c.r ~tid ~tvc;
+    let after = Read_state.bytes c.r in
+    if after <> before then Accounting.add_vc st.account (after - before)
+  end;
+  c.loc <- loc
+
+(* Race check against the opposite plane over the accessed sub-range,
+   walking cell groups so a shared clock is tested once, not per slot. *)
+let find_conflict st ~write ~sub_lo ~sub_hi ~tvc =
+  let pl = if write then st.rplane else st.wplane in
+  let rec walk a =
+    if a >= sub_hi then None
+    else begin
+      let _, ghi, v = Shadow_table.group pl a ~hi:sub_hi in
+      match v with
+      | Some c when c.cstate <> Share_state.Race ->
+        if write then
+          if not (Read_state.leq c.r tvc) then
+            Some (Race_info.of_read_state c.r ~against:tvc ~loc:c.loc)
+          else walk ghi
+        else if not (Vector_clock.epoch_leq c.w tvc) then
+          Some (Race_info.of_write ~w:c.w ~loc:c.loc)
+        else walk ghi
+      | Some _ | None -> walk ghi
+    end
+  in
+  walk sub_lo
+
+let check_races st ~write ~cell ~sub_lo ~sub_hi ~tvc =
+  if write && not (Vector_clock.epoch_leq cell.w tvc) then
+    Some (Race_info.of_write ~w:cell.w ~loc:cell.loc)
+  else find_conflict st ~write ~sub_lo ~sub_hi ~tvc
+
+(* A write that passed the read-write check dominates the reads of
+   every read cell fully inside the written range: collapse them back
+   to the cheap representation (FastTrack's WRITE SHARED rule). *)
+let reset_contained_reads st ~sub_lo ~sub_hi =
+  let rec walk a =
+    if a < sub_hi then begin
+      let _, ghi, v = Shadow_table.group st.rplane a ~hi:sub_hi in
+      (match v with
+       | Some rc
+         when rc.cstate <> Share_state.Race && rc.lo >= sub_lo && rc.hi <= sub_hi
+         ->
+         (match rc.r with
+          | Read_state.Vc _ ->
+            Accounting.add_vc st.account (-Read_state.bytes rc.r)
+          | Read_state.No_reads | Read_state.Ep _ -> ());
+         rc.r <- Read_state.No_reads
+       | Some _ | None -> ());
+      walk ghi
+    end
+  in
+  walk sub_lo
+
+let must_step c stimulus =
+  match Share_state.step c.cstate stimulus with
+  | Some s -> c.cstate <- s
+  | None -> assert false
+
+(* The sharing group dissolves on a race: every member location —
+   approximated as each maximal contiguous run of slots bound to the
+   cell — is reported (how the paper's dynamic detector can report
+   locations the fixed-granularity detectors do not) and the cell
+   parks in [Race]. *)
+let dissolve_and_report st ~write c ~current ~previous =
+  let pl = plane st ~write in
+  let run_lo = ref (-1) in
+  let flush run_hi =
+    if !run_lo >= 0 then begin
+      let r =
+        Report.make ~addr:!run_lo ~size:(run_hi - !run_lo) ~current ~previous
+          ~granule:(c.lo, c.hi) ()
+      in
+      ignore (Report.Collector.add st.collector r : bool);
+      run_lo := -1
+    end
+  in
+  let a = ref c.lo in
+  while !a < c.hi do
+    let slo, shi = Shadow_table.slot_bounds pl !a in
+    (match Shadow_table.get pl !a with
+     | Some c' when c' == c -> if !run_lo < 0 then run_lo := slo
+     | Some _ | None -> flush slo);
+    a := shi
+  done;
+  flush c.hi;
+  must_step c Share_state.Race_on_l
+
+(* Merge the (contiguous, hole-free) cell [l] into neighbour [nc]. *)
+let absorb st ~write ~into:nc l ~stimulus =
+  let pl = plane st ~write in
+  Shadow_table.set_range pl ~lo:l.lo ~hi:l.hi nc;
+  nc.lo <- min nc.lo l.lo;
+  nc.hi <- max nc.hi l.hi;
+  nc.refs <- nc.refs + l.refs;
+  must_step nc stimulus;
+  Accounting.bind_locations st.account l.refs;
+  retire st l
+
+(* First access to the uncovered range [ulo, uhi): create the location
+   and attempt the (temporary, Init-state) sharing of §III.A — or, in
+   the no-Init-state ablation, make the single firm decision now.  The
+   new location's history would be exactly "this epoch", so neighbour
+   eligibility is checked before allocating anything and a matching
+   neighbour is extended in place. *)
+let first_access st ~write ~ulo ~uhi ~here ~tid ~tvc ~loc =
+  let pl = plane st ~write in
+  let eligible nc =
+    (if write then Epoch.equal nc.w here else Read_state.same_epoch nc.r here)
+    &&
+    if st.init_state then Share_state.is_init nc.cstate
+    else Share_state.is_settled nc.cstate
+  in
+  let sharing_allowed =
+    st.sharing && ((not st.init_state) || st.init_sharing)
+  in
+  let candidate =
+    if not sharing_allowed then None
+    else
+      match Shadow_table.prev_neighbor pl ulo with
+      | Some (_, _, nc) when eligible nc -> Some nc
+      | _ -> (
+        match Shadow_table.next_neighbor pl (uhi - 1) with
+        | Some (_, _, nc) when eligible nc -> Some nc
+        | _ -> None)
+  in
+  match candidate with
+  | Some nc ->
+    Shadow_table.set_range pl ~lo:ulo ~hi:uhi nc;
+    nc.lo <- min nc.lo ulo;
+    nc.hi <- max nc.hi uhi;
+    nc.refs <- nc.refs + (uhi - ulo);
+    (* the cell's label stays that of its creating access: a shared
+       label is approximate either way, and overwriting it would let a
+       suppressed runtime label mask an application race *)
+    must_step nc
+      (if st.init_state then Share_state.Init_neighbor_matched
+       else Share_state.Adopted_by_neighbor);
+    Accounting.bind_locations st.account (uhi - ulo);
+    nc
+  | None ->
+    let l =
+      fresh_cell st ~lo:ulo ~hi:uhi ~born:here
+        ~state:
+          (if st.init_state then Share_state.Init_private
+           else Share_state.Private)
+    in
+    update_hist st ~write l ~tid ~tvc ~here ~loc;
+    Shadow_table.set_range pl ~lo:ulo ~hi:uhi l;
+    l
+
+(* Split [sub_lo, sub_hi) out of the Init cell [c] so the second-epoch
+   decision applies to exactly the accessed location. *)
+let split_off st ~write c ~sub_lo ~sub_hi =
+  if c.lo = sub_lo && c.hi = sub_hi && c.refs = sub_hi - sub_lo then c
+  else begin
+    let l = fresh_cell st ~lo:sub_lo ~hi:sub_hi ~born:c.born ~state:c.cstate in
+    l.w <- c.w;
+    l.r <-
+      (match c.r with
+       | Read_state.Vc v -> Read_state.Vc (Vector_clock.copy v)
+       | (Read_state.No_reads | Read_state.Ep _) as r -> r);
+    (match l.r with
+     | Read_state.Vc _ -> Accounting.add_vc st.account (Read_state.bytes l.r)
+     | Read_state.No_reads | Read_state.Ep _ -> ());
+    l.loc <- c.loc;
+    Shadow_table.set_range (plane st ~write) ~lo:sub_lo ~hi:sub_hi l;
+    c.refs <- c.refs - (sub_hi - sub_lo);
+    if c.lo = sub_lo then c.lo <- sub_hi;
+    if c.hi = sub_hi then c.hi <- sub_lo;
+    if c.refs <= 0 then retire st c;
+    l
+  end
+
+(* Second-epoch access: split, race-check, then the firm sharing
+   decision against the settled neighbours at the range boundaries. *)
+let second_epoch st ~write c ~sub_lo ~sub_hi ~here ~tid ~tvc ~loc ~current =
+  let pl = plane st ~write in
+  let l = split_off st ~write c ~sub_lo ~sub_hi in
+  match check_races st ~write ~cell:l ~sub_lo ~sub_hi ~tvc with
+  | Some previous ->
+    dissolve_and_report st ~write l ~current:(current ()) ~previous;
+    l
+  | None ->
+    update_hist st ~write l ~tid ~tvc ~here ~loc;
+    if write then reset_contained_reads st ~sub_lo ~sub_hi;
+    let write_guided a =
+      (* reads may share when the write plane is already shared across
+         the boundary and the neighbour has no conflicting read info *)
+      (not write) && st.write_guided_reads
+      &&
+      match (Shadow_table.get st.wplane a, Shadow_table.get st.wplane sub_lo) with
+      | Some wa, Some wb -> wa == wb
+      | (Some _ | None), _ -> false
+    in
+    let neighbor_at a =
+      match Shadow_table.get pl a with
+      | Some nc
+        when nc != l
+             && Share_state.is_settled nc.cstate
+             && (hist_equal ~write l nc
+                 || (write_guided a && nc.r = Read_state.No_reads)) -> Some nc
+      | Some _ | None -> None
+    in
+    let candidate =
+      if not st.sharing then None
+      else
+        match neighbor_at (sub_lo - 1) with
+        | Some nc -> Some nc
+        | None -> neighbor_at sub_hi
+    in
+    (match candidate with
+     | Some nc ->
+       absorb st ~write ~into:nc l ~stimulus:Share_state.Adopted_by_neighbor;
+       nc
+     | None ->
+       must_step l
+         (Share_state.Second_epoch_access { matching_settled_neighbor = false });
+       l)
+
+(* §VII extension: after k consecutive clock matches with a settled
+   neighbour, re-open the sharing decision for a Private cell. *)
+let try_reshare st ~write c =
+  if
+    st.reshare_after > 0
+    && c.cstate = Share_state.Private
+    && c.refs = c.hi - c.lo
+  then begin
+    let pl = plane st ~write in
+    let matching a =
+      match Shadow_table.get pl a with
+      | Some nc when nc != c && Share_state.is_settled nc.cstate && hist_equal ~write c nc ->
+        Some nc
+      | Some _ | None -> None
+    in
+    match
+      (match matching (c.lo - 1) with Some nc -> Some nc | None -> matching c.hi)
+    with
+    | Some nc ->
+      c.evidence <- c.evidence + 1;
+      if c.evidence >= st.reshare_after && nc.refs = nc.hi - nc.lo then
+        absorb st ~write ~into:nc c ~stimulus:Share_state.Adopted_by_neighbor
+    | None -> c.evidence <- 0
+  end
+
+(* Accesses after the firm decision: plain FastTrack on the cell. *)
+let steady st ~write c ~sub_lo ~sub_hi ~here ~tid ~tvc ~loc ~current =
+  let same_epoch =
+    if write then Epoch.equal c.w here else Read_state.same_epoch c.r here
+  in
+  if not same_epoch then begin
+    match check_races st ~write ~cell:c ~sub_lo ~sub_hi ~tvc with
+    | Some previous -> dissolve_and_report st ~write c ~current:(current ()) ~previous
+    | None ->
+      update_hist st ~write c ~tid ~tvc ~here ~loc;
+      if write then reset_contained_reads st ~sub_lo ~sub_hi;
+      try_reshare st ~write c
+  end
+
+let on_access st ~tid ~kind ~addr ~size ~loc =
+  st.stats.accesses <- st.stats.accesses + 1;
+  let write = kind = Event.Write in
+  if write then st.stats.writes <- st.stats.writes + 1
+  else st.stats.reads <- st.stats.reads + 1;
+  let bm = bitmap st tid in
+  if Epoch_bitmap.test bm ~write addr && Epoch_bitmap.test bm ~write (addr + size - 1)
+  then st.stats.same_epoch <- st.stats.same_epoch + 1
+  else begin
+    let tvc = Vc_env.clock_of st.env tid in
+    let here = Epoch.make ~tid ~clock:(Vector_clock.get tvc tid) in
+    let current () =
+      Race_info.current ~tid ~kind ~clock:(Epoch.clock here) ~loc
+    in
+    let pl = plane st ~write in
+    (* sub-word accesses switch the indexing arrays they touch to byte
+       slots (Fig. 4), so separately-protected packed fields never
+       share a shadow granule *)
+    Shadow_table.ensure_granularity pl ~addr ~size;
+    let access_hi = addr + size in
+    (* A settled hole-free cell is marked whole, so the rest of the
+       granule rides the same-epoch fast path for this epoch; Init
+       cells mark only the accessed group — they grow with every
+       access and re-marking the growing range would be quadratic. *)
+    let mark_covered c ~glo ~ghi =
+      if Share_state.is_settled c.cstate && c.refs = c.hi - c.lo then
+        Epoch_bitmap.mark bm ~write ~lo:c.lo ~hi:c.hi
+      else Epoch_bitmap.mark bm ~write ~lo:glo ~hi:ghi
+    in
+    let a = ref addr in
+    while !a < access_hi do
+      let glo, ghi, v = Shadow_table.group pl !a ~hi:access_hi in
+      (match v with
+       | None ->
+         let c = first_access st ~write ~ulo:glo ~uhi:ghi ~here ~tid ~tvc ~loc in
+         (match check_races st ~write ~cell:c ~sub_lo:glo ~sub_hi:ghi ~tvc with
+          | Some previous ->
+            dissolve_and_report st ~write c ~current:(current ()) ~previous
+          | None ->
+            if write then reset_contained_reads st ~sub_lo:glo ~sub_hi:ghi);
+         mark_covered c ~glo ~ghi
+       | Some c ->
+         let final =
+           if c.cstate = Share_state.Race then c
+           else if Share_state.is_init c.cstate then
+             if Epoch.equal here c.born then c (* first-epoch continuation *)
+             else
+               second_epoch st ~write c ~sub_lo:glo ~sub_hi:ghi ~here ~tid ~tvc
+                 ~loc ~current
+           else begin
+             steady st ~write c ~sub_lo:glo ~sub_hi:ghi ~here ~tid ~tvc ~loc
+               ~current;
+             c
+           end
+         in
+         mark_covered final ~glo ~ghi);
+      a := ghi
+    done
+  end
+
+let on_free st ~addr ~size =
+  st.stats.frees <- st.stats.frees + 1;
+  List.iter
+    (fun pl ->
+      Shadow_table.iter_range
+        (fun slo shi c ->
+          c.refs <- c.refs - (shi - slo);
+          if c.refs <= 0 then retire st c)
+        pl ~lo:addr ~hi:(addr + size);
+      Shadow_table.remove_range pl ~lo:addr ~hi:(addr + size))
+    [ st.rplane; st.wplane ]
+
+let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
+    ?(reshare_after = 0) ?(write_guided_reads = false)
+    ?(index = Shadow_table.Adaptive) ?name ?(suppression = Suppression.empty) () =
+  let account = Accounting.create () in
+  let st =
+    {
+      sharing;
+      init_state;
+      init_sharing;
+      reshare_after;
+      write_guided_reads;
+      env = Vc_env.create ();
+      rplane = Shadow_table.create ~mode:index ~account ();
+      wplane = Shadow_table.create ~mode:index ~account ();
+      bitmaps = Vec.create ();
+      account;
+      stats = Run_stats.create ();
+      collector = Report.Collector.create ~suppression ();
+    }
+  in
+  let on_boundary tid = Epoch_bitmap.reset (bitmap st tid) in
+  let on_event ev =
+    if Vc_env.handle st.env ev ~on_boundary then
+      st.stats.sync_ops <- st.stats.sync_ops + 1
+    else
+      match ev with
+      | Event.Access { tid; kind; addr; size; loc } ->
+        on_access st ~tid ~kind ~addr ~size ~loc
+      | Event.Alloc _ -> st.stats.allocs <- st.stats.allocs + 1
+      | Event.Free { addr; size; _ } -> on_free st ~addr ~size
+      | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Thread_exit _ -> ()
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> (
+      if not sharing then "ft-footprint"
+      else if reshare_after > 0 || write_guided_reads then "ft-dynamic-ext"
+      else
+        match (init_state, init_sharing) with
+        | true, true -> "ft-dynamic"
+        | true, false -> "ft-dynamic-no-init-sharing"
+        | false, _ -> "ft-dynamic-no-init-state")
+  in
+  {
+    Detector.name;
+    on_event;
+    finish = (fun () -> ());
+    collector = st.collector;
+    account = st.account;
+    stats = st.stats;
+  }

@@ -1,0 +1,181 @@
+open Dgrace_vclock
+open Dgrace_events
+open Dgrace_shadow
+module Vec = Dgrace_util.Vec
+
+type cell = {
+  mutable w : Epoch.t;
+  mutable w_loc : string;
+  mutable r : Read_state.t;
+  mutable r_loc : string;
+  mutable racy : bool;
+}
+
+(* cell record: header + 5 fields, plus the 8-byte "instruction pointer"
+   a C implementation would store per plane *)
+let cell_cost = 8 * (6 + 2)
+
+type state = {
+  granularity : int;
+  env : Vc_env.t;
+  shadow : cell Shadow_table.t;
+  bitmaps : Epoch_bitmap.t option Vec.t;  (* per thread *)
+  account : Accounting.t;
+  stats : Run_stats.t;
+  collector : Report.Collector.t;
+}
+
+let bitmap st tid =
+  while Vec.length st.bitmaps <= tid do
+    Vec.push st.bitmaps None
+  done;
+  match Vec.get st.bitmaps tid with
+  | Some b -> b
+  | None ->
+    let b = Epoch_bitmap.create ~account:st.account () in
+    Vec.set st.bitmaps tid (Some b);
+    b
+
+let fresh_cell st =
+  Accounting.vc_created st.account;
+  Accounting.bind_locations st.account 1;
+  Accounting.add_vc st.account cell_cost;
+  { w = Epoch.none; w_loc = ""; r = Read_state.No_reads; r_loc = ""; racy = false }
+
+let retire_cell st c =
+  Accounting.vc_freed st.account;
+  Accounting.add_vc st.account (-(cell_cost + Read_state.bytes c.r))
+
+let cell_at st a =
+  match Shadow_table.get st.shadow a with
+  | Some c -> c
+  | None ->
+    let c = fresh_cell st in
+    Shadow_table.set st.shadow a c;
+    c
+
+(* Update [c.r] for a read, keeping the vector-clock byte accounting in
+   step with inflation to the read-shared representation. *)
+let record_read st c ~tid ~tvc ~loc =
+  let before = Read_state.bytes c.r in
+  c.r <- Read_state.update c.r ~tid ~tvc;
+  c.r_loc <- loc;
+  let after = Read_state.bytes c.r in
+  if after <> before then Accounting.add_vc st.account (after - before)
+
+let report_race st ~slot_lo ~current ~previous =
+  let r =
+    Report.make ~addr:slot_lo ~size:st.granularity ~current ~previous
+      ~granule:(slot_lo, slot_lo + st.granularity) ()
+  in
+  ignore (Report.Collector.add st.collector r : bool)
+
+let on_access st ~tid ~kind ~addr ~size ~loc =
+  st.stats.accesses <- st.stats.accesses + 1;
+  let write = kind = Event.Write in
+  if write then st.stats.writes <- st.stats.writes + 1
+  else st.stats.reads <- st.stats.reads + 1;
+  let bm = bitmap st tid in
+  if Epoch_bitmap.test bm ~write addr && Epoch_bitmap.test bm ~write (addr + size - 1)
+  then st.stats.same_epoch <- st.stats.same_epoch + 1
+  else begin
+    let tvc = Vc_env.clock_of st.env tid in
+    let here = Epoch.make ~tid ~clock:(Vector_clock.get tvc tid) in
+    let g = st.granularity in
+    let lo = addr land lnot (g - 1) in
+    let hi = (addr + size + g - 1) land lnot (g - 1) in
+    let reported = ref false in
+    let race c ~previous ~slot_lo =
+      c.racy <- true;
+      if not !reported then begin
+        reported := true;
+        let current =
+          Race_info.current ~tid ~kind ~clock:(Epoch.clock here) ~loc
+        in
+        report_race st ~slot_lo ~current ~previous
+      end
+    in
+    let a = ref lo in
+    while !a < hi do
+      let slot_lo = !a in
+      let c = cell_at st slot_lo in
+      if not c.racy then begin
+        if write then begin
+          if not (Epoch.equal c.w here) then begin
+            if not (Vector_clock.epoch_leq c.w tvc) then
+              race c ~previous:(Race_info.of_write ~w:c.w ~loc:c.w_loc) ~slot_lo
+            else if not (Read_state.leq c.r tvc) then
+              race c
+                ~previous:(Race_info.of_read_state c.r ~against:tvc ~loc:c.r_loc)
+                ~slot_lo;
+            if not c.racy then begin
+              c.w <- here;
+              c.w_loc <- loc;
+              (* a write ordered after all reads lets the read history
+                 collapse back to the cheap representation *)
+              match c.r with
+              | Read_state.Vc _ ->
+                Accounting.add_vc st.account (-Read_state.bytes c.r);
+                c.r <- Read_state.No_reads
+              | Read_state.No_reads | Read_state.Ep _ -> ()
+            end
+          end
+        end
+        else if not (Read_state.same_epoch c.r here) then begin
+          if not (Vector_clock.epoch_leq c.w tvc) then
+            race c ~previous:(Race_info.of_write ~w:c.w ~loc:c.w_loc) ~slot_lo
+          else record_read st c ~tid ~tvc ~loc
+        end
+      end;
+      a := !a + g
+    done;
+    Epoch_bitmap.mark bm ~write ~lo:addr ~hi:(addr + size)
+  end
+
+let on_free st ~addr ~size =
+  st.stats.frees <- st.stats.frees + 1;
+  Shadow_table.iter_range
+    (fun _ _ c -> retire_cell st c)
+    st.shadow ~lo:addr ~hi:(addr + size);
+  Shadow_table.remove_range st.shadow ~lo:addr ~hi:(addr + size)
+
+let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
+  if granularity <= 0 || granularity land (granularity - 1) <> 0 then
+    invalid_arg "Fasttrack.create: granularity must be a power of two";
+  let account = Accounting.create () in
+  let st =
+    {
+      granularity;
+      env = Vc_env.create ();
+      shadow =
+        Shadow_table.create ~mode:(Shadow_table.Fixed_bytes granularity) ~account ();
+      bitmaps = Vec.create ();
+      account;
+      stats = Run_stats.create ();
+      collector = Report.Collector.create ~suppression ();
+    }
+  in
+  let on_boundary tid = Epoch_bitmap.reset (bitmap st tid) in
+  let on_event ev =
+    if Vc_env.handle st.env ev ~on_boundary then
+      st.stats.sync_ops <- st.stats.sync_ops + 1
+    else
+      match ev with
+      | Event.Access { tid; kind; addr; size; loc } ->
+        on_access st ~tid ~kind ~addr ~size ~loc
+      | Event.Alloc _ -> st.stats.allocs <- st.stats.allocs + 1
+      | Event.Free { addr; size; _ } -> on_free st ~addr ~size
+      | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Thread_exit _ -> ()
+  in
+  {
+    Detector.name =
+      (if granularity = 1 then "ft-byte"
+       else if granularity = 4 then "ft-word"
+       else Printf.sprintf "ft-%dB" granularity);
+    on_event;
+    finish = (fun () -> ());
+    collector = st.collector;
+    account = st.account;
+    stats = st.stats;
+  }

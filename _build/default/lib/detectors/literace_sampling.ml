@@ -1,0 +1,87 @@
+open Dgrace_events
+
+type region = {
+  mutable rate_log2 : int;  (* sample 1 access in 2^rate_log2 *)
+  mutable analysed : int;  (* analysed accesses since last decay *)
+  mutable counter : int;  (* deterministic sampling coin *)
+}
+
+type state = {
+  floor_log2 : int;
+  decay_every : int;
+  regions : (string, region) Hashtbl.t;
+  inner : Detector.t;
+  stats : Run_stats.t;
+}
+
+let region_of st loc =
+  match Hashtbl.find_opt st.regions loc with
+  | Some r -> r
+  | None ->
+    let r = { rate_log2 = 0; analysed = 0; counter = 0 } in
+    Hashtbl.replace st.regions loc r;
+    r
+
+(* deterministic sampling: the first of every 2^rate_log2 accesses *)
+let sampled st r =
+  let hit = r.counter land ((1 lsl r.rate_log2) - 1) = 0 in
+  r.counter <- r.counter + 1;
+  if hit then begin
+    r.analysed <- r.analysed + 1;
+    if r.analysed >= st.decay_every && r.rate_log2 < st.floor_log2 then begin
+      r.analysed <- 0;
+      r.rate_log2 <- r.rate_log2 + 1
+    end
+  end;
+  hit
+
+let create ?(floor_rate = 0.02) ?(decay_every = 64)
+    ?(suppression = Suppression.empty) () =
+  if floor_rate <= 0. || floor_rate > 1. then
+    invalid_arg "Literace_sampling.create: floor_rate must be in (0, 1]";
+  if decay_every < 1 then invalid_arg "Literace_sampling.create: decay_every < 1";
+  let floor_log2 =
+    int_of_float (ceil (-.log floor_rate /. log 2.))
+  in
+  let inner =
+    Dynamic_granularity.create ~sharing:false ~name:"ft-byte" ~suppression ()
+  in
+  let st =
+    {
+      floor_log2;
+      decay_every;
+      regions = Hashtbl.create 64;
+      inner;
+      stats = Run_stats.create ();
+    }
+  in
+  let on_event ev =
+    match ev with
+    | Event.Access { kind; loc; _ } ->
+      st.stats.accesses <- st.stats.accesses + 1;
+      if kind = Event.Write then st.stats.writes <- st.stats.writes + 1
+      else st.stats.reads <- st.stats.reads + 1;
+      let r = region_of st loc in
+      if sampled st r then st.inner.on_event ev
+      else
+        (* skipped entirely: LiteRace's unsoundness, counted here *)
+        st.stats.same_epoch <- st.stats.same_epoch + 1
+    | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
+    | Event.Thread_exit _ ->
+      st.stats.sync_ops <- st.stats.sync_ops + 1;
+      st.inner.on_event ev
+    | Event.Alloc _ ->
+      st.stats.allocs <- st.stats.allocs + 1;
+      st.inner.on_event ev
+    | Event.Free _ ->
+      st.stats.frees <- st.stats.frees + 1;
+      st.inner.on_event ev
+  in
+  {
+    Detector.name = "literace-sampling";
+    on_event;
+    finish = st.inner.finish;
+    collector = st.inner.collector;
+    account = st.inner.account;
+    stats = st.stats;
+  }

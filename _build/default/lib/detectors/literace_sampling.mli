@@ -1,0 +1,27 @@
+(** LiteRace-style sampling (Marino, Musuvathi & Narayanasamy, PLDI
+    2009), from the paper's §VI.
+
+    LiteRace instruments everything but {e analyses} only a sample of
+    accesses, guided by the cold-region hypothesis: rarely executed
+    code is more likely to hide races than hot code, so each code
+    region's sampling rate starts at 100% and decays as the region gets
+    hot, down to a floor.  Synchronisation operations are always
+    processed (the clocks must stay exact); skipped accesses simply
+    never reach the underlying detector — which is why sampling trades
+    coverage for speed and "may miss critical data races" (§VI).
+
+    We use the access's source-location label as the code region and
+    byte-granularity FastTrack underneath. *)
+
+open Dgrace_events
+
+val create :
+  ?floor_rate:float ->
+  ?decay_every:int ->
+  ?suppression:Suppression.t ->
+  unit ->
+  Detector.t
+(** Each region starts at rate 1.0; after every [decay_every] analysed
+    accesses from a region its rate halves, stopping at [floor_rate]
+    (defaults: 0.02 and 64).  Deterministic: the "coin" is a counter
+    per region, not a PRNG. *)

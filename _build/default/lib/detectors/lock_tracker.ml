@@ -1,0 +1,30 @@
+module Iset = Set.Make (Int)
+
+type t = { mutable held : Iset.t array }
+
+let create () = { held = Array.make 8 Iset.empty }
+
+let ensure t tid =
+  if tid >= Array.length t.held then begin
+    let a = Array.make (max (tid + 1) (2 * Array.length t.held)) Iset.empty in
+    Array.blit t.held 0 a 0 (Array.length t.held);
+    t.held <- a
+  end
+
+let acquire t ~tid ~lock =
+  ensure t tid;
+  t.held.(tid) <- Iset.add lock t.held.(tid)
+
+let release t ~tid ~lock =
+  ensure t tid;
+  t.held.(tid) <- Iset.remove lock t.held.(tid)
+
+let held t tid = if tid < Array.length t.held then t.held.(tid) else Iset.empty
+
+let handle t ev =
+  match ev with
+  | Dgrace_events.Event.Acquire { tid; lock; sync = Dgrace_events.Event.Lock } ->
+    acquire t ~tid ~lock
+  | Dgrace_events.Event.Release { tid; lock; sync = Dgrace_events.Event.Lock } ->
+    release t ~tid ~lock
+  | _ -> ()

@@ -1,0 +1,18 @@
+(** Tracks the set of locks each thread currently holds — the input to
+    the LockSet discipline (Eraser) and to the hybrid detector's
+    common-lock test. *)
+
+module Iset : Set.S with type elt = int
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> tid:int -> lock:int -> unit
+val release : t -> tid:int -> lock:int -> unit
+
+val held : t -> int -> Iset.t
+(** Locks currently held by the thread (empty if none). *)
+
+val handle : t -> Dgrace_events.Event.t -> unit
+(** Feed acquire/release events; ignores everything else. *)

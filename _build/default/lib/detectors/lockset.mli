@@ -1,0 +1,19 @@
+(** Eraser's LockSet algorithm (Savage et al., §I of the paper).
+
+    Each shared location carries a candidate set of locks that has
+    protected every access so far; the set is refined by intersection
+    with the accessing thread's held locks, and an empty candidate set
+    in the Shared-Modified state is reported as a (potential) race.
+    LockSet checks a {e discipline}, not the happens-before relation,
+    so it finds potential races on paths not exercised — and produces
+    the false alarms (fork/join ordering, unrecognised idioms) that
+    motivate the happens-before detectors this repository is about. *)
+
+open Dgrace_events
+
+val create :
+  ?granularity:int ->
+  ?suppression:Suppression.t ->
+  unit ->
+  Detector.t
+(** Granularity defaults to 4 (Eraser tracked word-sized shadow). *)

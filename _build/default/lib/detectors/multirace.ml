@@ -1,0 +1,54 @@
+open Dgrace_events
+
+(* potential-only counters, attached to the detector records we make *)
+let registry : (Detector.t * int ref) list ref = ref []
+
+let potential_only d =
+  match List.find_opt (fun (d', _) -> d' == d) !registry with
+  | Some (_, r) -> !r
+  | None -> 0
+
+let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
+  let hb = Djit.create ~granularity ~suppression:Suppression.empty () in
+  let ls = Lockset.create ~granularity ~suppression:Suppression.empty () in
+  let collector = Report.Collector.create ~suppression () in
+  let potential = ref 0 in
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      hb.finish ();
+      ls.finish ();
+      (* confirmed = happens-before races on discipline-violating
+         locations; everything else LockSet flagged is potential-only *)
+      let ls_granules =
+        List.map
+          (fun (r : Report.t) -> (r.granule_lo, r.granule_hi))
+          (Detector.races ls)
+      in
+      let overlaps (r : Report.t) =
+        List.exists (fun (lo, hi) -> r.granule_lo < hi && lo < r.granule_hi)
+          ls_granules
+      in
+      let confirmed = List.filter overlaps (Detector.races hb) in
+      List.iter
+        (fun r -> ignore (Report.Collector.add collector r : bool))
+        confirmed;
+      potential := Detector.race_count ls - Report.Collector.count collector
+    end
+  in
+  let d =
+    {
+      Detector.name = "multirace";
+      on_event =
+        (fun ev ->
+          hb.on_event ev;
+          ls.on_event ev);
+      finish;
+      collector;
+      account = hb.account;
+      stats = hb.stats;
+    }
+  in
+  registry := (d, potential) :: !registry;
+  d

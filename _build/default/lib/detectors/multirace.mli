@@ -1,0 +1,34 @@
+(** MultiRace (Pozniansky & Schuster, PPoPP 2003), from the paper's
+    §VI: DJIT+ combined with Eraser's LockSet.
+
+    The LockSet side cheaply flags {e potential} races (discipline
+    violations, including on paths not exercised); the happens-before
+    side confirms or refutes them for the observed execution.  Reports
+    are split accordingly:
+
+    - a location that is both discipline-violating {e and}
+      happens-before concurrent is a confirmed race (reported through
+      the collector, like every other detector here);
+    - a discipline violation that happens-before ordering explains away
+      is a {e potential} race only, counted in {!potential_only} — the
+      false alarms Eraser alone would have raised.
+
+    The detector also inherits LockSet's blind spot the other way
+    around: it never reports a happens-before race that respects some
+    locking discipline... there is none — any HB race on a
+    lock-disciplined location is impossible, so confirmed = HB ∩
+    LockSet is exactly DJIT+'s verdict restricted to
+    discipline-violating locations. *)
+
+open Dgrace_events
+
+val create :
+  ?granularity:int ->
+  ?suppression:Suppression.t ->
+  unit ->
+  Detector.t
+(** Granularity defaults to 4 bytes as in MultiRace's "view" units. *)
+
+val potential_only : Detector.t -> int
+(** Discipline violations that were happens-before ordered (Eraser-only
+    false alarms), for a detector made by {!create}; 0 for others. *)

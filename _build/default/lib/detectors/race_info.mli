@@ -1,0 +1,18 @@
+(** Helpers for constructing the two endpoints of a race report from
+    shadow state, shared by the happens-before detectors. *)
+
+open Dgrace_vclock
+open Dgrace_events
+
+val current : tid:int -> kind:Event.access_kind -> clock:int -> loc:string -> Report.endpoint
+
+val of_write : w:Epoch.t -> loc:string -> Report.endpoint
+(** Previous-access endpoint from a write epoch. *)
+
+val of_read_state : Read_state.t -> against:Vector_clock.t -> loc:string -> Report.endpoint
+(** Previous-access endpoint from a read state, choosing — when the
+    state is a full vector clock — a thread whose read is not ordered
+    before [against] (there is one whenever this is called on a race). *)
+
+val conflicting_tid : Vector_clock.t -> against:Vector_clock.t -> int
+(** Some thread id [j] with [v(j) > against(j)], or [-1] if none. *)

@@ -1,0 +1,39 @@
+(** FastTrack's adaptive read representation.
+
+    Writes to a location are totally ordered until the first race, so a
+    single epoch suffices for the write history.  Reads are not: after
+    a read-shared pattern (several threads reading without ordering)
+    the full vector clock is needed.  This module is the adaptive
+    [None | Epoch | Vc] representation together with the FastTrack read
+    rules (§II.C of the paper, rules READ EXCLUSIVE / READ SHARE /
+    READ SHARED of the FastTrack paper). *)
+
+open Dgrace_vclock
+
+type t =
+  | No_reads  (** never read (or reset by a dominating write) *)
+  | Ep of Epoch.t  (** all reads ordered; last one was this epoch *)
+  | Vc of Vector_clock.t  (** read-shared: per-thread last read clocks *)
+
+val equal : t -> t -> bool
+(** Structural equality — the "same vector clock" test used by sharing
+    decisions. *)
+
+val leq : t -> Vector_clock.t -> bool
+(** Do all recorded reads happen before the given thread clock?  The
+    read-write race check is the negation. *)
+
+val same_epoch : t -> Epoch.t -> bool
+(** Is the last recorded read exactly this epoch (FastTrack's O(1)
+    same-epoch read fast path)? *)
+
+val update : t -> tid:int -> tvc:Vector_clock.t -> t
+(** Record a read by [tid] whose thread clock is [tvc]: stays an epoch
+    when the previous reads are ordered before this one, inflates to a
+    vector clock otherwise.  May mutate and return the existing [Vc]. *)
+
+val bytes : t -> int
+(** Storage attributed to this representation beyond the cell record
+    (0 for [No_reads]/[Ep], the clock footprint for [Vc]). *)
+
+val pp : Format.formatter -> t -> unit

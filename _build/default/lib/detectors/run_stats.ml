@@ -1,0 +1,24 @@
+type t = {
+  mutable accesses : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable same_epoch : int;
+  mutable sync_ops : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let create () =
+  { accesses = 0; reads = 0; writes = 0; same_epoch = 0; sync_ops = 0;
+    allocs = 0; frees = 0 }
+
+let same_epoch_ratio t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.same_epoch /. float_of_int t.accesses
+
+let pp ppf t =
+  Format.fprintf ppf
+    "accesses=%d (r=%d w=%d) same-epoch=%d (%.0f%%) sync=%d alloc=%d free=%d"
+    t.accesses t.reads t.writes t.same_epoch
+    (100. *. same_epoch_ratio t)
+    t.sync_ops t.allocs t.frees

@@ -1,0 +1,24 @@
+(** Counters every detector keeps while consuming an event stream.
+
+    These feed the evaluation tables: total shared accesses (Table 1),
+    the fraction filtered as same-epoch accesses (Table 4), and basic
+    stream composition. *)
+
+type t = {
+  mutable accesses : int;  (** shared access events processed *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable same_epoch : int;
+      (** accesses dismissed by the same-epoch fast path (thread-local
+          bitmap hit or epoch-equal shadow state) *)
+  mutable sync_ops : int;  (** acquire/release/fork/join events *)
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+val create : unit -> t
+
+val same_epoch_ratio : t -> float
+(** [same_epoch / accesses] in [0..1] (0 when no accesses). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** The vector-clock sharing state machine of the paper's Figure 2.
+
+    Every read or write shadow cell carries one of these states.  The
+    [Init] states cover the location's first epoch (the initialisation
+    approximation); the firm sharing decision is made at the second
+    epoch access; [Race] is absorbing.  The machine is kept as a pure
+    transition function so every arrow of Figure 2 can be unit-tested
+    independently of the detector. *)
+
+type t =
+  | Init_private
+      (** first epoch, no neighbour shares the clock yet
+          (Fig. 2 "1st-Epoch-Private") *)
+  | Init_shared
+      (** first epoch, clock temporarily shared with an [Init]
+          neighbour (Fig. 2 "1st-Epoch-Shared") *)
+  | Shared  (** firm decision: clock shared with a neighbour *)
+  | Private  (** firm decision: private clock *)
+  | Race  (** a race was detected on the location; absorbing *)
+
+(** The stimuli of Figure 2, from the perspective of one location [L]. *)
+type stimulus =
+  | First_access of { matching_init_neighbor : bool }
+      (** initial transition; only valid from no state (we encode this
+          by stepping from [Init_private]) *)
+  | Init_neighbor_matched
+      (** a neighbouring location was initiated with the same clock
+          while [L] is still in its first epoch *)
+  | Second_epoch_access of { matching_settled_neighbor : bool }
+      (** the second-epoch access: [matching_settled_neighbor] is true
+          when a neighbour in [Shared]/[Private] carries an equal
+          clock *)
+  | Adopted_by_neighbor
+      (** another location's second-epoch decision picked [L]'s clock:
+          [Private] becomes [Shared] *)
+  | Race_on_l  (** a data race was detected on [L] *)
+  | Sharing_dissolved
+      (** the clock [L] was sharing raced on another member; [L]
+          receives a private clock in state [Race] *)
+
+val initial : matching_init_neighbor:bool -> t
+(** State after the first access ([Init_shared] if an [Init] neighbour
+    already carries the same clock, else [Init_private]). *)
+
+val step : t -> stimulus -> t option
+(** [step s x] is the successor state, or [None] when Figure 2 has no
+    such arrow (the detector treats [None] as a programming error). *)
+
+val is_init : t -> bool
+val is_settled : t -> bool
+(** [Shared] or [Private] — eligible as a second-epoch sharing target. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,76 @@
+open Dgrace_vclock
+open Dgrace_events
+module Vec = Dgrace_util.Vec
+
+type t = {
+  threads : Vector_clock.t option Vec.t;  (* indexed by tid *)
+  locks : (int, Vector_clock.t) Hashtbl.t;
+}
+
+let create () = { threads = Vec.create (); locks = Hashtbl.create 64 }
+
+let clock_of t tid =
+  while Vec.length t.threads <= tid do
+    Vec.push t.threads None
+  done;
+  match Vec.get t.threads tid with
+  | Some vc -> vc
+  | None ->
+    let vc = Vector_clock.create () in
+    Vector_clock.set vc tid 1;
+    Vec.set t.threads tid (Some vc);
+    vc
+
+let epoch_of t tid =
+  let vc = clock_of t tid in
+  Epoch.make ~tid ~clock:(Vector_clock.get vc tid)
+
+let thread_count t = Vec.length t.threads
+
+let lock_vc t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some vc -> vc
+  | None ->
+    let vc = Vector_clock.create () in
+    Hashtbl.replace t.locks lock vc;
+    vc
+
+let acquire t ~tid ~lock = Vector_clock.join (clock_of t tid) (lock_vc t lock)
+
+let release t ~tid ~lock =
+  let c = clock_of t tid in
+  Vector_clock.join (lock_vc t lock) c;
+  Vector_clock.tick c tid
+
+let fork t ~parent ~child =
+  Vector_clock.join (clock_of t child) (clock_of t parent);
+  Vector_clock.tick (clock_of t parent) parent
+
+let join t ~parent ~child =
+  Vector_clock.join (clock_of t parent) (clock_of t child)
+
+let handle t ev ~on_boundary =
+  match ev with
+  | Event.Acquire { tid; lock; sync = _ } ->
+    acquire t ~tid ~lock;
+    true
+  | Event.Release { tid; lock; sync = _ } ->
+    release t ~tid ~lock;
+    on_boundary tid;
+    true
+  | Event.Fork { parent; child } ->
+    fork t ~parent ~child;
+    on_boundary parent;
+    true
+  | Event.Join { parent; child } ->
+    join t ~parent ~child;
+    true
+  | Event.Thread_exit { tid } ->
+    (* final epoch boundary so a subsequent join sees a settled clock *)
+    Vector_clock.tick (clock_of t tid) tid;
+    on_boundary tid;
+    true
+  | Event.Access _ | Event.Alloc _ | Event.Free _ -> false
+
+let lock_vc_bytes t =
+  Hashtbl.fold (fun _ vc acc -> acc + (8 * Vector_clock.heap_words vc)) t.locks 0

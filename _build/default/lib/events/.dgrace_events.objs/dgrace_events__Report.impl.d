@@ -1,0 +1,1 @@
+lib/events/report.ml: Event Format Hashtbl List Printf Suppression

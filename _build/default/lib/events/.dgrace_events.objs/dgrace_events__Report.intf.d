@@ -1,0 +1,1 @@
+lib/events/report.mli: Event Format Suppression

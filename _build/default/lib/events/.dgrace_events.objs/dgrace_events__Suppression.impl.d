@@ -1,0 +1,1 @@
+lib/events/suppression.ml: List String

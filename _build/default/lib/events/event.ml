@@ -1,0 +1,45 @@
+type access_kind = Read | Write
+type sync_kind = Lock | Barrier | Flag | Atomic
+
+type t =
+  | Access of { tid : int; kind : access_kind; addr : int; size : int; loc : string }
+  | Acquire of { tid : int; lock : int; sync : sync_kind }
+  | Release of { tid : int; lock : int; sync : sync_kind }
+  | Fork of { parent : int; child : int }
+  | Join of { parent : int; child : int }
+  | Alloc of { tid : int; addr : int; size : int }
+  | Free of { tid : int; addr : int; size : int }
+  | Thread_exit of { tid : int }
+
+let pp_access_kind ppf = function
+  | Read -> Format.pp_print_char ppf 'R'
+  | Write -> Format.pp_print_char ppf 'W'
+
+let sync_prefix = function
+  | Lock -> "l"
+  | Barrier -> "b"
+  | Flag -> "f"
+  | Atomic -> "a"
+
+let pp ppf = function
+  | Access { tid; kind; addr; size; loc } ->
+    Format.fprintf ppf "%a t%d 0x%x+%d%s" pp_access_kind kind tid addr size
+      (if loc = "" then "" else Printf.sprintf " (%s)" loc)
+  | Acquire { tid; lock; sync } ->
+    Format.fprintf ppf "acq t%d %s%d" tid (sync_prefix sync) lock
+  | Release { tid; lock; sync } ->
+    Format.fprintf ppf "rel t%d %s%d" tid (sync_prefix sync) lock
+  | Fork { parent; child } -> Format.fprintf ppf "fork t%d -> t%d" parent child
+  | Join { parent; child } -> Format.fprintf ppf "join t%d <- t%d" parent child
+  | Alloc { tid; addr; size } -> Format.fprintf ppf "alloc t%d 0x%x+%d" tid addr size
+  | Free { tid; addr; size } -> Format.fprintf ppf "free t%d 0x%x+%d" tid addr size
+  | Thread_exit { tid } -> Format.fprintf ppf "exit t%d" tid
+
+let to_string e = Format.asprintf "%a" pp e
+
+let tid = function
+  | Access { tid; _ } | Acquire { tid; _ } | Release { tid; _ }
+  | Alloc { tid; _ } | Free { tid; _ } | Thread_exit { tid } -> tid
+  | Fork { parent; _ } | Join { parent; _ } -> parent
+
+let is_access = function Access _ -> true | _ -> false

@@ -1,0 +1,56 @@
+(** The per-operation event stream a detector consumes.
+
+    This is the OCaml equivalent of the analysis callbacks a PIN tool
+    registers: one event per shared memory access and one per
+    synchronisation operation, in a single global order chosen by the
+    simulator's scheduler.  Addresses are byte addresses in the
+    simulated address space; [size] is the access width in bytes. *)
+
+type access_kind = Read | Write
+
+type sync_kind =
+  | Lock  (** a mutex: participates in LockSet disciplines *)
+  | Barrier  (** barrier arrival/departure *)
+  | Flag  (** event-flag signal/wait (condition-variable style) *)
+  | Atomic  (** C11-atomic style per-address synchronisation *)
+(** What kind of sync object an acquire/release is on.  All kinds give
+    the same happens-before edge; lockset-based detectors only treat
+    [Lock] as a lock (a real tool knows the pthread API that was
+    called, so the event stream records it too). *)
+
+type t =
+  | Access of {
+      tid : int;
+      kind : access_kind;
+      addr : int;
+      size : int;
+      loc : string;  (** source-location label, for race reports *)
+    }
+  | Acquire of { tid : int; lock : int; sync : sync_kind }
+      (** acquire side of a happens-before edge; [lock] is the sync
+          object id *)
+  | Release of { tid : int; lock : int; sync : sync_kind }
+  | Fork of { parent : int; child : int }
+      (** thread creation: everything the parent did so far
+          happens-before everything the child does *)
+  | Join of { parent : int; child : int }
+      (** thread join: everything the child did happens-before
+          everything the parent does next *)
+  | Alloc of { tid : int; addr : int; size : int }
+      (** dynamic allocation of [addr .. addr+size-1] *)
+  | Free of { tid : int; addr : int; size : int }
+      (** deallocation; detectors drop shadow state for the range *)
+  | Thread_exit of { tid : int }
+
+val pp_access_kind : Format.formatter -> access_kind -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering, e.g. [W t2 0x1a40+4 (worker:update)]. *)
+
+val to_string : t -> string
+
+val tid : t -> int
+(** The thread performing the event ([parent] for fork/join). *)
+
+val is_access : t -> bool
+(** True for [Access _]. *)

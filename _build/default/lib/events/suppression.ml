@@ -1,0 +1,30 @@
+type rule = Loc_prefix of string | Addr_range of int * int
+
+type t = { rules : rule list }
+
+let empty = { rules = [] }
+let of_rules rules = { rules }
+
+let default_runtime =
+  of_rules [ Loc_prefix "libc:"; Loc_prefix "ld:"; Loc_prefix "pthread:" ]
+
+let add t r = { rules = r :: t.rules }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let matches t ~addr ~locs =
+  let addr_hit =
+    List.exists
+      (function Addr_range (lo, hi) -> addr >= lo && addr < hi | Loc_prefix _ -> false)
+      t.rules
+  in
+  let loc_hit l =
+    List.exists
+      (function Loc_prefix p -> starts_with ~prefix:p l | Addr_range _ -> false)
+      t.rules
+  in
+  (* a race is runtime-internal only when every endpoint is *)
+  addr_hit || (locs <> [] && List.for_all loc_hit locs)
+let rules t = t.rules

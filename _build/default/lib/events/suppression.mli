@@ -1,0 +1,36 @@
+(** Suppression rules for race reports.
+
+    Industrial detectors ship suppression files for known-benign races
+    in runtime libraries (DRD suppresses libc/ld by default; the paper
+    applies the same rules to its detector, §V.C).  A rule matches on
+    the source-location label of either endpoint. *)
+
+type rule =
+  | Loc_prefix of string
+      (** contributes to suppression when an endpoint's location label
+          starts with the given prefix, e.g. [Loc_prefix "libc:"]; a
+          race is suppressed only when {e every} endpoint matches some
+          prefix rule (a race between application code and runtime
+          code is still an application race) *)
+  | Addr_range of int * int
+      (** suppress races whose address falls in [\[lo, hi)] *)
+
+type t
+
+val empty : t
+(** Suppresses nothing. *)
+
+val of_rules : rule list -> t
+
+val default_runtime : t
+(** The DRD-like default: suppresses labels prefixed ["libc:"],
+    ["ld:"] and ["pthread:"]. *)
+
+val add : t -> rule -> t
+
+val matches : t -> addr:int -> locs:string list -> bool
+(** [matches t ~addr ~locs] is true when the race should be hidden:
+    [addr] falls in a suppressed range, or every endpoint label in
+    [locs] matches a prefix rule. *)
+
+val rules : t -> rule list

@@ -1,0 +1,1 @@
+lib/shadow/accounting.ml:

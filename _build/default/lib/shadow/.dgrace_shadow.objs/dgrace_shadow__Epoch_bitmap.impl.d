@@ -1,0 +1,1 @@
+lib/shadow/epoch_bitmap.ml: Accounting Bytes Char Hashtbl

@@ -1,0 +1,1 @@
+lib/shadow/epoch_bitmap.mli: Accounting

@@ -1,0 +1,96 @@
+type t = {
+  block : int;
+  chunks : (int, Bytes.t) Hashtbl.t;  (* block base -> 2 bits per address *)
+  account : Accounting.t option;
+  mutable bytes : int;
+  (* one-chunk cache: accesses cluster heavily *)
+  mutable cached_base : int;
+  mutable cached_chunk : Bytes.t;
+}
+
+let create ?(block = 1024) ?account () =
+  if block <= 0 || block land (block - 1) <> 0 then
+    invalid_arg "Epoch_bitmap.create: block not a power of two";
+  { block; chunks = Hashtbl.create 64; account; bytes = 0;
+    cached_base = min_int; cached_chunk = Bytes.empty }
+
+let account_delta t d =
+  t.bytes <- t.bytes + d;
+  match t.account with Some a -> Accounting.add_bitmap a d | None -> ()
+
+(* 2 bits per address: bit 0 = read plane, bit 1 = write plane *)
+let chunk_bytes t = t.block / 4
+
+let chunk t addr =
+  let base = addr land lnot (t.block - 1) in
+  if base = t.cached_base then t.cached_chunk
+  else begin
+    let c =
+      match Hashtbl.find_opt t.chunks base with
+      | Some c -> c
+      | None ->
+        let c = Bytes.make (chunk_bytes t) '\000' in
+        Hashtbl.replace t.chunks base c;
+        account_delta t (chunk_bytes t + 16);
+        c
+    in
+    t.cached_base <- base;
+    t.cached_chunk <- c;
+    c
+  end
+
+let plane_bit write = if write then 2 else 1
+
+let orset c i m =
+  let b = Char.code (Bytes.get c i) in
+  if b lor m <> b then Bytes.set c i (Char.chr (b lor m))
+
+(* Marking can cover whole shared granules, so it works byte-at-a-time
+   on the chunk (4 addresses per byte) rather than per address. *)
+let mark t ~write ~lo ~hi =
+  let bit = plane_bit write in
+  let pattern = bit * 0x55 in
+  let addr = ref lo in
+  while !addr < hi do
+    let base = !addr land lnot (t.block - 1) in
+    let c = chunk t !addr in
+    let upper = min hi (base + t.block) in
+    let off0 = !addr - base and off1 = upper - base in
+    let head_end = min off1 ((off0 + 3) land lnot 3) in
+    for o = off0 to head_end - 1 do
+      orset c (o lsr 2) (bit lsl ((o land 3) * 2))
+    done;
+    let body_end = off1 land lnot 3 in
+    let o = ref head_end in
+    while !o < body_end do
+      orset c (!o lsr 2) pattern;
+      o := !o + 4
+    done;
+    for o = max body_end head_end to off1 - 1 do
+      orset c (o lsr 2) (bit lsl ((o land 3) * 2))
+    done;
+    addr := upper
+  done
+
+let test t ~write addr =
+  let base = addr land lnot (t.block - 1) in
+  let c =
+    if base = t.cached_base then Some t.cached_chunk
+    else Hashtbl.find_opt t.chunks base
+  in
+  match c with
+  | None -> false
+  | Some c ->
+    let off = addr land (t.block - 1) in
+    let i = off lsr 2 and shift = (off land 3) * 2 in
+    let b = Char.code (Bytes.get c i) in
+    b land (plane_bit write lsl shift) <> 0
+
+let reset t =
+  let n = Hashtbl.length t.chunks in
+  Hashtbl.reset t.chunks;
+  t.cached_base <- min_int;
+  t.cached_chunk <- Bytes.empty;
+  account_delta t (-n * (chunk_bytes t + 16))
+
+let bytes t = t.bytes

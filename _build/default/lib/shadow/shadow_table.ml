@@ -1,0 +1,320 @@
+type mode = Fixed_bytes of int | Adaptive
+
+type 'a entry = {
+  base : int;
+  mutable slot_bytes : int;
+  mutable slots : 'a option array;
+}
+
+type 'a t = {
+  block : int;
+  tmode : mode;
+  table : (int, 'a entry) Hashtbl.t;
+  account : Accounting.t option;
+  mutable bytes : int;
+  (* one-entry lookup cache: accesses are overwhelmingly sequential *)
+  mutable cached : 'a entry option;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let initial_slot_bytes = function
+  | Fixed_bytes g -> g
+  | Adaptive -> 4
+
+let create ?(block = 128) ~mode ?account () =
+  if not (is_pow2 block) then invalid_arg "Shadow_table.create: block not a power of two";
+  let g = initial_slot_bytes mode in
+  if not (is_pow2 g) || g > block then
+    invalid_arg "Shadow_table.create: bad slot size";
+  { block; tmode = mode; table = Hashtbl.create 256; account; bytes = 0;
+    cached = None }
+
+let mode t = t.tmode
+let block t = t.block
+
+(* entry record (4 words) + array header (1 word) + one word per slot *)
+let entry_bytes nslots = 8 * (5 + nslots)
+
+let account_delta t d =
+  t.bytes <- t.bytes + d;
+  match t.account with Some a -> Accounting.add_hash a d | None -> ()
+
+let base_of t addr = addr land lnot (t.block - 1)
+
+let find_entry t addr =
+  let base = base_of t addr in
+  match t.cached with
+  | Some e when e.base = base -> t.cached
+  | _ ->
+    let r = Hashtbl.find_opt t.table base in
+    (match r with Some _ -> t.cached <- r | None -> ());
+    r
+
+let make_entry ?gran t addr =
+  let base = base_of t addr in
+  let g =
+    match gran with
+    | Some g -> g
+    | None -> (
+      match t.tmode with
+      | Fixed_bytes g -> g
+      | Adaptive -> if addr land 1 = 1 then 1 else 4)
+  in
+  let nslots = t.block / g in
+  let e = { base; slot_bytes = g; slots = Array.make nslots None } in
+  Hashtbl.replace t.table base e;
+  t.cached <- Some e;
+  account_delta t (entry_bytes nslots);
+  e
+
+let expand e t =
+  (* word slots -> byte slots: every byte inherits its word's pointer *)
+  let old = e.slots in
+  let oldg = e.slot_bytes in
+  let nslots = t.block in
+  let slots = Array.make nslots None in
+  Array.iteri
+    (fun i v ->
+      if v <> None then
+        for j = i * oldg to ((i + 1) * oldg) - 1 do
+          slots.(j) <- v
+        done)
+    old;
+  account_delta t (entry_bytes nslots - entry_bytes (Array.length old));
+  e.slots <- slots;
+  e.slot_bytes <- 1
+
+let ensure_granularity t ~addr ~size =
+  match t.tmode with
+  | Fixed_bytes _ -> ()
+  | Adaptive ->
+    let sub_word = size < 4 || addr land 3 <> 0 in
+    if sub_word then begin
+      let a = ref addr in
+      let hi = addr + size in
+      while !a < hi do
+        (match find_entry t !a with
+         | Some e when e.slot_bytes > 1 -> expand e t
+         | Some _ -> ()
+         | None -> ignore (make_entry ~gran:1 t !a : _ entry));
+        a := base_of t !a + t.block
+      done
+    end
+
+let slot_bounds t addr =
+  let g =
+    match find_entry t addr with
+    | Some e -> e.slot_bytes
+    | None -> (
+      match t.tmode with
+      | Fixed_bytes g -> g
+      | Adaptive -> if addr land 1 = 1 then 1 else 4)
+  in
+  let lo = addr land lnot (g - 1) in
+  (lo, lo + g)
+
+let slot_index e addr = (addr - e.base) / e.slot_bytes
+
+let get t addr =
+  match find_entry t addr with
+  | None -> None
+  | Some e -> e.slots.(slot_index e addr)
+
+let set t addr v =
+  let e = match find_entry t addr with Some e -> e | None -> make_entry t addr in
+  (match t.tmode with
+   | Adaptive when addr land 1 = 1 && e.slot_bytes > 1 -> expand e t
+   | _ -> ());
+  e.slots.(slot_index e addr) <- Some v
+
+let drop_if_empty t e =
+  if Array.for_all (fun v -> v = None) e.slots then begin
+    Hashtbl.remove t.table e.base;
+    (match t.cached with
+     | Some c when c == e -> t.cached <- None
+     | Some _ | None -> ());
+    account_delta t (-entry_bytes (Array.length e.slots))
+  end
+
+let set_range t ~lo ~hi v =
+  if hi > lo then begin
+    let addr = ref lo in
+    while !addr < hi do
+      let e =
+        match find_entry t !addr with Some e -> e | None -> make_entry t !addr
+      in
+      let block_hi = e.base + t.block in
+      let upper = min hi block_hi in
+      let i0 = slot_index e !addr in
+      let i1 = slot_index e (upper - 1) in
+      for i = i0 to i1 do
+        e.slots.(i) <- Some v
+      done;
+      addr := block_hi
+    done
+  end
+
+let remove_range t ~lo ~hi =
+  if hi > lo then begin
+    let addr = ref lo in
+    while !addr < hi do
+      (match find_entry t !addr with
+       | None -> ()
+       | Some e ->
+         let block_hi = e.base + t.block in
+         let upper = min hi block_hi in
+         let i0 = slot_index e !addr in
+         let i1 = slot_index e (upper - 1) in
+         for i = i0 to i1 do
+           e.slots.(i) <- None
+         done;
+         drop_if_empty t e);
+      addr := base_of t !addr + t.block
+    done
+  end
+
+(* Neighbour searches are bounded: a "neighbouring" location more than
+   [scan_limit] slots away is not worth sharing with, and unbounded
+   scans over sparse entries would dominate the per-access cost. *)
+let scan_limit = 4
+
+(* Rightmost non-empty slot in [e] with index <= [i]; None if all empty. *)
+let scan_left e i =
+  let stop = max 0 (i - scan_limit + 1) in
+  let rec loop i =
+    if i < stop then None
+    else
+      match e.slots.(i) with
+      | Some v ->
+        let lo = e.base + (i * e.slot_bytes) in
+        Some (lo, lo + e.slot_bytes, v)
+      | None -> loop (i - 1)
+  in
+  loop (min i (Array.length e.slots - 1))
+
+let scan_right e i =
+  let n = Array.length e.slots in
+  let stop = min (n - 1) (i + scan_limit - 1) in
+  let rec loop i =
+    if i > stop then None
+    else
+      match e.slots.(i) with
+      | Some v ->
+        let lo = e.base + (i * e.slot_bytes) in
+        Some (lo, lo + e.slot_bytes, v)
+      | None -> loop (i + 1)
+  in
+  loop (max i 0)
+
+let prev_neighbor t addr =
+  let here =
+    match find_entry t addr with
+    | Some e ->
+      let i = slot_index e addr in
+      scan_left e (i - 1)
+    | None -> None
+  in
+  match here with
+  | Some _ as r -> r
+  | None -> (
+    let prev_base = base_of t addr - t.block in
+    match Hashtbl.find_opt t.table prev_base with
+    | None -> None
+    | Some e -> scan_left e (Array.length e.slots - 1))
+
+let next_neighbor t addr =
+  let here =
+    match find_entry t addr with
+    | Some e ->
+      let i = slot_index e addr in
+      scan_right e (i + 1)
+    | None -> None
+  in
+  match here with
+  | Some _ as r -> r
+  | None -> (
+    let next_base = base_of t addr + t.block in
+    match Hashtbl.find_opt t.table next_base with
+    | None -> None
+    | Some e -> scan_right e 0)
+
+(* Maximal run of consecutive slots starting at [addr]'s slot that all
+   hold the same value (or are all empty), clipped to the first slot
+   boundary at or after [hi].  One entry lookup per block touched. *)
+let group t addr ~hi =
+  let same v w =
+    match (v, w) with
+    | None, None -> true
+    | Some a, Some b -> a == b
+    | (None | Some _), _ -> false
+  in
+  let default_g =
+    match t.tmode with Fixed_bytes g -> g | Adaptive -> 4
+  in
+  let start_entry = find_entry t addr in
+  let g0 =
+    match start_entry with Some e -> e.slot_bytes | None -> default_g
+  in
+  let glo = addr land lnot (g0 - 1) in
+  let v = match start_entry with None -> None | Some e -> e.slots.(slot_index e addr) in
+  let rec walk_entry cur entry =
+    (* cur is slot-aligned within [entry]'s block (or entry is None) *)
+    match entry with
+    | None ->
+      if not (same v None) then cur
+      else begin
+        let block_hi = base_of t cur + t.block in
+        if block_hi >= hi then (hi + default_g - 1) land lnot (default_g - 1)
+        else walk_entry block_hi (find_entry t block_hi)
+      end
+    | Some e ->
+      let block_hi = e.base + t.block in
+      let rec slots cur =
+        if cur >= hi then (cur + e.slot_bytes - 1) land lnot (e.slot_bytes - 1)
+        else if cur >= block_hi then walk_entry cur (find_entry t cur)
+        else if same v e.slots.(slot_index e cur) then slots (cur + e.slot_bytes)
+        else cur
+      in
+      slots cur
+  in
+  let ghi = walk_entry (glo + g0) start_entry in
+  (glo, max ghi (glo + g0), v)
+
+let iter f t =
+  Hashtbl.iter
+    (fun _ e ->
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Some v ->
+            let lo = e.base + (i * e.slot_bytes) in
+            f lo (lo + e.slot_bytes) v
+          | None -> ())
+        e.slots)
+    t.table
+
+let iter_range f t ~lo ~hi =
+  if hi > lo then begin
+    let addr = ref lo in
+    while !addr < hi do
+      (match find_entry t !addr with
+       | None -> ()
+       | Some e ->
+         let block_hi = e.base + t.block in
+         let upper = min hi block_hi in
+         let i0 = slot_index e !addr in
+         let i1 = slot_index e (upper - 1) in
+         for i = i0 to i1 do
+           match e.slots.(i) with
+           | Some v ->
+             let slot_lo = e.base + (i * e.slot_bytes) in
+             f slot_lo (slot_lo + e.slot_bytes) v
+           | None -> ()
+         done);
+      addr := base_of t !addr + t.block
+    done
+  end
+
+let entry_count t = Hashtbl.length t.table
+let bytes t = t.bytes

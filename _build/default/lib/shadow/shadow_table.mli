@@ -1,0 +1,90 @@
+(** The shadow-memory indexing structure of the paper's Figure 4.
+
+    A chained hash table maps the upper bits of an address to an entry
+    covering a [block]-byte aligned region (default m = 128 bytes).
+    Each entry holds an {e indexing array} of pointers to shadow
+    values: it starts with [m/4] slots (word granularity, the common
+    access pattern) and, in adaptive mode, is expanded to [m] slots
+    (byte granularity) the first time a non-half-word-aligned access
+    touches the region.  The same structure serves the byte- and
+    word-granularity detectors with a fixed slot size.
+
+    Values are arbitrary; the dynamic-granularity detector stores
+    shared cell records, so several slots (possibly in different
+    entries) may point to one value.  All index-structure size changes
+    are reported to an {!Accounting} sink. *)
+
+type mode =
+  | Fixed_bytes of int
+      (** every entry uses slots of exactly this many bytes (1 for the
+          byte detector, 4 for the word detector) *)
+  | Adaptive
+      (** entries start at word slots and expand to byte slots when an
+          odd address is accessed (paper §IV.B) *)
+
+type 'a t
+
+val create : ?block:int -> mode:mode -> ?account:Accounting.t -> unit -> 'a t
+(** [block] must be a power of two and a multiple of the slot size
+    (default 128). *)
+
+val mode : 'a t -> mode
+val block : 'a t -> int
+
+val ensure_granularity : 'a t -> addr:int -> size:int -> unit
+(** In adaptive mode, switch the entries covering the access to byte
+    slots when the access is {e sub-word} — smaller than a word or not
+    word-aligned — creating empty byte-granularity entries on demand.
+    Call at the start of every access so that the slot bounds the
+    detector sees are stable for the whole access.  No-op for accesses
+    that cover whole aligned words, and in fixed mode. *)
+
+val slot_bounds : 'a t -> int -> int * int
+(** [slot_bounds t addr] is the address range [\[lo, hi)] of the slot
+    that contains [addr], under the entry's current granularity (or the
+    granularity a fresh entry would get). *)
+
+val get : 'a t -> int -> 'a option
+(** Value of the slot containing the address, if any. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Point the slot containing the address at the value, creating the
+    entry on demand. *)
+
+val set_range : 'a t -> lo:int -> hi:int -> 'a -> unit
+(** Point every slot intersecting [\[lo, hi)] at the value — how a
+    vector clock is shared across a neighbourhood. *)
+
+val remove_range : 'a t -> lo:int -> hi:int -> unit
+(** Clear every slot intersecting the range (used on [free]); entries
+    left empty are dropped and their index bytes released. *)
+
+val prev_neighbor : 'a t -> int -> (int * int * 'a) option
+(** [prev_neighbor t addr] is the nearest non-empty slot strictly
+    before the slot of [addr] — [(lo, hi, v)] — looking through the
+    entry of [addr] and the immediately preceding block (the "nearest
+    predecessor that has a valid vector clock" of §III.A, bounded to
+    the indexing neighbourhood). *)
+
+val next_neighbor : 'a t -> int -> (int * int * 'a) option
+(** Symmetric successor search. *)
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f lo hi v] to every non-empty slot. *)
+
+val iter_range : (int -> int -> 'a -> unit) -> 'a t -> lo:int -> hi:int -> unit
+(** [iter_range f t ~lo ~hi] applies [f slot_lo slot_hi v] to every
+    non-empty slot intersecting [\[lo, hi)], in address order. *)
+
+val entry_count : 'a t -> int
+val bytes : 'a t -> int
+(** Current index-structure footprint in bytes (as reported to the
+    accounting sink). *)
+
+val group : 'a t -> int -> hi:int -> int * int * 'a option
+(** [group t addr ~hi] is [(glo, ghi, v)]: the maximal run of
+    consecutive slots starting at [addr]'s slot that all point to the
+    same value [v] (physical equality) or are all empty ([None]),
+    clipped to the first slot boundary at or after [hi].  This is the
+    access-walk primitive of the dynamic-granularity detector: one
+    entry lookup per block instead of one per slot. *)

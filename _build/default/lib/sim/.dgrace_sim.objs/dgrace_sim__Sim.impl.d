@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Dgrace_events Dgrace_util Dgrace_vclock Effect Event Hashtbl List Memory Printf Scheduler

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Dgrace_events Event Scheduler

@@ -1,0 +1,75 @@
+type t = {
+  mutable heap_next : int;
+  mutable static_next : int;
+  live : (int, int) Hashtbl.t;  (* addr -> size *)
+  free_lists : (int, int list ref) Hashtbl.t;  (* size class -> addrs *)
+  mutable live_bytes : int;
+  mutable total_allocated : int;
+  mutable alloc_count : int;
+}
+
+let create ?(heap_base = 0x1000_0000) ?(static_base = 0x1000) () =
+  {
+    heap_next = heap_base;
+    static_next = static_base;
+    live = Hashtbl.create 1024;
+    free_lists = Hashtbl.create 32;
+    live_bytes = 0;
+    total_allocated = 0;
+    alloc_count = 0;
+  }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let round_up n align = (n + align - 1) land lnot (align - 1)
+
+let size_class n =
+  let rec loop c = if c >= n then c else loop (2 * c) in
+  loop 8
+
+let check_alloc_args n align =
+  if n <= 0 then invalid_arg "Memory.alloc: non-positive size";
+  if not (is_pow2 align) then invalid_arg "Memory.alloc: bad alignment"
+
+let alloc t ?(align = 8) n =
+  check_alloc_args n align;
+  let cls = size_class n in
+  let addr =
+    match Hashtbl.find_opt t.free_lists cls with
+    | Some ({ contents = a :: rest } as cell) when a land (align - 1) = 0 ->
+      cell := rest;
+      a
+    | _ ->
+      let a = round_up t.heap_next align in
+      (* reserve the whole size class so recycling keeps blocks disjoint *)
+      t.heap_next <- a + cls;
+      a
+  in
+  Hashtbl.replace t.live addr n;
+  t.live_bytes <- t.live_bytes + n;
+  t.total_allocated <- t.total_allocated + n;
+  t.alloc_count <- t.alloc_count + 1;
+  addr
+
+let alloc_static t ?(align = 8) n =
+  check_alloc_args n align;
+  let a = round_up t.static_next align in
+  t.static_next <- a + n;
+  a
+
+let free t addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> invalid_arg (Printf.sprintf "Memory.free: unknown address 0x%x" addr)
+  | Some n ->
+    Hashtbl.remove t.live addr;
+    t.live_bytes <- t.live_bytes - n;
+    let cls = size_class n in
+    (match Hashtbl.find_opt t.free_lists cls with
+     | Some cell -> cell := addr :: !cell
+     | None -> Hashtbl.replace t.free_lists cls (ref [ addr ]));
+    n
+
+let size_of t addr = Hashtbl.find_opt t.live addr
+let live_bytes t = t.live_bytes
+let total_allocated t = t.total_allocated
+let alloc_count t = t.alloc_count

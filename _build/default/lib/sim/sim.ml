@@ -1,0 +1,479 @@
+open Dgrace_events
+module Vec = Dgrace_util.Vec
+module Epoch = Dgrace_vclock.Epoch
+
+(* Sync-object ids are unique across the process; they live in a
+   namespace separate from memory addresses. *)
+let sync_counter = ref 0
+let fresh_sync_id () = incr sync_counter; !sync_counter
+
+type waiter = { wtid : int; wake : unit -> unit }
+
+type mutex = { lid : int; mutable owner : int; waiters : waiter Vec.t }
+type barrier = { bid : int; parties : int; arrived : waiter Vec.t }
+type event_flag = { eid : int; mutable is_set : bool; ewaiters : waiter Vec.t }
+type condition = { cid : int; cwaiters : waiter Vec.t }
+type semaphore = { smid : int; mutable count : int; swaiters : waiter Vec.t }
+
+exception Deadlock of int list
+
+let mutex () = { lid = fresh_sync_id (); owner = -1; waiters = Vec.create () }
+
+let barrier parties =
+  if parties <= 0 then invalid_arg "Sim.barrier: non-positive party count";
+  { bid = fresh_sync_id (); parties; arrived = Vec.create () }
+
+let event () = { eid = fresh_sync_id (); is_set = false; ewaiters = Vec.create () }
+let condition () = { cid = fresh_sync_id (); cwaiters = Vec.create () }
+
+let semaphore count =
+  if count < 0 then invalid_arg "Sim.semaphore: negative count";
+  { smid = fresh_sync_id (); count; swaiters = Vec.create () }
+
+let mutex_id m = m.lid
+
+type _ Effect.t +=
+  | E_self : int Effect.t
+  | E_spawn : (unit -> unit) -> int Effect.t
+  | E_join : int -> unit Effect.t
+  | E_access : Event.access_kind * int * int * string -> unit Effect.t
+  | E_lock : mutex -> unit Effect.t
+  | E_unlock : mutex -> unit Effect.t
+  | E_malloc : int * int -> int Effect.t (* align, size *)
+  | E_free : int -> unit Effect.t
+  | E_static : int * int -> int Effect.t (* align, size *)
+  | E_barrier : barrier -> unit Effect.t
+  | E_evt_set : event_flag -> unit Effect.t
+  | E_evt_wait : event_flag -> unit Effect.t
+  | E_atomic : int * int * string -> unit Effect.t
+  | E_atomic_access : Event.access_kind * int * int * string -> unit Effect.t
+  | E_trylock : mutex -> bool Effect.t
+  | E_cond_wait : condition * mutex -> unit Effect.t
+  | E_cond_wake : condition * bool -> unit Effect.t (* broadcast? *)
+  | E_sem_wait : semaphore -> unit Effect.t
+  | E_sem_post : semaphore -> unit Effect.t
+  | E_yield : unit Effect.t
+
+let self () = Effect.perform E_self
+let spawn body = Effect.perform (E_spawn body)
+let join tid = Effect.perform (E_join tid)
+let read ?(loc = "") addr size = Effect.perform (E_access (Event.Read, addr, size, loc))
+let write ?(loc = "") addr size = Effect.perform (E_access (Event.Write, addr, size, loc))
+let lock m = Effect.perform (E_lock m)
+let unlock m = Effect.perform (E_unlock m)
+
+let with_lock m f =
+  lock m;
+  match f () with
+  | v -> unlock m; v
+  | exception e -> unlock m; raise e
+
+let malloc ?(align = 8) size = Effect.perform (E_malloc (align, size))
+
+let calloc ?(align = 8) ?(loc = "") size =
+  let addr = malloc ~align size in
+  write ~loc addr size;
+  addr
+
+let free addr = Effect.perform (E_free addr)
+let static_alloc ?(align = 8) size = Effect.perform (E_static (align, size))
+let barrier_wait b = Effect.perform (E_barrier b)
+let event_set f = Effect.perform (E_evt_set f)
+let event_wait f = Effect.perform (E_evt_wait f)
+let atomic_rmw ?(loc = "") addr size = Effect.perform (E_atomic (addr, size, loc))
+
+let atomic_load ?(loc = "") addr size =
+  Effect.perform (E_atomic_access (Event.Read, addr, size, loc))
+
+let atomic_store ?(loc = "") addr size =
+  Effect.perform (E_atomic_access (Event.Write, addr, size, loc))
+
+let try_lock m = Effect.perform (E_trylock m)
+let cond_wait c m = Effect.perform (E_cond_wait (c, m))
+let cond_signal c = Effect.perform (E_cond_wake (c, false))
+let cond_broadcast c = Effect.perform (E_cond_wake (c, true))
+let sem_wait s = Effect.perform (E_sem_wait s)
+let sem_post s = Effect.perform (E_sem_post s)
+let yield () = Effect.perform E_yield
+
+type result = {
+  threads : int;
+  events : int;
+  accesses : int;
+  total_allocated : int;
+}
+
+type thread_phase = Ready | Running | Blocked | Exited
+
+type thread_info = {
+  tid : int;
+  mutable phase : thread_phase;
+  joiners : waiter Vec.t;
+}
+
+type runnable = { rtid : int; run : unit -> unit }
+
+type world = {
+  mem : Memory.t;
+  sink : Event.t -> unit;
+  threads : thread_info Vec.t;
+  ready : runnable Vec.t;
+  sched : Scheduler.t;
+  atomic_syncs : (int, int) Hashtbl.t;
+  mutable current : int;
+  mutable live : int;
+  mutable events : int;
+  mutable accesses : int;
+}
+
+let run ?(policy = Scheduler.default) ?(sink = fun (_ : Event.t) -> ()) main =
+  let w =
+    {
+      mem = Memory.create ();
+      sink;
+      threads = Vec.create ();
+      ready = Vec.create ();
+      sched = Scheduler.create policy;
+      atomic_syncs = Hashtbl.create 64;
+      current = -1;
+      live = 0;
+      events = 0;
+      accesses = 0;
+    }
+  in
+  let thread tid = Vec.get w.threads tid in
+  let emit e =
+    w.events <- w.events + 1;
+    (match e with Event.Access _ -> w.accesses <- w.accesses + 1 | _ -> ());
+    w.sink e
+  in
+  let enqueue tid run =
+    (thread tid).phase <- Ready;
+    Vec.push w.ready { rtid = tid; run }
+  in
+  let resume : type v. int -> (v, unit) Effect.Deep.continuation -> v -> unit =
+    fun tid k v -> enqueue tid (fun () -> Effect.Deep.continue k v)
+  in
+  let new_thread () =
+    let tid = Vec.length w.threads in
+    if tid > Epoch.max_tid then
+      invalid_arg
+        (Printf.sprintf "Sim.spawn: more than %d threads" (Epoch.max_tid + 1));
+    Vec.push w.threads { tid; phase = Ready; joiners = Vec.create () };
+    w.live <- w.live + 1;
+    tid
+  in
+  let block tid = (thread tid).phase <- Blocked in
+  let atomic_sync_id addr =
+    match Hashtbl.find_opt w.atomic_syncs addr with
+    | Some id -> id
+    | None ->
+      let id = fresh_sync_id () in
+      Hashtbl.replace w.atomic_syncs addr id;
+      id
+  in
+  let rec exec tid body =
+    Effect.Deep.match_with body ()
+      {
+        retc =
+          (fun () ->
+            let ti = thread tid in
+            ti.phase <- Exited;
+            w.live <- w.live - 1;
+            emit (Event.Thread_exit { tid });
+            Vec.iter (fun wtr -> enqueue wtr.wtid wtr.wake) ti.joiners;
+            Vec.clear ti.joiners);
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) :
+               ((c, unit) Effect.Deep.continuation -> unit) option ->
+            match eff with
+            | E_self -> Some (fun k -> resume tid k tid)
+            | E_yield -> Some (fun k -> resume tid k ())
+            | E_access (kind, addr, size, loc) ->
+              Some
+                (fun k ->
+                  emit (Event.Access { tid; kind; addr; size; loc });
+                  resume tid k ())
+            | E_spawn body ->
+              Some
+                (fun k ->
+                  let child = new_thread () in
+                  emit (Event.Fork { parent = tid; child });
+                  enqueue child (fun () -> exec child body);
+                  resume tid k child)
+            | E_join target ->
+              Some
+                (fun k ->
+                  let ti = thread target in
+                  if ti.phase = Exited then begin
+                    emit (Event.Join { parent = tid; child = target });
+                    resume tid k ()
+                  end
+                  else begin
+                    block tid;
+                    Vec.push ti.joiners
+                      {
+                        wtid = tid;
+                        wake =
+                          (fun () ->
+                            emit (Event.Join { parent = tid; child = target });
+                            Effect.Deep.continue k ());
+                      }
+                  end)
+            | E_lock m ->
+              Some
+                (fun k ->
+                  if m.owner < 0 then begin
+                    m.owner <- tid;
+                    emit (Event.Acquire { tid; lock = m.lid; sync = Event.Lock });
+                    resume tid k ()
+                  end
+                  else if m.owner = tid then
+                    Effect.Deep.discontinue k
+                      (Invalid_argument "Sim.lock: mutex already held by caller")
+                  else begin
+                    block tid;
+                    Vec.push m.waiters
+                      {
+                        wtid = tid;
+                        wake =
+                          (fun () ->
+                            emit (Event.Acquire { tid; lock = m.lid; sync = Event.Lock });
+                            Effect.Deep.continue k ());
+                      }
+                  end)
+            | E_unlock m ->
+              Some
+                (fun k ->
+                  if m.owner <> tid then
+                    Effect.Deep.discontinue k
+                      (Invalid_argument "Sim.unlock: mutex not held by caller")
+                  else begin
+                    emit (Event.Release { tid; lock = m.lid; sync = Event.Lock });
+                    if Vec.length m.waiters > 0 then begin
+                      (* deterministic FIFO lock handoff *)
+                      let wtr = Vec.remove_ordered m.waiters 0 in
+                      m.owner <- wtr.wtid;
+                      enqueue wtr.wtid wtr.wake
+                    end
+                    else m.owner <- -1;
+                    resume tid k ()
+                  end)
+            | E_malloc (align, size) ->
+              Some
+                (fun k ->
+                  let addr = Memory.alloc w.mem ~align size in
+                  emit (Event.Alloc { tid; addr; size });
+                  resume tid k addr)
+            | E_free addr ->
+              Some
+                (fun k ->
+                  match Memory.free w.mem addr with
+                  | size ->
+                    emit (Event.Free { tid; addr; size });
+                    resume tid k ()
+                  | exception (Invalid_argument _ as e) ->
+                    Effect.Deep.discontinue k e)
+            | E_static (align, size) ->
+              Some (fun k -> resume tid k (Memory.alloc_static w.mem ~align size))
+            | E_barrier b ->
+              Some
+                (fun k ->
+                  emit (Event.Release { tid; lock = b.bid; sync = Event.Barrier });
+                  let wtr =
+                    {
+                      wtid = tid;
+                      wake =
+                        (fun () ->
+                          emit (Event.Acquire { tid; lock = b.bid; sync = Event.Barrier });
+                          Effect.Deep.continue k ());
+                    }
+                  in
+                  if Vec.length b.arrived + 1 < b.parties then begin
+                    block tid;
+                    Vec.push b.arrived wtr
+                  end
+                  else begin
+                    Vec.iter (fun wtr -> enqueue wtr.wtid wtr.wake) b.arrived;
+                    Vec.clear b.arrived;
+                    enqueue tid wtr.wake
+                  end)
+            | E_evt_set f ->
+              Some
+                (fun k ->
+                  emit (Event.Release { tid; lock = f.eid; sync = Event.Flag });
+                  f.is_set <- true;
+                  Vec.iter (fun wtr -> enqueue wtr.wtid wtr.wake) f.ewaiters;
+                  Vec.clear f.ewaiters;
+                  resume tid k ())
+            | E_evt_wait f ->
+              Some
+                (fun k ->
+                  let wtr =
+                    {
+                      wtid = tid;
+                      wake =
+                        (fun () ->
+                          emit (Event.Acquire { tid; lock = f.eid; sync = Event.Flag });
+                          Effect.Deep.continue k ());
+                    }
+                  in
+                  if f.is_set then enqueue tid wtr.wake
+                  else begin
+                    block tid;
+                    Vec.push f.ewaiters wtr
+                  end)
+            | E_atomic (addr, size, loc) ->
+              Some
+                (fun k ->
+                  let sid = atomic_sync_id addr in
+                  emit (Event.Acquire { tid; lock = sid; sync = Event.Atomic });
+                  emit (Event.Access { tid; kind = Event.Read; addr; size; loc });
+                  emit (Event.Access { tid; kind = Event.Write; addr; size; loc });
+                  emit (Event.Release { tid; lock = sid; sync = Event.Atomic });
+                  resume tid k ())
+            | E_atomic_access (kind, addr, size, loc) ->
+              Some
+                (fun k ->
+                  let sid = atomic_sync_id addr in
+                  emit (Event.Acquire { tid; lock = sid; sync = Event.Atomic });
+                  emit (Event.Access { tid; kind; addr; size; loc });
+                  emit (Event.Release { tid; lock = sid; sync = Event.Atomic });
+                  resume tid k ())
+            | E_trylock m ->
+              Some
+                (fun k ->
+                  if m.owner < 0 then begin
+                    m.owner <- tid;
+                    emit (Event.Acquire { tid; lock = m.lid; sync = Event.Lock });
+                    resume tid k true
+                  end
+                  else resume tid k false)
+            | E_cond_wait (c, m) ->
+              Some
+                (fun k ->
+                  if m.owner <> tid then
+                    Effect.Deep.discontinue k
+                      (Invalid_argument "Sim.cond_wait: mutex not held by caller")
+                  else begin
+                    (* unlock the mutex (with handoff), then park on the
+                       condition; the wake path re-acquires the mutex
+                       before resuming *)
+                    emit (Event.Release { tid; lock = m.lid; sync = Event.Lock });
+                    (if Vec.length m.waiters > 0 then begin
+                       let wtr = Vec.remove_ordered m.waiters 0 in
+                       m.owner <- wtr.wtid;
+                       enqueue wtr.wtid wtr.wake
+                     end
+                     else m.owner <- -1);
+                    block tid;
+                    let relock () =
+                      if m.owner < 0 then begin
+                        m.owner <- tid;
+                        emit (Event.Acquire { tid; lock = m.lid; sync = Event.Lock });
+                        Effect.Deep.continue k ()
+                      end
+                      else begin
+                        block tid;
+                        Vec.push m.waiters
+                          {
+                            wtid = tid;
+                            wake =
+                              (fun () ->
+                                emit
+                                  (Event.Acquire
+                                     { tid; lock = m.lid; sync = Event.Lock });
+                                Effect.Deep.continue k ());
+                          }
+                      end
+                    in
+                    Vec.push c.cwaiters
+                      {
+                        wtid = tid;
+                        wake =
+                          (fun () ->
+                            emit (Event.Acquire { tid; lock = c.cid; sync = Event.Flag });
+                            relock ());
+                      }
+                  end)
+            | E_cond_wake (c, broadcast) ->
+              Some
+                (fun k ->
+                  emit (Event.Release { tid; lock = c.cid; sync = Event.Flag });
+                  if broadcast then begin
+                    Vec.iter (fun wtr -> enqueue wtr.wtid wtr.wake) c.cwaiters;
+                    Vec.clear c.cwaiters
+                  end
+                  else if Vec.length c.cwaiters > 0 then begin
+                    let wtr = Vec.remove_ordered c.cwaiters 0 in
+                    enqueue wtr.wtid wtr.wake
+                  end;
+                  resume tid k ())
+            | E_sem_wait s ->
+              Some
+                (fun k ->
+                  if s.count > 0 then begin
+                    s.count <- s.count - 1;
+                    emit (Event.Acquire { tid; lock = s.smid; sync = Event.Flag });
+                    resume tid k ()
+                  end
+                  else begin
+                    block tid;
+                    Vec.push s.swaiters
+                      {
+                        wtid = tid;
+                        wake =
+                          (fun () ->
+                            emit (Event.Acquire { tid; lock = s.smid; sync = Event.Flag });
+                            Effect.Deep.continue k ());
+                      }
+                  end)
+            | E_sem_post s ->
+              Some
+                (fun k ->
+                  emit (Event.Release { tid; lock = s.smid; sync = Event.Flag });
+                  if Vec.length s.swaiters > 0 then begin
+                    (* the permit is handed directly to a waiter *)
+                    let wtr = Vec.remove_ordered s.swaiters 0 in
+                    enqueue wtr.wtid wtr.wake
+                  end
+                  else s.count <- s.count + 1;
+                  resume tid k ())
+            | _ -> None);
+      }
+  in
+  let main_tid = new_thread () in
+  enqueue main_tid (fun () -> exec main_tid main);
+  let rec loop () =
+    let n = Vec.length w.ready in
+    if n = 0 then begin
+      if w.live > 0 then begin
+        let blocked =
+          Vec.fold_left
+            (fun acc ti -> if ti.phase <> Exited then ti.tid :: acc else acc)
+            [] w.threads
+        in
+        raise (Deadlock (List.rev blocked))
+      end
+    end
+    else begin
+      let i =
+        Scheduler.pick w.sched ~current:w.current
+          ~ready_tids:(fun i -> (Vec.get w.ready i).rtid)
+          ~n
+      in
+      let r = Vec.remove_ordered w.ready i in
+      (thread r.rtid).phase <- Running;
+      w.current <- r.rtid;
+      r.run ();
+      loop ()
+    end
+  in
+  loop ();
+  {
+    threads = Vec.length w.threads;
+    events = w.events;
+    accesses = w.accesses;
+    total_allocated = Memory.total_allocated w.mem;
+  }

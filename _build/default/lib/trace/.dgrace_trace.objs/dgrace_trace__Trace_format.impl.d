@@ -1,0 +1,1 @@
+lib/trace/trace_format.ml: Buffer Char

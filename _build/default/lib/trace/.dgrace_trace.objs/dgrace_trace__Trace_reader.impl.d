@@ -1,0 +1,1 @@
+lib/trace/trace_reader.ml: Dgrace_events Event Hashtbl List Printf Seq String Trace_format

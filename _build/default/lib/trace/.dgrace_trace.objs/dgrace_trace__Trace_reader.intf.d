@@ -1,0 +1,1 @@
+lib/trace/trace_reader.mli: Dgrace_events Event Seq

@@ -1,0 +1,1 @@
+lib/trace/trace_writer.ml: Buffer Char Dgrace_events Event Hashtbl String Trace_format

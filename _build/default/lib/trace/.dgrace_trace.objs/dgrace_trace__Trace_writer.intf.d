@@ -1,0 +1,1 @@
+lib/trace/trace_writer.mli: Dgrace_events Event

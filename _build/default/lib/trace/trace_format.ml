@@ -1,0 +1,33 @@
+let magic = "DGRT"
+let version = 1
+let tag_read = 0
+let tag_write = 1
+let tag_acquire = 2
+let tag_release = 3
+let tag_fork = 4
+let tag_join = 5
+let tag_alloc = 6
+let tag_free = 7
+let tag_exit = 8
+
+exception Corrupt of string
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Trace_format.write_varint: negative";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let read_varint ic =
+  let rec loop acc shift =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let b = input_byte ic in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop acc (shift + 7)
+  in
+  loop 0 0

@@ -1,0 +1,32 @@
+(** The on-disk trace encoding shared by the writer and reader.
+
+    A trace file is the magic string ["DGRT"], a version byte, then a
+    sequence of events.  Every event is one tag byte followed by its
+    fields as unsigned LEB128 varints.  Source-location labels are
+    interned: the first occurrence of a label carries its bytes; later
+    occurrences are just the table index.  This keeps multi-million
+    event traces compact (typically 3–6 bytes per access). *)
+
+val magic : string
+val version : int
+
+(** Event tag bytes. *)
+
+val tag_read : int
+val tag_write : int
+val tag_acquire : int
+val tag_release : int
+val tag_fork : int
+val tag_join : int
+val tag_alloc : int
+val tag_free : int
+val tag_exit : int
+
+val write_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128.  @raise Invalid_argument on negative input. *)
+
+val read_varint : in_channel -> int
+(** @raise End_of_file at end of stream. *)
+
+exception Corrupt of string
+(** Raised by the reader on malformed input. *)

@@ -1,0 +1,102 @@
+open Dgrace_events
+open Trace_format
+
+let sync_of_code = function
+  | 0 -> Event.Lock
+  | 1 -> Event.Barrier
+  | 2 -> Event.Flag
+  | 3 -> Event.Atomic
+  | n -> raise (Corrupt (Printf.sprintf "bad sync kind %d" n))
+
+type reader_state = {
+  ic : in_channel;
+  locs : (int, string) Hashtbl.t;
+}
+
+let check_header ic =
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then raise (Corrupt "bad magic");
+  let v = input_byte ic in
+  if v <> version then raise (Corrupt (Printf.sprintf "unsupported version %d" v))
+
+let read_loc st =
+  let id = read_varint st.ic in
+  match Hashtbl.find_opt st.locs id with
+  | Some loc -> loc
+  | None ->
+    let len = read_varint st.ic in
+    let loc = really_input_string st.ic len in
+    Hashtbl.replace st.locs id loc;
+    loc
+
+let read_event st =
+  match input_byte st.ic with
+  | exception End_of_file -> None
+  | tag ->
+    let ev =
+      if tag = tag_read || tag = tag_write then begin
+        let tid = read_varint st.ic in
+        let addr = read_varint st.ic in
+        let size = read_varint st.ic in
+        let loc = read_loc st in
+        let kind = if tag = tag_read then Event.Read else Event.Write in
+        Event.Access { tid; kind; addr; size; loc }
+      end
+      else if tag = tag_acquire then begin
+        let tid = read_varint st.ic in
+        let lock = read_varint st.ic in
+        Event.Acquire { tid; lock; sync = sync_of_code (read_varint st.ic) }
+      end
+      else if tag = tag_release then begin
+        let tid = read_varint st.ic in
+        let lock = read_varint st.ic in
+        Event.Release { tid; lock; sync = sync_of_code (read_varint st.ic) }
+      end
+      else if tag = tag_fork then begin
+        let parent = read_varint st.ic in
+        Event.Fork { parent; child = read_varint st.ic }
+      end
+      else if tag = tag_join then begin
+        let parent = read_varint st.ic in
+        Event.Join { parent; child = read_varint st.ic }
+      end
+      else if tag = tag_alloc then begin
+        let tid = read_varint st.ic in
+        let addr = read_varint st.ic in
+        Event.Alloc { tid; addr; size = read_varint st.ic }
+      end
+      else if tag = tag_free then begin
+        let tid = read_varint st.ic in
+        let addr = read_varint st.ic in
+        Event.Free { tid; addr; size = read_varint st.ic }
+      end
+      else if tag = tag_exit then Event.Thread_exit { tid = read_varint st.ic }
+      else raise (Corrupt (Printf.sprintf "unknown tag %d" tag))
+    in
+    Some ev
+
+(* EOF after the tag byte means the record is cut short *)
+let read_event st =
+  try read_event st with End_of_file -> raise (Corrupt "truncated event")
+
+let read ic =
+  check_header ic;
+  let st = { ic; locs = Hashtbl.create 64 } in
+  let rec next () =
+    match read_event st with
+    | None -> Seq.Nil
+    | Some ev -> Seq.Cons (ev, next)
+  in
+  next
+
+let fold_file path f init =
+  let ic = open_in_bin path in
+  match Seq.fold_left f init (read ic) with
+  | acc ->
+    close_in ic;
+    acc
+  | exception e ->
+    close_in ic;
+    raise e
+
+let read_file path = List.rev (fold_file path (fun acc ev -> ev :: acc) [])

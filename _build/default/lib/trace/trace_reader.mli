@@ -1,0 +1,14 @@
+(** Replays event streams recorded by {!Trace_writer}. *)
+
+open Dgrace_events
+
+val read : in_channel -> Event.t Seq.t
+(** Lazy sequence of events; consumes the channel as it is forced.
+    @raise Trace_format.Corrupt on a bad header or malformed event. *)
+
+val fold_file : string -> ('a -> Event.t -> 'a) -> 'a -> 'a
+(** [fold_file path f init] opens, folds over every event, and closes
+    the file (also on exceptions). *)
+
+val read_file : string -> Event.t list
+(** Whole trace in memory — convenient for tests on small traces. *)

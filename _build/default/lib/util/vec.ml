@@ -1,0 +1,66 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let grow v x =
+  let cap = max 8 (2 * Array.length v.data) in
+  let a = Array.make cap x in
+  Array.blit v.data 0 a 0 v.len;
+  v.data <- a
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let swap_remove v i =
+  check v i;
+  let x = v.data.(i) in
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  x
+
+let remove_ordered v i =
+  check v i;
+  let x = v.data.(i) in
+  for j = i to v.len - 2 do
+    v.data.(j) <- v.data.(j + 1)
+  done;
+  v.len <- v.len - 1;
+  x
+
+let pop v = if v.len = 0 then None else Some (swap_remove v (v.len - 1))
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do f v.data.(i) done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do acc := f !acc v.data.(i) done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let find_index p v =
+  let rec loop i =
+    if i >= v.len then None else if p v.data.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v

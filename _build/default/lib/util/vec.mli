@@ -1,0 +1,36 @@
+(** Minimal growable arrays (OCaml 5.1 lacks [Dynarray]).
+
+    Used for scheduler ready queues and shadow bookkeeping.  Removal by
+    index is O(1) swap-with-last, which is exactly what a randomised
+    scheduler wants and acceptable everywhere else we use it. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove v i] removes and returns element [i], moving the last
+    element into its place.  Order is not preserved. *)
+
+val remove_ordered : 'a t -> int -> 'a
+(** [remove_ordered v i] removes and returns element [i], shifting the
+    tail left.  O(n), preserves order — used for FIFO scheduling. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val find_index : ('a -> bool) -> 'a t -> int option
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t

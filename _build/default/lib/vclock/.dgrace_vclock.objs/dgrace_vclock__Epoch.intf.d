@@ -1,0 +1,1 @@
+lib/vclock/epoch.mli: Format

@@ -1,0 +1,46 @@
+(** Epochs: the [c@t] scalar-pair representation of a thread's last access.
+
+    FastTrack (Flanagan & Freund, PLDI 2009) observes that most accesses
+    can be summarised by the {e last} access alone, written [c@t] for
+    logical clock [c] of thread [t].  We pack the pair into a single
+    immediate integer so that an epoch costs no allocation at all, which
+    is what gives FastTrack its O(1) common case. *)
+
+type t = private int
+(** A packed epoch.  The low {!tid_bits} bits hold the thread id, the
+    remaining bits hold the logical clock.  Exposed as [private int] so
+    epochs can be compared with [=] and stored unboxed. *)
+
+val tid_bits : int
+(** Number of bits reserved for the thread id (10, i.e. up to 1024
+    threads per execution). *)
+
+val max_tid : int
+(** Largest representable thread id, [2^tid_bits - 1]. *)
+
+val none : t
+(** The distinguished "no access yet" epoch.  [tid none] is 0 and
+    [clock none] is 0; no real access ever has clock 0 (thread clocks
+    start at 1), so [none] is unambiguous. *)
+
+val make : tid:int -> clock:int -> t
+(** [make ~tid ~clock] packs an epoch.  @raise Invalid_argument if
+    [tid] is negative or exceeds {!max_tid}, or if [clock] is negative. *)
+
+val tid : t -> int
+(** Thread id component. *)
+
+val clock : t -> int
+(** Logical clock component. *)
+
+val is_none : t -> bool
+(** [is_none e] is [e = none]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same thread and same clock). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [c@t], or [-] for {!none}. *)
+
+val to_string : t -> string
+(** String form of {!pp}. *)

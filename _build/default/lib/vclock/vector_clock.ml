@@ -1,0 +1,89 @@
+type t = { mutable clocks : int array }
+
+let create ?(capacity = 4) () =
+  let capacity = max capacity 1 in
+  { clocks = Array.make capacity 0 }
+
+let get vc tid = if tid < Array.length vc.clocks then vc.clocks.(tid) else 0
+
+let grow vc needed =
+  let cap = max needed (2 * Array.length vc.clocks) in
+  let a = Array.make cap 0 in
+  Array.blit vc.clocks 0 a 0 (Array.length vc.clocks);
+  vc.clocks <- a
+
+let set vc tid c =
+  if tid < 0 then invalid_arg "Vector_clock.set: negative tid";
+  if c < 0 then invalid_arg "Vector_clock.set: negative clock";
+  if tid >= Array.length vc.clocks then grow vc (tid + 1);
+  vc.clocks.(tid) <- c
+
+let tick vc tid = set vc tid (get vc tid + 1)
+let size vc = Array.length vc.clocks
+let copy vc = { clocks = Array.copy vc.clocks }
+
+let assign dst src =
+  let n = Array.length src.clocks in
+  if n > Array.length dst.clocks then dst.clocks <- Array.make n 0
+  else Array.fill dst.clocks 0 (Array.length dst.clocks) 0;
+  Array.blit src.clocks 0 dst.clocks 0 n
+
+let join dst src =
+  let n = Array.length src.clocks in
+  (* grow exactly to [n], never beyond: growing to amortised capacity
+     here would let two clocks that repeatedly join each other (thread
+     and lock clocks under contention) double one another's storage on
+     every round — exponential blow-up *)
+  if n > Array.length dst.clocks then begin
+    let a = Array.make n 0 in
+    Array.blit dst.clocks 0 a 0 (Array.length dst.clocks);
+    dst.clocks <- a
+  end;
+  for i = 0 to n - 1 do
+    if src.clocks.(i) > dst.clocks.(i) then dst.clocks.(i) <- src.clocks.(i)
+  done
+
+let leq a b =
+  let rec loop i =
+    if i >= Array.length a.clocks then true
+    else if a.clocks.(i) > get b i then false
+    else loop (i + 1)
+  in
+  loop 0
+
+let equal a b =
+  let n = max (Array.length a.clocks) (Array.length b.clocks) in
+  let rec loop i = i >= n || (get a i = get b i && loop (i + 1)) in
+  loop 0
+
+let epoch_leq e vc = Epoch.clock e <= get vc (Epoch.tid e)
+
+let of_epoch e =
+  let vc = create ~capacity:(Epoch.tid e + 1) () in
+  set vc (Epoch.tid e) (Epoch.clock e);
+  vc
+
+let max_tid_set vc =
+  let rec loop i = if i < 0 then -1 else if vc.clocks.(i) > 0 then i else loop (i - 1) in
+  loop (Array.length vc.clocks - 1)
+
+(* record header+field (2) + array header (1) + cells *)
+let heap_words vc = 3 + Array.length vc.clocks
+
+let fold f vc acc =
+  let acc = ref acc in
+  for i = 0 to Array.length vc.clocks - 1 do
+    if vc.clocks.(i) <> 0 then acc := f i vc.clocks.(i) !acc
+  done;
+  !acc
+
+let pp ppf vc =
+  let last = max_tid_set vc in
+  Format.pp_print_string ppf "<";
+  for i = 0 to last do
+    if i > 0 then Format.pp_print_string ppf ", ";
+    Format.pp_print_int ppf vc.clocks.(i)
+  done;
+  Format.pp_print_string ppf ">"
+
+let to_string vc = Format.asprintf "%a" pp vc

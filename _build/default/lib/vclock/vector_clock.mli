@@ -1,0 +1,72 @@
+(** Vector clocks (Fidge/Mattern logical time) over thread ids.
+
+    A vector clock maps every thread id to the logical clock of that
+    thread as last known to the clock's owner.  Thread ids index a
+    growable array; entries beyond the stored length are implicitly 0,
+    so clocks for executions with few threads stay small.
+
+    All mutating operations update the clock in place — detectors own
+    their clocks and copy explicitly where sharing would be unsound. *)
+
+type t
+(** A mutable vector clock. *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh clock with every component 0.  [capacity] pre-sizes the
+    underlying array (default 4); it does not affect semantics. *)
+
+val get : t -> int -> int
+(** [get vc tid] is the component for [tid] (0 if never set). *)
+
+val set : t -> int -> int -> unit
+(** [set vc tid c] assigns component [tid], growing storage as needed.
+    @raise Invalid_argument on negative [tid] or [c]. *)
+
+val tick : t -> int -> unit
+(** [tick vc tid] increments component [tid] by one. *)
+
+val size : t -> int
+(** Number of stored components (indices [0 .. size-1] are backed by
+    storage; all components at and beyond [size] are 0). *)
+
+val copy : t -> t
+(** An independent copy. *)
+
+val assign : t -> t -> unit
+(** [assign dst src] makes [dst] equal to [src] component-wise. *)
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst] to the element-wise maximum of [dst] and
+    [src] — the vector-clock update performed by lock acquire/release
+    and fork/join edges. *)
+
+val leq : t -> t -> bool
+(** [leq a b] is the happens-before partial order: every component of
+    [a] is [<=] the corresponding component of [b]. *)
+
+val equal : t -> t -> bool
+(** Component-wise equality (trailing zeros ignored, so clocks of
+    different capacities compare correctly). *)
+
+val epoch_leq : Epoch.t -> t -> bool
+(** [epoch_leq e vc] is [Epoch.clock e <= get vc (Epoch.tid e)] — the
+    FastTrack O(1) ordering test between a last-access epoch and a
+    thread clock.  {!Epoch.none} is ordered before everything. *)
+
+val of_epoch : Epoch.t -> t
+(** A vector clock that is 0 everywhere except the epoch's component. *)
+
+val max_tid_set : t -> int
+(** Largest tid with a non-zero component, or -1 if the clock is 0. *)
+
+val heap_words : t -> int
+(** Approximate heap footprint in machine words (array + record
+    headers), used by the shadow-memory accounting of Table 2. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f vc acc] folds [f tid clock] over non-zero components. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [<c0, c1, ...>] up to the last non-zero component. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/canneal.ml: Dgrace_sim Random Sim Workload Wutil

@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Array Dgrace_sim List Sim Workload Wutil

@@ -1,0 +1,1 @@
+lib/workloads/facesim.ml: Dgrace_sim List Sim Workload Wutil

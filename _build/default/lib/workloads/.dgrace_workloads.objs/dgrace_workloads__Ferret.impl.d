@@ -1,0 +1,1 @@
+lib/workloads/ferret.ml: Array Dgrace_sim List Sim Workload Wutil

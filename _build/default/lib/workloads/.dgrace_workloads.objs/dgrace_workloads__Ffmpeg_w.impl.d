@@ -1,0 +1,1 @@
+lib/workloads/ffmpeg_w.ml: Dgrace_sim Sim Workload Wutil

@@ -1,0 +1,1 @@
+lib/workloads/hmmsearch.ml: Dgrace_sim Sim Workload Wutil

@@ -1,0 +1,1 @@
+lib/workloads/pbzip2.ml: Array Dgrace_sim List Sim Workload Wutil

@@ -1,0 +1,1 @@
+lib/workloads/raytrace.ml: Dgrace_sim Random Sim Workload Wutil

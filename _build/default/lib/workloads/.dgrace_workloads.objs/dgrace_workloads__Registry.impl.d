@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Canneal Dedup Facesim Ferret Ffmpeg_w Fluidanimate Hmmsearch List Pbzip2 Raytrace Streamcluster Workload X264

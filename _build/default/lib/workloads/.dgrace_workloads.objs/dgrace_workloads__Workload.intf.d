@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Dgrace_events Dgrace_sim Scheduler Sim

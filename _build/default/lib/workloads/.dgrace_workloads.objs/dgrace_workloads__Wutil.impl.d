@@ -1,0 +1,1 @@
+lib/workloads/wutil.ml: Array Dgrace_sim Hashtbl List Random Sim

@@ -1,0 +1,1 @@
+lib/workloads/wutil.mli: Dgrace_sim Random Sim

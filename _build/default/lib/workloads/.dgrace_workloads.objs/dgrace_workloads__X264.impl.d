@@ -1,0 +1,1 @@
+lib/workloads/x264.ml: Array Dgrace_sim Sim Workload Wutil

@@ -1,0 +1,41 @@
+(* canneal: simulated annealing over a netlist.  The connectivity
+   array is read-only after load (random, cache-hostile reads), and
+   element locations are swapped with lock-free atomic exchanges —
+   race-free by construction.  Neighbouring words almost never carry
+   the same clock here, so dynamic granularity cannot share: the
+   workload where the paper sees no benefit over byte granularity.
+   No seeded races. *)
+
+open Dgrace_sim
+
+let program (p : Workload.params) () =
+  let elems = 4096 * p.scale in
+  let conn = Sim.static_alloc (4 * elems) in
+  let locs = Sim.static_alloc (4 * elems) in
+  Wutil.touch_words ~loc:"canneal:load" ~write:true conn (4 * elems);
+  Wutil.touch_words ~loc:"canneal:load" ~write:true locs (4 * elems);
+  let steps = 700 * p.scale in
+  let worker w =
+    let st = Wutil.rng (p.seed + w) in
+    for _step = 1 to steps do
+      (* evaluate a candidate swap: random connectivity reads *)
+      for _k = 1 to 6 do
+        let i = Random.State.int st elems in
+        Sim.read ~loc:"canneal:cost" (conn + (4 * i)) 4
+      done;
+      (* commit the swap with two atomic exchanges *)
+      let a = Random.State.int st elems and b = Random.State.int st elems in
+      Sim.atomic_rmw ~loc:"canneal:swap" (locs + (4 * a)) 4;
+      Sim.atomic_rmw ~loc:"canneal:swap" (locs + (4 * b)) 4
+    done
+  in
+  Wutil.spawn_workers p.threads worker
+
+let workload : Workload.t =
+  {
+    name = "canneal";
+    description = "lock-free random swaps over a large netlist";
+    defaults = { threads = 4; scale = 1; seed = 16 };
+    expected_races = 0;
+    program;
+  }

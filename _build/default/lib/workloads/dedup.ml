@@ -1,0 +1,65 @@
+(* dedup: the allocation-churn benchmark.  A four-stage pipeline where
+   every item is a freshly malloc'd chunk that lives for a handful of
+   epochs and is freed — the paper reports 14 GB of cumulative
+   allocation and credits the dynamic detector's 1.78x speedup on
+   dedup to the reduction in vector-clock create/delete traffic (avg
+   sharing only 1.7).  A global bucket table under per-bucket locks
+   models the duplicate index.  No seeded races. *)
+
+open Dgrace_sim
+
+let chunk_bytes = 256
+let out_bytes = 128
+let buckets = 64
+
+let program (p : Workload.params) () =
+  let items = 250 * p.scale in
+  let to_hash = Wutil.Handoff.create items in
+  let to_compress = Wutil.Handoff.create items in
+  let to_write = Wutil.Handoff.create items in
+  let index = Sim.static_alloc (4 * buckets) in
+  let bucket_locks = Array.init buckets (fun _ -> Sim.mutex ()) in
+  let hasher () =
+    for i = 0 to items - 1 do
+      let chunk = Wutil.Handoff.take to_hash i in
+      Wutil.touch_words ~loc:"dedup:hash" ~write:false chunk chunk_bytes;
+      let b = i * 17 mod buckets in
+      Sim.with_lock bucket_locks.(b) (fun () ->
+          Sim.read ~loc:"dedup:index" (index + (4 * b)) 4;
+          Sim.write ~loc:"dedup:index" (index + (4 * b)) 4);
+      Wutil.Handoff.put to_compress i ~value:chunk
+    done
+  in
+  let compressor () =
+    for i = 0 to items - 1 do
+      let chunk = Wutil.Handoff.take to_compress i in
+      let out = Sim.malloc out_bytes in
+      Wutil.touch_words ~loc:"dedup:compress-read" ~write:false chunk chunk_bytes;
+      Wutil.touch_words ~loc:"dedup:compress-write" ~write:true out out_bytes;
+      Sim.free chunk;
+      Wutil.Handoff.put to_write i ~value:out
+    done
+  in
+  let writer () =
+    for i = 0 to items - 1 do
+      let out = Wutil.Handoff.take to_write i in
+      Wutil.touch_words ~loc:"dedup:write" ~write:false out out_bytes;
+      Sim.free out
+    done
+  in
+  let tids = List.map Sim.spawn [ hasher; compressor; writer ] in
+  for i = 0 to items - 1 do
+    let chunk = Sim.malloc chunk_bytes in
+    Wutil.touch_words ~loc:"dedup:fragment" ~write:true chunk chunk_bytes;
+    Wutil.Handoff.put to_hash i ~value:chunk
+  done;
+  List.iter Sim.join tids
+
+let workload : Workload.t =
+  {
+    name = "dedup";
+    description = "malloc/free-heavy pipeline with a locked bucket index";
+    defaults = { threads = 4; scale = 1; seed = 17 };
+    expected_races = 0;
+    program;
+  }

@@ -1,0 +1,48 @@
+(* facesim: barrier-phased physics solver.  Large word-aligned arrays,
+   partitioned updates with neighbour reads (high same-epoch ratio,
+   wide contiguous neighbourhoods — the friendliest case for dynamic
+   granularity), plus an unprotected 3-word frame-statistics block
+   written by every worker each phase: the seeded races. *)
+
+open Dgrace_sim
+
+let phases_per_scale = 20
+
+let program (p : Workload.params) () =
+  let phases = phases_per_scale * p.scale in
+  let n_words = 1024 in
+  let grid = Sim.static_alloc (4 * n_words) in
+  let stats = Sim.static_alloc 12 in
+  let b = Sim.barrier (p.threads + 1) in
+  Wutil.touch_words ~loc:"facesim:init" ~write:true grid (4 * n_words);
+  let part = n_words / p.threads in
+  let worker w =
+    let lo = w * part and hi = if w = p.threads - 1 then n_words else (w + 1) * part in
+    for _phase = 1 to phases do
+      Sim.barrier_wait b;
+      for i = lo to hi - 1 do
+        let a = grid + (4 * i) in
+        Sim.read ~loc:"facesim:solve" a 4;
+        if i + 1 < hi then Sim.read ~loc:"facesim:solve" (a + 4) 4;
+        Sim.write ~loc:"facesim:solve" a 4
+      done;
+      (* racy frame statistics: no lock, every worker, every phase *)
+      Sim.write ~loc:"facesim:stats" stats 4;
+      Sim.write ~loc:"facesim:stats" (stats + 4) 4;
+      Sim.write ~loc:"facesim:stats" (stats + 8) 4
+    done
+  in
+  let tids = List.init p.threads (fun w -> Sim.spawn (fun () -> worker w)) in
+  for _phase = 1 to phases do
+    Sim.barrier_wait b
+  done;
+  List.iter Sim.join tids
+
+let workload : Workload.t =
+  {
+    name = "facesim";
+    description = "barrier-phased solver over large word arrays";
+    defaults = { threads = 4; scale = 1; seed = 11 };
+    expected_races = 3;
+    program;
+  }

@@ -1,0 +1,51 @@
+(* ferret: a four-stage similarity-search pipeline.  Items are malloc'd
+   buffers initialised by the producer and handed stage to stage
+   through event-flag channels; each stage reads the previous stage's
+   fields and writes its own.  Many short-lived shadow locations and
+   moderate sharing.  Seeded races: two unprotected statistics
+   counters updated by different stages. *)
+
+open Dgrace_sim
+
+let stages = 4
+let item_bytes = 128
+
+let program (p : Workload.params) () =
+  let items = 250 * p.scale in
+  let channels = Array.init stages (fun _ -> Wutil.Handoff.create items) in
+  let stat_a = Wutil.Counter.create ~loc:"ferret:rank-stats" () in
+  let stat_b = Wutil.Counter.create ~loc:"ferret:index-stats" () in
+  let stage_field s = 32 * s in
+  let stage s =
+    for i = 0 to items - 1 do
+      let buf = Wutil.Handoff.take channels.(s - 1) i in
+      (* read everything produced so far, write this stage's field *)
+      Wutil.touch_words ~loc:"ferret:stage-read" ~write:false buf (stage_field s);
+      Wutil.touch_words ~loc:"ferret:stage-write" ~write:true
+        (buf + stage_field s) 32;
+      if (s = 2 || s = 3) && i land 7 = 0 then begin
+        (* both stages bump both counters, unprotected: two races *)
+        Wutil.Counter.incr_racy stat_a;
+        Wutil.Counter.incr_racy stat_b
+      end;
+      if s = stages - 1 then Sim.free buf
+      else Wutil.Handoff.put channels.(s) i ~value:buf
+    done
+  in
+  let tids = List.init (stages - 1) (fun k -> Sim.spawn (fun () -> stage (k + 1))) in
+  (* the producer stage runs on the main thread *)
+  for i = 0 to items - 1 do
+    let buf = Sim.malloc item_bytes in
+    Wutil.touch_words ~loc:"ferret:load" ~write:true buf 32;
+    Wutil.Handoff.put channels.(0) i ~value:buf
+  done;
+  List.iter Sim.join tids
+
+let workload : Workload.t =
+  {
+    name = "ferret";
+    description = "four-stage pipeline over malloc'd items";
+    defaults = { threads = 4; scale = 1; seed = 12 };
+    expected_races = 2;
+    program;
+  }

@@ -1,0 +1,55 @@
+(* ffmpeg: decode/filter/encode over malloc'd frame buffers handed
+   between two workers.  Reproduces both race findings of the paper's
+   §V: (1) one real race — the two workers bump a shared frame counter
+   without protection (found by the dynamic detector, missed by DRD in
+   the paper's run); (2) a word-granularity false alarm — two adjacent
+   single-byte fields packed into one word, each correctly protected
+   by its own lock, which the word detector conflates. *)
+
+open Dgrace_sim
+
+let frame_bytes = 256
+
+let program (p : Workload.params) () =
+  let frames = 100 * p.scale in
+  let decoded = Wutil.Handoff.create frames in
+  let frame_count = Wutil.Counter.create ~loc:"ffmpeg:frame_count" () in
+  let packed_flags = Sim.static_alloc 4 in
+  let flag_lock_a = Sim.mutex () and flag_lock_b = Sim.mutex () in
+  let decoder () =
+    for i = 0 to frames - 1 do
+      let buf = Sim.malloc frame_bytes in
+      Wutil.touch_words ~loc:"ffmpeg:decode" ~write:true buf frame_bytes;
+      (* byte field 0, protected by its own lock *)
+      Sim.with_lock flag_lock_a (fun () ->
+          Sim.write ~loc:"ffmpeg:interlace-flag" packed_flags 1);
+      if i land 7 = 0 then Wutil.Counter.incr_racy frame_count;
+      Wutil.Handoff.put decoded i ~value:buf
+    done
+  in
+  let encoder () =
+    for i = 0 to frames - 1 do
+      let buf = Wutil.Handoff.take decoded i in
+      Wutil.touch_words ~loc:"ffmpeg:encode-read" ~write:false buf frame_bytes;
+      Wutil.touch_words ~loc:"ffmpeg:encode-write" ~write:true buf (frame_bytes / 2);
+      (* adjacent byte field 1 (odd address), its own lock: race-free,
+         but the word detector sees the same shadow word as field 0 *)
+      Sim.with_lock flag_lock_b (fun () ->
+          Sim.write ~loc:"ffmpeg:keyframe-flag" (packed_flags + 1) 1);
+      if i land 7 = 0 then Wutil.Counter.incr_racy frame_count;
+      Sim.free buf
+    done
+  in
+  let t1 = Sim.spawn decoder in
+  let t2 = Sim.spawn encoder in
+  Sim.join t1;
+  Sim.join t2
+
+let workload : Workload.t =
+  {
+    name = "ffmpeg";
+    description = "two-stage codec; one real race plus a word-granularity trap";
+    defaults = { threads = 2; scale = 1; seed = 19 };
+    expected_races = 1;
+    program;
+  }

@@ -1,0 +1,60 @@
+(* fluidanimate: grid of cells protected by fine-grained region locks,
+   updated over barrier-separated iterations.  Heavy locking (many
+   short epochs), word accesses only, moderate neighbourhood sharing.
+   Seeded race: one boundary cell that both adjacent workers update
+   without taking its region lock. *)
+
+open Dgrace_sim
+
+let iters_per_scale = 12
+let cells_per_lock = 16
+
+let program (p : Workload.params) () =
+  let iters = iters_per_scale * p.scale in
+  let cells = 768 in
+  let grid = Sim.static_alloc (4 * cells) in
+  let locks = Array.init (cells / cells_per_lock) (fun _ -> Sim.mutex ()) in
+  let b = Sim.barrier p.threads in
+  let boundary = grid + (4 * (cells / 2)) in
+  Wutil.touch_words ~loc:"fluid:init" ~write:true grid (4 * cells);
+  let part = cells / p.threads in
+  let worker w =
+    let lo = w * part and hi = if w = p.threads - 1 then cells else (w + 1) * part in
+    for _it = 1 to iters do
+      Sim.barrier_wait b;
+      let region = ref (-1) in
+      for i = lo to hi - 1 do
+        let r = i / cells_per_lock in
+        if r <> !region then begin
+          if !region >= 0 then Sim.unlock locks.(!region);
+          Sim.lock locks.(r);
+          region := r
+        end;
+        let a = grid + (4 * i) in
+        Sim.read ~loc:"fluid:density" a 4;
+        (* neighbour read stays within the lock region *)
+        if (i + 1) / cells_per_lock = r && i + 1 < hi then
+          Sim.read ~loc:"fluid:density" (a + 4) 4;
+        Sim.write ~loc:"fluid:force" a 4
+      done;
+      if !region >= 0 then Sim.unlock locks.(!region);
+      (* the seeded bug: both middle workers poke the boundary cell
+         without holding its region lock *)
+      if w = p.threads / 2 || w = (p.threads / 2) - 1 then
+        Sim.write ~loc:"fluid:boundary" boundary 4
+    done
+  in
+  let tids =
+    List.init (p.threads - 1) (fun w -> Sim.spawn (fun () -> worker (w + 1)))
+  in
+  worker 0;
+  List.iter Sim.join tids
+
+let workload : Workload.t =
+  {
+    name = "fluidanimate";
+    description = "region-locked grid updates with barrier iterations";
+    defaults = { threads = 4; scale = 1; seed = 13 };
+    expected_races = 1;
+    program;
+  }

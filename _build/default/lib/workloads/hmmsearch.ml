@@ -1,0 +1,38 @@
+(* hmmsearch: profile-HMM sequence search.  Workers scan a read-only
+   sequence database (read-shared clocks) and score into private
+   buffers; shared traffic is small and the detector overheads are
+   the lowest of the suite, as in the paper.  Seeded race: the final
+   unprotected update of the shared hit counter — the single race all
+   three tools in the paper's Table 6 agree on. *)
+
+open Dgrace_sim
+
+let program (p : Workload.params) () =
+  let db_words = 6144 * p.scale in
+  let db = Sim.static_alloc (4 * db_words) in
+  let hits = Wutil.Counter.create ~loc:"hmmsearch:hits" () in
+  Wutil.touch_words ~loc:"hmmsearch:load-db" ~write:true db (4 * db_words);
+  let worker w =
+    let score = Sim.malloc (4 * 64) in
+    Wutil.touch_words ~loc:"hmmsearch:viterbi-init" ~write:true score 256;
+    let part = db_words / p.threads in
+    let lo = w * part and hi = if w = p.threads - 1 then db_words else (w + 1) * part in
+    for i = lo to hi - 1 do
+      Sim.read ~loc:"hmmsearch:scan" (db + (4 * i)) 4;
+      if i land 15 = 0 then
+        Sim.write ~loc:"hmmsearch:viterbi" (score + (4 * (i land 63))) 4
+    done;
+    (* unprotected aggregation at the end of the scan: the one race *)
+    Wutil.Counter.incr_racy hits;
+    Sim.free score
+  in
+  Wutil.spawn_workers p.threads worker
+
+let workload : Workload.t =
+  {
+    name = "hmmsearch";
+    description = "read-only database scan with private score buffers";
+    defaults = { threads = 4; scale = 1; seed = 21 };
+    expected_races = 1;
+    program;
+  }

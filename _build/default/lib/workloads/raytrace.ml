@@ -1,0 +1,48 @@
+(* raytrace: a large read-only scene shared by all workers (exercises
+   FastTrack's read-shared vector clocks) and a frame buffer with
+   per-worker rows.  Random scene reads give poor locality, so dynamic
+   granularity gains little here — as in the paper.  Seeded races: two
+   unprotected progress counters, plus one race inside the "pthread"
+   runtime that the default suppression rules hide from our detectors
+   but DRD-style tools report. *)
+
+open Dgrace_sim
+
+let program (p : Workload.params) () =
+  let scene_words = 4096 * p.scale in
+  let pixels = 6144 * p.scale in
+  let scene = Sim.static_alloc (4 * scene_words) in
+  let fb = Sim.static_alloc (4 * pixels) in
+  let progress = Wutil.Counter.create ~loc:"raytrace:progress" () in
+  let rays = Wutil.Counter.create ~loc:"raytrace:rays" () in
+  (* runtime-internal word, far from application data as in a real address space *)
+  let tls = Sim.static_alloc ~align:65536 4 in
+  Wutil.touch_words ~loc:"raytrace:scene-load" ~write:true scene (4 * scene_words);
+  let part = pixels / p.threads in
+  let worker w =
+    let st = Wutil.rng (p.seed + w) in
+    let lo = w * part and hi = if w = p.threads - 1 then pixels else (w + 1) * part in
+    for px = lo to hi - 1 do
+      for _bounce = 1 to 3 do
+        let i = Random.State.int st scene_words in
+        Sim.read ~loc:"raytrace:trace" (scene + (4 * i)) 4
+      done;
+      Sim.write ~loc:"raytrace:shade" (fb + (4 * px)) 4;
+      if px land 255 = 0 then begin
+        Wutil.Counter.incr_racy progress;
+        Wutil.Counter.incr_racy rays;
+        (* runtime-internal write, suppressed by Suppression.default_runtime *)
+        Sim.write ~loc:"pthread:tls-cache" tls 4
+      end
+    done
+  in
+  Wutil.spawn_workers p.threads worker
+
+let workload : Workload.t =
+  {
+    name = "raytrace";
+    description = "read-shared scene, random reads, per-worker framebuffer rows";
+    defaults = { threads = 4; scale = 1; seed = 14 };
+    expected_races = 2;
+    program;
+  }

@@ -1,0 +1,17 @@
+let all : Workload.t list =
+  [
+    Facesim.workload;
+    Ferret.workload;
+    Fluidanimate.workload;
+    Raytrace.workload;
+    X264.workload;
+    Canneal.workload;
+    Dedup.workload;
+    Streamcluster.workload;
+    Ffmpeg_w.workload;
+    Pbzip2.workload;
+    Hmmsearch.workload;
+  ]
+
+let find name = List.find_opt (fun (w : Workload.t) -> w.name = name) all
+let names = List.map (fun (w : Workload.t) -> w.name) all

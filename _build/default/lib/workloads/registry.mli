@@ -1,0 +1,9 @@
+(** The benchmark suite: the paper's eleven programs. *)
+
+val all : Workload.t list
+(** In the paper's Table 1 order: facesim, ferret, fluidanimate,
+    raytrace, x264, canneal, dedup, streamcluster, ffmpeg, pbzip2,
+    hmmsearch. *)
+
+val find : string -> Workload.t option
+val names : string list

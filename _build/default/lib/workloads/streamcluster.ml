@@ -1,0 +1,69 @@
+(* streamcluster: barrier-phased clustering.  A large point array is
+   read by every worker once (or twice) per phase — the low same-epoch
+   ratio at byte granularity that dynamic granularity lifts to ~97% by
+   coalescing each partition into a handful of shared clocks.  The
+   centre array alternates between being rewritten wholesale by one
+   worker (which lets its words share one clock) and being updated
+   per-centre under per-centre locks by different workers — the
+   pattern that provokes the dynamic detector's (paper-documented)
+   false alarms on streamcluster.  No real races are seeded. *)
+
+open Dgrace_sim
+
+let phases_per_scale = 16
+let centers = 8
+
+let program (p : Workload.params) () =
+  let phases = phases_per_scale * p.scale in
+  let points = 1024 in
+  let parr = Sim.static_alloc (4 * points) in
+  let carr = Sim.static_alloc (4 * centers) in
+  let center_locks = Array.init centers (fun _ -> Sim.mutex ()) in
+  let b = Sim.barrier p.threads in
+  Wutil.touch_words ~loc:"stream:load" ~write:true parr (4 * points);
+  Wutil.touch_words ~loc:"stream:init-centers" ~write:true carr (4 * centers);
+  let part = points / p.threads in
+  let worker w =
+    let lo = w * part and hi = if w = p.threads - 1 then points else (w + 1) * part in
+    for phase = 1 to phases do
+      Sim.barrier_wait b;
+      for i = lo to hi - 1 do
+        let a = parr + (4 * i) in
+        Sim.read ~loc:"stream:dist" a 4;
+        (* every other point is re-examined within the phase *)
+        if i land 1 = 0 then Sim.read ~loc:"stream:dist" a 4
+      done;
+      if phase land 1 = 1 then begin
+        (* odd phases: one worker recomputes every centre wholesale *)
+        if w = 0 then
+          Sim.with_lock center_locks.(0) (fun () ->
+              Wutil.touch_words ~loc:"stream:recenter" ~write:true carr
+                (4 * centers))
+      end
+      else begin
+        (* even phases: each worker refines its own centres under the
+           per-centre lock *)
+        let c = ref w in
+        while !c < centers do
+          Sim.with_lock center_locks.(!c) (fun () ->
+              Sim.read ~loc:"stream:refine" (carr + (4 * !c)) 4;
+              Sim.write ~loc:"stream:refine" (carr + (4 * !c)) 4);
+          c := !c + p.threads
+        done
+      end
+    done
+  in
+  let tids =
+    List.init (p.threads - 1) (fun w -> Sim.spawn (fun () -> worker (w + 1)))
+  in
+  worker 0;
+  List.iter Sim.join tids
+
+let workload : Workload.t =
+  {
+    name = "streamcluster";
+    description = "barrier-phased clustering; centre updates provoke dynamic false alarms";
+    defaults = { threads = 4; scale = 1; seed = 18 };
+    expected_races = 0;
+    program;
+  }

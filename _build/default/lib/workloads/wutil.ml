@@ -1,0 +1,56 @@
+open Dgrace_sim
+
+let rng seed = Random.State.make [| seed; 0x6b43a9b5 |]
+
+let spawn_workers n body =
+  let tids = List.init n (fun i -> Sim.spawn (fun () -> body i)) in
+  List.iter Sim.join tids
+
+let touch_words ?(loc = "") ~write addr bytes =
+  let op = if write then Sim.write else Sim.read in
+  let a = ref addr in
+  let hi = addr + bytes in
+  while !a < hi do
+    op ~loc !a (min 4 (hi - !a));
+    a := !a + 4
+  done
+
+module Handoff = struct
+  type t = { slots : int; flags : Sim.event_flag array }
+
+  let create n = { slots = Sim.static_alloc (4 * n); flags = Array.init n (fun _ -> Sim.event ()) }
+
+  (* The value channel is host-level; the simulated slot write/read
+     models the shared-memory traffic and the event flag carries the
+     happens-before edge. *)
+  let values : (int * int, int) Hashtbl.t = Hashtbl.create 64
+
+  let put t i ~value =
+    Hashtbl.replace values (t.slots, i) value;
+    Sim.write ~loc:"queue:put" (t.slots + (4 * i)) 4;
+    Sim.event_set t.flags.(i)
+
+  let take t i =
+    Sim.event_wait t.flags.(i);
+    Sim.read ~loc:"queue:take" (t.slots + (4 * i)) 4;
+    match Hashtbl.find_opt values (t.slots, i) with
+    | Some v -> v
+    | None -> invalid_arg "Handoff.take before put"
+end
+
+module Counter = struct
+  type t = { caddr : int; loc : string }
+
+  let create ?(loc = "counter") () = { caddr = Sim.static_alloc 4; loc }
+
+  let incr_locked t m =
+    Sim.with_lock m (fun () ->
+        Sim.read ~loc:t.loc t.caddr 4;
+        Sim.write ~loc:t.loc t.caddr 4)
+
+  let incr_racy t =
+    Sim.read ~loc:t.loc t.caddr 4;
+    Sim.write ~loc:t.loc t.caddr 4
+
+  let addr t = t.caddr
+end

@@ -1,0 +1,67 @@
+(* x264: frame encoder with the staggered row dependency of the real
+   program — the thread encoding frame f+1 may start row r once frame f
+   has finished row r+2, so consecutive frames encode concurrently.
+   The seeded bug reproduces the paper's x264 discussion: a large
+   unprotected per-frame statistics array (992 aligned words) plus 8
+   single-byte fields at odd offsets packed into 4 words.  The byte and
+   dynamic detectors count 1000 racy locations; the word detector masks
+   the packed bytes to their words and reports 996. *)
+
+open Dgrace_sim
+
+let rows = 16
+let row_words = 48
+let stat_words = 992
+let packed_bytes = 8
+
+let program (p : Workload.params) () =
+  let frames = 8 * p.scale in
+  let row_data = Sim.static_alloc (4 * rows * row_words * 2) in
+  (* two frame-sized row buffers, alternating: ref and current *)
+  let stats = Sim.static_alloc (4 * stat_words) in
+  let packed = Sim.static_alloc 16 in
+  let done_flags = Array.init frames (fun _ -> Array.init rows (fun _ -> Sim.event ())) in
+  let frame_buf f = row_data + (4 * rows * row_words * (f land 1)) in
+  let encode_frame f =
+    for r = 0 to rows - 1 do
+      (* wait for the reference rows of the previous frame *)
+      if f > 0 then Sim.event_wait done_flags.(f - 1).(min (rows - 1) (r + 2));
+      let cur = frame_buf f + (4 * r * row_words) in
+      let reference = frame_buf (f - 1) + (4 * r * row_words) in
+      if f > 0 then
+        Wutil.touch_words ~loc:"x264:motion-search" ~write:false reference
+          (4 * row_words);
+      Wutil.touch_words ~loc:"x264:encode-row" ~write:true cur (4 * row_words);
+      Sim.event_set done_flags.(f).(r)
+    done;
+    (* per-frame rate-control statistics, unprotected across frames *)
+    Wutil.touch_words ~loc:"x264:rc-stats" ~write:true stats (4 * stat_words);
+    for k = 0 to (packed_bytes / 2) - 1 do
+      (* two odd-offset byte fields per packed word *)
+      Sim.write ~loc:"x264:rc-flags" (packed + (4 * k) + 1) 1;
+      Sim.write ~loc:"x264:rc-flags" (packed + (4 * k) + 3) 1
+    done
+  in
+  let next_frame = ref 0 in
+  let worker _w =
+    let continue_ = ref true in
+    while !continue_ do
+      (* frame assignment is host-level bookkeeping, not shared memory *)
+      let f = !next_frame in
+      if f >= frames then continue_ := false
+      else begin
+        incr next_frame;
+        encode_frame f
+      end
+    done
+  in
+  Wutil.spawn_workers p.threads worker
+
+let workload : Workload.t =
+  {
+    name = "x264";
+    description = "staggered-frame encoder with a large unprotected stats array";
+    defaults = { threads = 4; scale = 1; seed = 15 };
+    expected_races = stat_words + packed_bytes;
+    program;
+  }

@@ -1,0 +1,14 @@
+  $ racedet list | head -4
+  $ racedet list | grep -E 'dynamic$|multirace|literace' | sed 's/ *$//'
+  $ racedet run dedup --detector dynamic | grep races:
+  $ racedet run hmmsearch --detector dynamic -v | grep -o 'hmmsearch:hits' | sort -u
+  $ racedet run x264 --detector word 2>/dev/null | grep -o 'races: [0-9]*'
+  $ racedet run x264 --detector byte 2>/dev/null | grep -o 'races: [0-9]*'
+  $ racedet run nosuchworkload 2>&1 | head -1
+  $ racedet run hmmsearch --detector nosuchdetector 2>&1 | head -1
+  $ racedet record ffmpeg trace.bin | sed 's/ [0-9]* events/ N events/'
+  $ racedet trace-info trace.bin | head -4
+  $ racedet trace-dump trace.bin -n 2
+  $ racedet replay trace.bin --detector dynamic | grep 'races:'
+  $ rm trace.bin
+  $ racedet explore hmmsearch -n 3 | tail -2

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Accounting Alcotest Detector Dgrace_detectors Dgrace_events Dgrace_shadow Drd_segment Dynamic_granularity Event Fun Hybrid_inspector List Lockset Tutil

@@ -1,0 +1,1 @@
+test/test_djit.ml: Accounting Alcotest Detector Dgrace_detectors Dgrace_events Dgrace_shadow Djit Fasttrack Fun List Tutil

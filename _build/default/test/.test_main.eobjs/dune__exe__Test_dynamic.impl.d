@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Accounting Alcotest Detector Dgrace_detectors Dgrace_events Dgrace_shadow Dynamic_granularity Fasttrack Fun List Tutil

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Astring_contains Dgrace_core Dgrace_events Dgrace_sim Dgrace_trace Engine Filename Format List Option Scheduler Sim Spec Suppression Sys

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Dgrace_events Event List Option Report Suppression

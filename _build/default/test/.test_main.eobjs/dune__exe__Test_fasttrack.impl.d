@@ -1,0 +1,1 @@
+test/test_fasttrack.ml: Accounting Alcotest Detector Dgrace_core Dgrace_detectors Dgrace_events Dgrace_shadow Fasttrack Tutil

@@ -1,0 +1,1 @@
+test/test_shadow.ml: Accounting Alcotest Array Dgrace_shadow Epoch_bitmap Hashtbl List QCheck QCheck_alcotest Shadow_table Test

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Detector Dgrace_detectors Dgrace_events Dgrace_sim Dynamic_granularity Event Hashtbl List Memory Option Printf Scheduler Sim

@@ -1,0 +1,1 @@
+test/test_state_machine.ml: Alcotest Dgrace_detectors Fmt List Share_state

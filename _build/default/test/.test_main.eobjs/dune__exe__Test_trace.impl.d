@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Buffer Dgrace_events Dgrace_trace Event Filename In_channel List QCheck QCheck_alcotest String Sys Trace_format Trace_reader Trace_writer Unix

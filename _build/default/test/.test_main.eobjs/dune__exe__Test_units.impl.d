@@ -1,0 +1,1 @@
+test/test_units.ml: Accounting Alcotest Dgrace_detectors Dgrace_events Dgrace_shadow Dgrace_sim Dgrace_vclock Epoch List Lock_tracker QCheck QCheck_alcotest Race_info Read_state Vc_env Vector_clock

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Dgrace_util List QCheck QCheck_alcotest Test

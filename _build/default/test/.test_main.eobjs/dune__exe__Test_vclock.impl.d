@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Dgrace_vclock Epoch List QCheck QCheck_alcotest Vector_clock

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dgrace_core Dgrace_detectors Dgrace_events Dgrace_workloads Engine List Option Registry Run_stats Spec Suppression Workload

@@ -1,0 +1,6 @@
+(* tiny substring helper for tests (no astring dependency) *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0

@@ -1,0 +1,68 @@
+The racedet CLI end to end.  Everything here is deterministic: fixed
+workload seeds and a fixed scheduler seed.
+
+List what is available:
+
+  $ racedet list | head -4
+  workloads:
+    facesim        barrier-phased solver over large word arrays (threads=4, 3 seeded races)
+    ferret         four-stage pipeline over malloc'd items (threads=4, 2 seeded races)
+    fluidanimate   region-locked grid updates with barrier iterations (threads=4, 1 seeded races)
+
+  $ racedet list | grep -E 'dynamic$|multirace|literace' | sed 's/ *$//'
+    dynamic
+    multirace
+    literace
+
+Run a clean workload (exit code 0, no races):
+
+  $ racedet run dedup --detector dynamic | grep races:
+  races: 0 (0 suppressed)
+
+Run a racy workload: exit code 2 and the report names the seeded bug.
+
+  $ racedet run hmmsearch --detector dynamic -v | grep -o 'hmmsearch:hits' | sort -u
+  hmmsearch:hits
+
+The word detector masks x264's packed byte fields (996 < 1000):
+
+  $ racedet run x264 --detector word 2>/dev/null | grep -o 'races: [0-9]*'
+  races: 996
+
+  $ racedet run x264 --detector byte 2>/dev/null | grep -o 'races: [0-9]*'
+  races: 1000
+
+Unknown arguments fail cleanly:
+
+  $ racedet run nosuchworkload 2>&1 | head -1
+  racedet: WORKLOAD argument: unknown workload "nosuchworkload" (try: facesim,
+
+  $ racedet run hmmsearch --detector nosuchdetector 2>&1 | head -1
+  racedet: option '--detector': unknown detector "nosuchdetector"
+
+Record, inspect, and replay a trace; replay finds the same race:
+
+  $ racedet record ffmpeg trace.bin | sed 's/ [0-9]* events/ N events/'
+  recorded N events (16452 accesses, 3 threads) to trace.bin
+
+  $ racedet trace-info trace.bin | head -4
+  events:    17259
+  accesses:  16452 (6526 reads, 9926 writes)
+  sync ops:  602 on 102 sync objects
+  threads:   3 (2 forks)
+
+  $ racedet trace-dump trace.bin -n 2
+  fork t0 -> t1
+  fork t0 -> t2
+  ... (17257 more events)
+
+  $ racedet replay trace.bin --detector dynamic | grep 'races:'
+  races: 1 (0 suppressed)
+
+  $ rm trace.bin
+
+Schedule exploration reports race stability across interleavings:
+
+  $ racedet explore hmmsearch -n 3 | tail -2
+  
+  1 distinct racy location(s) across all seeds; 1 found under every seed

@@ -1,0 +1,201 @@
+(* The comparison detectors: Eraser LockSet, DRD-style segments, and
+   the hybrid Inspector stand-in. *)
+
+open Dgrace_detectors
+open Dgrace_events
+open Tutil
+
+let acq2 tid lock = Event.Acquire { tid; lock; sync = Event.Lock }
+let rel2 tid lock = Event.Release { tid; lock; sync = Event.Lock }
+
+(* ------------------------------------------------------------------ *)
+(* Eraser *)
+
+let eraser () = Lockset.create ()
+
+let test_eraser_discipline_violation () =
+  (* two threads write the same word under different locks *)
+  let evs =
+    [ fork 0 1;
+      acq2 0 1; wr 0 0x100; rel2 0 1;
+      acq2 1 2; wr 1 0x100; rel2 1 2 ]
+  in
+  let d = feed_events (eraser ()) evs in
+  Alcotest.(check int) "empty lockset reported" 1 (race_count d)
+
+let test_eraser_consistent_lock_ok () =
+  let evs =
+    [ fork 0 1;
+      acq2 0 1; wr 0 0x100; rel2 0 1;
+      acq2 1 1; wr 1 0x100; rel2 1 1;
+      acq2 0 1; wr 0 0x100; rel2 0 1 ]
+  in
+  let d = feed_events (eraser ()) evs in
+  Alcotest.(check int) "consistent discipline" 0 (race_count d)
+
+let test_eraser_exclusive_phase () =
+  (* a single thread never triggers checks, whatever it does *)
+  let evs = [ wr 0 0x100; rd 0 0x100; wr 0 0x100 ] in
+  let d = feed_events (eraser ()) evs in
+  Alcotest.(check int) "exclusive" 0 (race_count d)
+
+let test_eraser_read_shared_no_report () =
+  (* write then unprotected reads by others: Shared state, no report
+     (the known Eraser miss on write-then-read-shared) *)
+  let evs = [ fork 0 1; wr 0 0x100; rd 1 0x100 ] in
+  let d = feed_events (eraser ()) evs in
+  Alcotest.(check int) "shared state silent" 0 (race_count d)
+
+let test_eraser_fork_join_false_alarm () =
+  (* perfectly ordered by fork/join, yet LockSet has no lock in common *)
+  let evs =
+    [ wr 0 0x100; fork 0 1; wr 1 0x100;
+      Event.Thread_exit { tid = 1 }; join 0 1; wr 0 0x100 ]
+  in
+  let d = feed_events (eraser ()) evs in
+  Alcotest.(check int) "false alarm on fork/join" 1 (race_count d)
+
+let test_eraser_barrier_not_a_lock () =
+  (* barrier sync events must not enter locksets *)
+  let evs =
+    [ fork 0 1;
+      Event.Acquire { tid = 0; lock = 9; sync = Event.Barrier };
+      Event.Acquire { tid = 1; lock = 9; sync = Event.Barrier };
+      wr 0 0x100; wr 1 0x100 ]
+  in
+  let d = feed_events (eraser ()) evs in
+  Alcotest.(check int) "barrier does not protect" 1 (race_count d)
+
+(* ------------------------------------------------------------------ *)
+(* DRD segments *)
+
+let drd () = Drd_segment.create ()
+
+let test_drd_basic () =
+  let d = feed_events (drd ()) [ fork 0 1; wr 0 0x100; wr 1 0x100 ] in
+  Alcotest.(check int) "ww race" 1 (race_count d);
+  let d = feed_events (drd ()) [ fork 0 1; rd 0 0x100; rd 1 0x100 ] in
+  Alcotest.(check int) "rr ok" 0 (race_count d);
+  let d =
+    feed_events (drd ())
+      [ fork 0 1; acq 0; wr 0 0x100; rel 0; acq 1; wr 1 0x100; rel 1 ]
+  in
+  Alcotest.(check int) "lock ordered" 0 (race_count d)
+
+let test_drd_segments_gc () =
+  let open Dgrace_shadow in
+  (* a long lock-ordered sequence: finished segments become ordered
+     before every thread and must be swept *)
+  let evs =
+    fork 0 1
+    :: List.concat_map
+         (fun i ->
+           [ acq 0; wr 0 (0x100 + (4 * (i mod 8))); rel 0;
+             acq 1; wr 1 (0x100 + (4 * (i mod 8))); rel 1 ])
+         (List.init 64 Fun.id)
+  in
+  let d = feed_events (drd ()) evs in
+  Alcotest.(check int) "no race" 0 (race_count d);
+  (* far fewer live segment clocks than segments created *)
+  Alcotest.(check bool) "segments swept" true
+    (Accounting.live_vcs d.Detector.account < 32)
+
+let test_drd_free_purges () =
+  let evs =
+    [
+      fork 0 1;
+      Event.Alloc { tid = 0; addr = 0x200; size = 8 };
+      wr 0 0x200;
+      free 0 0x200 8;
+      Event.Alloc { tid = 1; addr = 0x200; size = 8 };
+      wr 1 0x200;
+    ]
+  in
+  let d = feed_events (drd ()) evs in
+  Alcotest.(check int) "recycled address is clean" 0 (race_count d)
+
+let test_drd_same_segment_dedup () =
+  let d = feed_events (drd ()) [ wr 0 0x100; wr 0 0x100; wr 0 0x100 ] in
+  Alcotest.(check int) "same-segment accesses filtered" 2
+    d.Detector.stats.same_epoch
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid inspector *)
+
+let inspector () = Hybrid_inspector.create ()
+
+let test_inspector_basic () =
+  let d = feed_events (inspector ()) [ fork 0 1; wr 0 0x100; wr 1 0x100 ] in
+  Alcotest.(check int) "ww race" 1 (race_count d);
+  let d =
+    feed_events (inspector ())
+      [ fork 0 1; acq 0; wr 0 0x100; rel 0; acq 1; wr 1 0x100; rel 1 ]
+  in
+  Alcotest.(check int) "lock ordered" 0 (race_count d)
+
+let test_inspector_pair_dedup () =
+  (* many racy locations from the same instruction pair: one report *)
+  let evs =
+    fork 0 1
+    :: (List.map (fun i -> wr ~loc:"a" 0 (0x100 + (4 * i))) (List.init 8 Fun.id)
+        @ List.map (fun i -> wr ~loc:"b" 1 (0x100 + (4 * i))) (List.init 8 Fun.id))
+  in
+  let d = feed_events (inspector ()) evs in
+  Alcotest.(check int) "per instruction pair" 1 (race_count d)
+
+let test_inspector_window_eviction () =
+  (* the bounded history can forget old accesses: with window 1, an
+     intervening access by the same future-ordered thread hides the
+     older racy write *)
+  let evs =
+    [ fork 0 1; wr 0 0x100;  (* racy with t1 below *)
+      fork 0 2; wr 2 0x100;  (* also racy; fills the window *)
+      wr 1 0x100 ]
+  in
+  let small = feed_events (Hybrid_inspector.create ~history:1 ()) evs in
+  let big = feed_events (Hybrid_inspector.create ~history:4 ()) evs in
+  Alcotest.(check bool) "bigger window finds at least as much" true
+    (race_count big >= race_count small)
+
+let test_inspector_memory_heavier_than_dynamic () =
+  let open Dgrace_shadow in
+  let evs =
+    fork 0 1
+    :: List.concat_map
+         (fun i ->
+           [ acq 0; wr 0 (0x1000 + (4 * (i mod 64))); rel 0;
+             acq 1; rd 1 (0x1000 + (4 * (i mod 64))); rel 1 ])
+         (List.init 128 Fun.id)
+  in
+  let ins = feed_events (inspector ()) evs in
+  let dyn = feed_events (Dynamic_granularity.create ()) evs in
+  Alcotest.(check bool) "inspector memory > dynamic memory" true
+    (Accounting.peak_bytes ins.Detector.account
+     > Accounting.peak_bytes dyn.Detector.account)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "baselines.eraser",
+      [
+        Alcotest.test_case "discipline violation" `Quick test_eraser_discipline_violation;
+        Alcotest.test_case "consistent lock ok" `Quick test_eraser_consistent_lock_ok;
+        Alcotest.test_case "exclusive phase" `Quick test_eraser_exclusive_phase;
+        Alcotest.test_case "read-shared miss" `Quick test_eraser_read_shared_no_report;
+        Alcotest.test_case "fork/join false alarm" `Quick test_eraser_fork_join_false_alarm;
+        Alcotest.test_case "barrier is not a lock" `Quick test_eraser_barrier_not_a_lock;
+      ] );
+    ( "baselines.drd",
+      [
+        Alcotest.test_case "basic" `Quick test_drd_basic;
+        Alcotest.test_case "segment GC" `Quick test_drd_segments_gc;
+        Alcotest.test_case "free purges sets" `Quick test_drd_free_purges;
+        Alcotest.test_case "same-segment dedup" `Quick test_drd_same_segment_dedup;
+      ] );
+    ( "baselines.inspector",
+      [
+        Alcotest.test_case "basic" `Quick test_inspector_basic;
+        Alcotest.test_case "instruction-pair dedup" `Quick test_inspector_pair_dedup;
+        Alcotest.test_case "window eviction" `Quick test_inspector_window_eviction;
+        Alcotest.test_case "memory heavier than dynamic" `Quick test_inspector_memory_heavier_than_dynamic;
+      ] );
+  ]

@@ -1,0 +1,74 @@
+(* DJIT+ (full vector clocks per location): the same detection rules
+   as FastTrack, at O(n) space per location. *)
+
+open Dgrace_detectors
+open Tutil
+
+let djit () = Djit.create ()
+
+let check name events expected =
+  let d = feed_events (djit ()) events in
+  Alcotest.(check int) name expected (race_count d)
+
+let test_basic_races () =
+  check "ww race" [ fork 0 1; wr 0 0x100; wr 1 0x100 ] 1;
+  check "wr race" [ fork 0 1; wr 0 0x100; rd 1 0x100 ] 1;
+  check "rw race" [ fork 0 1; rd 1 0x100; wr 0 0x100 ] 1;
+  check "rr no race" [ fork 0 1; rd 0 0x100; rd 1 0x100 ] 0
+
+let test_sync_edges () =
+  check "lock ordering" [ fork 0 1; acq 0; wr 0 0x100; rel 0; acq 1; wr 1 0x100; rel 1 ] 0;
+  check "fork edge" [ wr 0 0x100; fork 0 1; wr 1 0x100 ] 0;
+  check "join edge"
+    [ fork 0 1; wr 1 0x100; Dgrace_events.Event.Thread_exit { tid = 1 }; join 0 1; wr 0 0x100 ]
+    0
+
+(* DJIT+ keeps the full read vector clock, so the read-shared pattern
+   works without an adaptive representation *)
+let test_read_shared () =
+  check "unordered reads then racy write"
+    [ fork 0 1; fork 0 2; rd 1 0x100; rd 2 0x100; wr 0 0x100 ]
+    1
+
+let test_granularity () =
+  let d4 = feed_events (Djit.create ~granularity:4 ()) [ fork 0 1; wr ~size:1 0 0x100; wr ~size:1 1 0x103 ] in
+  Alcotest.(check int) "word granularity conflates" 1 (race_count d4);
+  let d1 = feed_events (Djit.create ~granularity:1 ()) [ fork 0 1; wr ~size:1 0 0x100; wr ~size:1 1 0x103 ] in
+  Alcotest.(check int) "byte granularity separates" 0 (race_count d1)
+
+let test_memory_is_heavier_than_fasttrack () =
+  let open Dgrace_shadow in
+  let events =
+    (fork 0 1 :: acq 0 :: List.map (fun i -> wr 0 (0x1000 + (4 * i))) (List.init 64 Fun.id))
+    @ (rel 0 :: acq 1 :: List.map (fun i -> rd 1 (0x1000 + (4 * i))) (List.init 64 Fun.id))
+    @ [ rel 1 ]
+  in
+  let dj = feed_events (Djit.create ~granularity:4 ()) events in
+  let ft = feed_events (Fasttrack.create ~granularity:4 ()) events in
+  Alcotest.(check bool) "djit vc bytes > fasttrack vc bytes" true
+    (Accounting.peak_vc_bytes dj.Detector.account
+     > Accounting.peak_vc_bytes ft.Detector.account)
+
+let test_free_retires () =
+  let open Dgrace_shadow in
+  let d =
+    feed_events (djit ())
+      [ wr 0 0x400; wr 0 0x401; free 0 0x400 8 ]
+  in
+  Alcotest.(check int) "retired" 0 (Accounting.live_vcs d.Detector.account)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "djit.rules",
+      [
+        Alcotest.test_case "basic races" `Quick test_basic_races;
+        Alcotest.test_case "sync edges" `Quick test_sync_edges;
+        Alcotest.test_case "read shared" `Quick test_read_shared;
+        Alcotest.test_case "granularity" `Quick test_granularity;
+      ] );
+    ( "djit.memory",
+      [
+        Alcotest.test_case "heavier than FastTrack" `Quick test_memory_is_heavier_than_fasttrack;
+        Alcotest.test_case "free retires clocks" `Quick test_free_retires;
+      ] );
+  ]

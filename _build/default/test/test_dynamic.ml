@@ -1,0 +1,284 @@
+(* The dynamic-granularity detector: sharing formation, the split at
+   the second epoch, race dissolution, the Table 5 ablations, and the
+   adaptive index integration. *)
+
+open Dgrace_detectors
+open Dgrace_shadow
+open Tutil
+
+let dynamic () = Dynamic_granularity.create ()
+
+let check ?(det = dynamic) name events expected =
+  let d = feed_events (det ()) events in
+  Alcotest.(check int) name expected (race_count d)
+
+(* basics: the dynamic detector is a full happens-before detector *)
+let test_basic_races () =
+  check "ww race" [ fork 0 1; wr 0 0x100; wr 1 0x100 ] 1;
+  check "wr race" [ fork 0 1; wr 0 0x100; rd 1 0x100 ] 1;
+  check "rw race" [ fork 0 1; rd 1 0x100; wr 0 0x100 ] 1;
+  check "rr no race" [ fork 0 1; rd 0 0x100; rd 1 0x100 ] 0;
+  check "lock ordering" [ fork 0 1; acq 0; wr 0 0x100; rel 0; acq 1; wr 1 0x100; rel 1 ] 0
+
+(* an initialisation sweep coalesces into few clocks *)
+let test_init_coalescing () =
+  let writes = List.map (fun i -> wr 0 (0x1000 + (4 * i))) (List.init 32 Fun.id) in
+  let d = feed_events (dynamic ()) writes in
+  Alcotest.(check int) "one clock for the whole sweep" 1
+    (Accounting.peak_vcs d.Detector.account);
+  (* the footprint (no-sharing) detector keeps one clock per access *)
+  let d = feed_events (Dynamic_granularity.create ~sharing:false ()) writes in
+  Alcotest.(check int) "footprint: one clock per word" 32
+    (Accounting.peak_vcs d.Detector.account)
+
+(* Table 5 ablation: no Init-state sharing -> higher peak clock count *)
+let test_init_sharing_saves_memory () =
+  let writes = List.map (fun i -> wr 0 (0x1000 + (4 * i))) (List.init 32 Fun.id) in
+  let with_init = feed_events (dynamic ()) writes in
+  let without =
+    feed_events (Dynamic_granularity.create ~init_sharing:false ()) writes
+  in
+  Alcotest.(check bool) "init sharing reduces peak clocks" true
+    (Accounting.peak_vcs with_init.Detector.account
+     < Accounting.peak_vcs without.Detector.account)
+
+(* Table 5 ablation: removing the Init state (single sharing decision
+   at first access) produces false alarms on the init-then-partition
+   pattern; the full machine does not *)
+let init_then_partition =
+  [
+    (* t0 zeroes the pair of words in one epoch *)
+    wr 0 0x100; wr 0 0x104;
+    fork 0 1; fork 0 2;
+    (* afterwards each element is consistently protected by its own lock *)
+    acq 1; wr 1 0x100; rel 1;
+    Dgrace_events.Event.Acquire { tid = 2; lock = 2; sync = Dgrace_events.Event.Lock };
+    wr 2 0x104;
+    Dgrace_events.Event.Release { tid = 2; lock = 2; sync = Dgrace_events.Event.Lock };
+    (* second round in new epochs *)
+    acq 1; wr 1 0x100; rel 1;
+    Dgrace_events.Event.Acquire { tid = 2; lock = 2; sync = Dgrace_events.Event.Lock };
+    wr 2 0x104;
+    Dgrace_events.Event.Release { tid = 2; lock = 2; sync = Dgrace_events.Event.Lock };
+  ]
+
+let test_no_init_state_false_alarms () =
+  check ~det:dynamic "full machine is precise" init_then_partition 0;
+  let d =
+    feed_events
+      (Dynamic_granularity.create ~init_state:false ~init_sharing:false ())
+      init_then_partition
+  in
+  Alcotest.(check bool) "no-Init-state variant false alarms" true (race_count d > 0)
+
+(* the race dissolves a sharing group and reports its members *)
+let test_dissolution_reports_members () =
+  let evs =
+    [
+      (* t0 writes 4 words in one epoch: they share one clock *)
+      wr 0 0x100; wr 0 0x104; wr 0 0x108; wr 0 0x10c;
+      fork 0 1;
+      (* t1 rewrites them in one epoch: still shared (second epoch,
+         equal clocks, ordered by fork) *)
+      wr 1 0x100; wr 1 0x104; wr 1 0x108; wr 1 0x10c;
+      (* t0 races on one member: the whole group dissolves *)
+      wr 0 0x104;
+    ]
+  in
+  let d = feed_events (dynamic ()) evs in
+  Alcotest.(check int) "one report per contiguous member run" 1 (race_count d);
+  match races d with
+  | [ r ] ->
+    Alcotest.(check (pair int int)) "granule covers the group" (0x100, 0x110)
+      (r.granule_lo, r.granule_hi)
+  | _ -> Alcotest.fail "expected exactly one report"
+
+(* after dissolution the location is parked: no further reports *)
+let test_race_state_absorbing () =
+  let evs =
+    [ fork 0 1; wr 0 0x100; wr 1 0x100; wr 0 0x100; wr 1 0x100; rd 1 0x100 ]
+  in
+  check "single report" evs 1
+
+(* packed sub-word fields with separate locks: the adaptive index keeps
+   them apart (no ffmpeg-style false alarm) *)
+let test_packed_fields_separate () =
+  let evs =
+    [
+      fork 0 1;
+      acq 0; wr ~size:1 0 0x100; rel 0;
+      Dgrace_events.Event.Acquire { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+      wr ~size:1 1 0x101;
+      Dgrace_events.Event.Release { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+      acq 0; wr ~size:1 0 0x100; rel 0;
+      Dgrace_events.Event.Acquire { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+      wr ~size:1 1 0x101;
+      Dgrace_events.Event.Release { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+    ]
+  in
+  check "no false alarm on packed bytes" evs 0
+
+(* unaligned racy bytes are found individually (the x264 case) *)
+let test_unaligned_races () =
+  let evs =
+    [ fork 0 1; wr ~size:1 0 0x101; wr ~size:1 0 0x103;
+      wr ~size:1 1 0x101; wr ~size:1 1 0x103 ]
+  in
+  let d = feed_events (dynamic ()) evs in
+  Alcotest.(check int) "two distinct byte races" 2 (race_count d);
+  (* the word detector masks them into one *)
+  let dw = feed_events (Fasttrack.create ~granularity:4 ()) evs in
+  Alcotest.(check int) "word masks to one" 1 (race_count dw)
+
+(* splitting: after init together, one element accessed separately gets
+   its own clock; its sibling keeps the shared one *)
+let test_second_epoch_split () =
+  let evs =
+    [
+      wr 0 0x100; wr 0 0x104;  (* shared Init cell *)
+      acq 0; rel 0;  (* new epoch for t0 *)
+      wr 0 0x100;  (* second-epoch access: split, settle private *)
+    ]
+  in
+  let d = feed_events (dynamic ()) evs in
+  (* split allocates a fresh clock: 1 (init) then split-off *)
+  Alcotest.(check bool) "split created a clock" true
+    (Accounting.total_vcs_created d.Detector.account >= 2);
+  Alcotest.(check int) "no race" 0 (race_count d)
+
+(* second-epoch re-coalescing: elements written separately but with
+   equal clocks merge back (the pbzip2 pattern) *)
+let test_second_epoch_merge () =
+  let evs =
+    [
+      wr 0 0x100; wr 0 0x104; wr 0 0x108;  (* Init sweep *)
+      acq 0; rel 0;
+      (* one epoch later, same thread rewrites all three: each makes
+         its firm decision and re-coalesces with its neighbour *)
+      wr 0 0x100; wr 0 0x104; wr 0 0x108;
+      acq 0; rel 0;
+      wr 0 0x100; wr 0 0x104; wr 0 0x108;
+    ]
+  in
+  let d = feed_events (dynamic ()) evs in
+  Alcotest.(check int) "live clocks after merge" 1
+    (Accounting.live_vcs d.Detector.account)
+
+(* whole-cell bitmap marking: repeated reads of a coalesced block are
+   same-epoch after the first *)
+let test_cell_level_same_epoch () =
+  let block = List.init 16 (fun i -> 0x100 + (4 * i)) in
+  let evs =
+    List.map (fun a -> wr 0 a) block
+    @ [ acq 0; rel 0 ]
+    @ List.map (fun a -> rd 0 a) block
+    @ List.map (fun a -> rd 0 a) block
+  in
+  let d = feed_events (dynamic ()) evs in
+  (* second read sweep must be filtered *)
+  Alcotest.(check bool) "same-epoch ratio high" true
+    (d.Detector.stats.same_epoch >= 16)
+
+(* free() releases shared cells and recycled addresses start clean *)
+let test_free_and_recycle () =
+  let evs =
+    [
+      Dgrace_events.Event.Alloc { tid = 0; addr = 0x200; size = 16 };
+      wr 0 0x200; wr 0 0x204; wr 0 0x208; wr 0 0x20c;
+      free 0 0x200 16;
+      fork 0 1;
+      Dgrace_events.Event.Alloc { tid = 1; addr = 0x200; size = 16 };
+      wr 1 0x200; wr 1 0x204;
+    ]
+  in
+  let d = feed_events (dynamic ()) evs in
+  Alcotest.(check int) "no false race on recycled memory" 0 (race_count d)
+
+(* avg sharing statistic reflects coalescing *)
+let test_avg_sharing_stat () =
+  let writes = List.map (fun i -> wr 0 (0x1000 + (4 * i))) (List.init 32 Fun.id) in
+  let d = feed_events (dynamic ()) writes in
+  Alcotest.(check bool) "well above a word per clock" true
+    (Accounting.avg_sharing d.Detector.account > 16.)
+
+(* §VII extension: post-second-epoch resharing re-merges locations
+   that settled Private but then keep matching their neighbour *)
+let test_resharing_extension () =
+  let evs =
+    (* init together *)
+    [ wr 0 0x100; wr 0 0x104 ]
+    (* second epoch: updated under different locks -> settle Private *)
+    @ [ acq 0; wr 0 0x100; rel 0;
+        Dgrace_events.Event.Acquire { tid = 0; lock = 2; sync = Dgrace_events.Event.Lock };
+        wr 0 0x104;
+        Dgrace_events.Event.Release { tid = 0; lock = 2; sync = Dgrace_events.Event.Lock } ]
+    (* afterwards: always updated wholesale in one epoch *)
+    @ List.concat_map
+        (fun _ -> [ acq 0; wr 0 0x100; wr 0 0x104; rel 0 ])
+        (List.init 8 Fun.id)
+  in
+  let base = feed_events (dynamic ()) evs in
+  let ext =
+    feed_events (Dynamic_granularity.create ~reshare_after:4 ()) evs
+  in
+  Alcotest.(check int) "no races either way" 0 (race_count base + race_count ext);
+  Alcotest.(check bool) "extension re-merged the clocks" true
+    (Accounting.live_vcs ext.Detector.account
+     < Accounting.live_vcs base.Detector.account)
+
+(* §VII extension: write-guided read sharing joins a read location to a
+   neighbour whose write clocks it already shares *)
+let test_write_guided_reads () =
+  let evs =
+    [
+      rd 0 0x100;  (* read cell A, epoch 1 *)
+      acq 0; rel 0;
+      rd 0 0x104;  (* read cell B, epoch 2 *)
+      acq 0; rel 0;
+      rd 0 0x104;  (* B settles Private *)
+      acq 0; rel 0;
+      wr 0 0x100; wr 0 0x104;  (* shared write cell; read states reset *)
+      acq 0; rel 0;
+      rd 0 0x100;  (* A's second epoch: can only merge via the writes *)
+    ]
+  in
+  let base = feed_events (dynamic ()) evs in
+  let ext =
+    feed_events (Dynamic_granularity.create ~write_guided_reads:true ())
+      evs
+  in
+  Alcotest.(check int) "no races" 0 (race_count base + race_count ext);
+  Alcotest.(check bool) "write-guided sharing merged the read cells" true
+    (Accounting.live_vcs ext.Detector.account
+     < Accounting.live_vcs base.Detector.account)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "dynamic.detection",
+      [
+        Alcotest.test_case "basic races" `Quick test_basic_races;
+        Alcotest.test_case "race state absorbing" `Quick test_race_state_absorbing;
+        Alcotest.test_case "packed fields stay separate" `Quick test_packed_fields_separate;
+        Alcotest.test_case "unaligned races found" `Quick test_unaligned_races;
+        Alcotest.test_case "free and recycle" `Quick test_free_and_recycle;
+      ] );
+    ( "dynamic.sharing",
+      [
+        Alcotest.test_case "init coalescing" `Quick test_init_coalescing;
+        Alcotest.test_case "init sharing saves memory" `Quick test_init_sharing_saves_memory;
+        Alcotest.test_case "second-epoch split" `Quick test_second_epoch_split;
+        Alcotest.test_case "second-epoch merge" `Quick test_second_epoch_merge;
+        Alcotest.test_case "dissolution reporting" `Quick test_dissolution_reports_members;
+        Alcotest.test_case "cell-level same-epoch" `Quick test_cell_level_same_epoch;
+        Alcotest.test_case "avg sharing stat" `Quick test_avg_sharing_stat;
+      ] );
+    ( "dynamic.ablation",
+      [
+        Alcotest.test_case "no-Init-state false alarms" `Quick test_no_init_state_false_alarms;
+      ] );
+    ( "dynamic.extension",
+      [
+        Alcotest.test_case "post-second-epoch resharing" `Quick test_resharing_extension;
+        Alcotest.test_case "write-guided read sharing" `Quick test_write_guided_reads;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+(* Events, race reports, the first-race-per-location collector, and
+   suppression rules. *)
+
+open Dgrace_events
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let ep ?(tid = 0) ?(kind = Event.Write) ?(clock = 1) ?(loc = "") () : Report.endpoint =
+  { tid; kind; clock; loc }
+
+let report ?(addr = 0x1000) ?(size = 4) ?cur ?prev () =
+  Report.make ~addr ~size
+    ~current:(Option.value cur ~default:(ep ~tid:1 ()))
+    ~previous:(Option.value prev ~default:(ep ~tid:0 ()))
+    ()
+
+let test_event_pp () =
+  check_str "access" "W t2 0x1a40+4 (worker:update)"
+    (Event.to_string
+       (Event.Access { tid = 2; kind = Event.Write; addr = 0x1a40; size = 4; loc = "worker:update" }));
+  check_str "acquire" "acq t1 l3"
+    (Event.to_string (Event.Acquire { tid = 1; lock = 3; sync = Event.Lock }));
+  check_str "barrier release" "rel t1 b3"
+    (Event.to_string (Event.Release { tid = 1; lock = 3; sync = Event.Barrier }));
+  check_str "fork" "fork t0 -> t1" (Event.to_string (Event.Fork { parent = 0; child = 1 }))
+
+let test_event_tid () =
+  check_int "access tid" 4 (Event.tid (Event.Access { tid = 4; kind = Read; addr = 0; size = 1; loc = "" }));
+  check_int "fork tid is parent" 2 (Event.tid (Event.Fork { parent = 2; child = 3 }));
+  check_bool "is_access" true (Event.is_access (Event.Access { tid = 0; kind = Read; addr = 0; size = 1; loc = "" }));
+  check_bool "not is_access" false (Event.is_access (Event.Thread_exit { tid = 0 }))
+
+let test_report_basics () =
+  let r = report ~cur:((ep ~tid:1 ~kind:Event.Write ())) ~prev:((ep ~tid:0 ~kind:Event.Write ())) () in
+  check_bool "ww" true (Report.is_write_write r);
+  let r2 = report ~cur:((ep ~kind:Event.Read ())) () in
+  check_bool "not ww" false (Report.is_write_write r2);
+  check_int "default granule lo" 0x1000 r.granule_lo;
+  check_int "default granule hi" 0x1004 r.granule_hi
+
+let test_collector_dedup () =
+  let c = Report.Collector.create () in
+  check_bool "first add" true (Report.Collector.add c (report ()));
+  check_bool "same addr rejected" false (Report.Collector.add c (report ()));
+  check_bool "different addr" true (Report.Collector.add c (report ~addr:0x2000 ()));
+  check_int "count" 2 (Report.Collector.count c);
+  Alcotest.(check (list int)) "racy addrs" [ 0x1000; 0x2000 ] (Report.Collector.racy_addrs c)
+
+let test_collector_suppression () =
+  let supp = Suppression.default_runtime in
+  let c = Report.Collector.create ~suppression:supp () in
+  (* both endpoints in the runtime: suppressed *)
+  let both_runtime =
+    report ~cur:((ep ~loc:"pthread:mutex" ())) ~prev:((ep ~loc:"libc:malloc" ())) ()
+  in
+  check_bool "suppressed" false (Report.Collector.add c both_runtime);
+  check_int "suppressed count" 1 (Report.Collector.suppressed c);
+  (* mixed runtime/application: reported *)
+  let mixed =
+    report ~addr:0x2000 ~cur:((ep ~loc:"app:update" ())) ~prev:((ep ~loc:"pthread:mutex" ())) ()
+  in
+  check_bool "mixed reported" true (Report.Collector.add c mixed);
+  (* suppressed races still count as seen: no duplicate report later *)
+  check_bool "suppressed addr is seen" false (Report.Collector.add c (report ()))
+
+let test_suppression_rules () =
+  let s = Suppression.of_rules [ Suppression.Addr_range (0x100, 0x200) ] in
+  check_bool "addr in range" true (Suppression.matches s ~addr:0x150 ~locs:[ "x" ]);
+  check_bool "addr out of range" false (Suppression.matches s ~addr:0x250 ~locs:[ "x" ]);
+  let s = Suppression.add Suppression.empty (Suppression.Loc_prefix "rt:") in
+  check_bool "all locs match" true (Suppression.matches s ~addr:0 ~locs:[ "rt:a"; "rt:b" ]);
+  check_bool "one loc differs" false (Suppression.matches s ~addr:0 ~locs:[ "rt:a"; "app" ]);
+  check_bool "empty loc never matches" false (Suppression.matches s ~addr:0 ~locs:[ "rt:a"; "" ]);
+  check_int "rules listed" 1 (List.length (Suppression.rules s));
+  check_bool "empty suppresses nothing" false
+    (Suppression.matches Suppression.empty ~addr:0 ~locs:[ "anything" ])
+
+let test_report_pp () =
+  let r =
+    report
+      ~cur:((ep ~tid:1 ~kind:Event.Write ~clock:3 ~loc:"b" ()))
+      ~prev:((ep ~tid:0 ~kind:Event.Read ~clock:2 ~loc:"a" ()))
+      ()
+  in
+  check_str "pp"
+    "race on 0x1000 (size 4, granule 0x1000-0x1004): W by t1@3 at b conflicts with R by t0@2 at a"
+    (Report.to_string r)
+
+let suites : unit Alcotest.test list =
+    [
+      ( "events.event",
+        [
+          Alcotest.test_case "pretty printing" `Quick test_event_pp;
+          Alcotest.test_case "tid extraction" `Quick test_event_tid;
+        ] );
+      ( "events.report",
+        [
+          Alcotest.test_case "basics" `Quick test_report_basics;
+          Alcotest.test_case "pretty printing" `Quick test_report_pp;
+        ] );
+      ( "events.collector",
+        [
+          Alcotest.test_case "first race per location" `Quick test_collector_dedup;
+          Alcotest.test_case "suppression" `Quick test_collector_suppression;
+        ] );
+      ( "events.suppression",
+        [ Alcotest.test_case "rule semantics" `Quick test_suppression_rules ] );
+    ]

@@ -1,0 +1,23 @@
+(* Single test binary: every module contributes its suites. *)
+
+let () =
+  Alcotest.run "dgrace"
+    (List.concat
+       [
+         Test_vclock.suites;
+         Test_units.suites;
+         Test_util.suites;
+         Test_shadow.suites;
+         Test_events.suites;
+         Test_sim.suites;
+         Test_trace.suites;
+         Test_state_machine.suites;
+         Test_fasttrack.suites;
+         Test_djit.suites;
+         Test_dynamic.suites;
+         Test_baselines.suites;
+         Test_properties.suites;
+         Test_related.suites;
+         Test_workloads.suites;
+         Test_engine.suites;
+       ])

@@ -1,0 +1,256 @@
+(* Cross-detector property tests on randomly generated programs.
+
+   Programs are generated as per-thread operation lists and executed by
+   the simulator under a seeded random scheduler, so every detector
+   sees exactly the same interleaving. *)
+
+open Dgrace_sim
+open Dgrace_detectors
+open Tutil
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation *)
+
+type op =
+  | Oread of int * int  (* addr offset, size *)
+  | Owrite of int * int
+  | Olocked of int * op list  (* lock index, body *)
+  | Oyield
+
+let rec pp_op = function
+  | Oread (a, s) -> Printf.sprintf "r%d+%d" a s
+  | Owrite (a, s) -> Printf.sprintf "w%d+%d" a s
+  | Olocked (l, body) ->
+    Printf.sprintf "L%d{%s}" l (String.concat ";" (List.map pp_op body))
+  | Oyield -> "y"
+
+type prog = { nthreads : int; ops : op list list; sched_seed : int }
+
+let pp_prog p =
+  Printf.sprintf "seed=%d threads=[%s]" p.sched_seed
+    (String.concat " | " (List.map (fun l -> String.concat ";" (List.map pp_op l)) p.ops))
+
+(* [aligned] restricts accesses to whole words, the regime where the
+   dynamic detector is meant to be as precise as byte granularity *)
+let gen_op ~aligned =
+  let open QCheck.Gen in
+  let addr_size =
+    if aligned then map (fun a -> (4 * a, 4)) (int_bound 15)
+    else
+      map2 (fun a s -> (a, s)) (int_bound 60) (oneofl [ 1; 2; 4; 8 ])
+  in
+  fix
+    (fun self depth ->
+      let base =
+        [
+          (4, map (fun (a, s) -> Oread (a, s)) addr_size);
+          (4, map (fun (a, s) -> Owrite (a, s)) addr_size);
+          (1, return Oyield);
+        ]
+      in
+      let with_lock =
+        if depth <= 0 then []
+        else
+          [
+            ( 2,
+              map2
+                (fun l body -> Olocked (l, body))
+                (int_bound 2)
+                (list_size (int_bound 4) (self (depth - 1))) );
+          ]
+      in
+      frequency (base @ with_lock))
+    1
+
+let gen_prog ~aligned =
+  let open QCheck.Gen in
+  map3
+    (fun nthreads ops sched_seed -> { nthreads; ops; sched_seed })
+    (int_range 2 4)
+    (list_size (return 4) (list_size (int_bound 12) (gen_op ~aligned)))
+    (int_bound 1000)
+
+let arb_prog ~aligned = QCheck.make ~print:pp_prog (gen_prog ~aligned)
+
+(* build a simulator program; [extra_sync] wraps every access in a
+   global lock, making the program race-free by construction *)
+let to_sim ?(global_lock = false) p () =
+  let base = Sim.static_alloc 128 in
+  let locks = Array.init 3 (fun _ -> Sim.mutex ()) in
+  let glock = Sim.mutex () in
+  let rec exec op =
+    match op with
+    | Oread (a, s) ->
+      if global_lock then Sim.with_lock glock (fun () -> Sim.read (base + a) s)
+      else Sim.read (base + a) s
+    | Owrite (a, s) ->
+      if global_lock then Sim.with_lock glock (fun () -> Sim.write (base + a) s)
+      else Sim.write (base + a) s
+    | Olocked (l, body) -> Sim.with_lock locks.(l) (fun () -> List.iter exec body)
+    | Oyield -> Sim.yield ()
+  in
+  let threads = List.filteri (fun i _ -> i < p.nthreads) p.ops in
+  let tids = List.map (fun ops -> Sim.spawn (fun () -> List.iter exec ops)) threads in
+  List.iter Sim.join tids
+
+let run_prog ?global_lock det p =
+  run_detector
+    ~policy:(Scheduler.Random_each p.sched_seed)
+    det
+    (to_sim ?global_lock p)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let report_addrs d =
+  List.map (fun (r : Dgrace_events.Report.t) -> r.addr) (races d)
+  |> List.sort_uniq compare
+
+(* P1: DJIT+ and FastTrack report races at the same locations (on
+   word-aligned programs, where the reporting units coincide) *)
+let p_djit_equiv_fasttrack =
+  QCheck.Test.make ~name:"DJIT+ = FastTrack (report locations)" ~count:150
+    (arb_prog ~aligned:true) (fun p ->
+      let ft = run_prog (Djit.create ~granularity:1 ()) p in
+      let bt =
+        run_prog (Dynamic_granularity.create ~sharing:false ()) p
+      in
+      report_addrs ft = report_addrs bt)
+
+(* P2: under a global lock no happens-before detector reports anything *)
+let p_no_false_positives =
+  QCheck.Test.make ~name:"race-free programs yield no reports" ~count:100
+    (arb_prog ~aligned:false) (fun p ->
+      List.for_all
+        (fun (_, d) -> race_count (run_prog ~global_lock:true d p) = 0)
+        (hb_detectors ()))
+
+(* P3: the paper claims "minimal loss in detection precision": clock
+   sharing can in principle mask a race (a neighbour's ordered access
+   refreshes the shared clock), so the guarantee is statistical, not
+   absolute.  Over a fixed corpus of word-aligned random programs the
+   dynamic detector must cover almost every racy byte the byte
+   detector finds. *)
+let test_dynamic_minimal_loss () =
+  let rand = Random.State.make [| 2014 |] in
+  let total = ref 0 and missed = ref 0 in
+  for _ = 1 to 200 do
+    let p = QCheck.Gen.generate1 ~rand (gen_prog ~aligned:true) in
+    let byte = run_prog (Dynamic_granularity.create ~sharing:false ()) p in
+    let dyn = run_prog (Dynamic_granularity.create ()) p in
+    let d = racy_bytes dyn in
+    List.iter
+      (fun a ->
+        incr total;
+        if not (List.mem a d) then incr missed)
+      (racy_bytes byte)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "missed %d of %d racy bytes (<2%%)" !missed !total)
+    true
+    (!total = 0 || float_of_int !missed /. float_of_int !total < 0.02)
+
+(* P4: detection is deterministic *)
+let p_deterministic =
+  QCheck.Test.make ~name:"same seed, same reports" ~count:50
+    (arb_prog ~aligned:false) (fun p ->
+      let r1 = races (run_prog (Dynamic_granularity.create ()) p) in
+      let r2 = races (run_prog (Dynamic_granularity.create ()) p) in
+      List.map Dgrace_events.Report.to_string r1
+      = List.map Dgrace_events.Report.to_string r2)
+
+(* P5: analysing a recorded trace equals analysing the live run *)
+let p_replay_equals_live =
+  QCheck.Test.make ~name:"trace replay = live analysis" ~count:50
+    (arb_prog ~aligned:false) (fun p ->
+      let events = ref [] in
+      let _ =
+        Sim.run
+          ~policy:(Scheduler.Random_each p.sched_seed)
+          ~sink:(fun e -> events := e :: !events)
+          (to_sim p)
+      in
+      let events = List.rev !events in
+      List.for_all
+        (fun (_, mk) ->
+          let live = run_prog (mk ()) p in
+          let replay = feed_events (mk ()) events in
+          racy_bytes live = racy_bytes replay)
+        [
+          ("byte", fun () -> Dynamic_granularity.create ~sharing:false ());
+          ("dynamic", fun () -> Dynamic_granularity.create ());
+          ("drd", fun () -> Drd_segment.create ());
+        ])
+
+(* P6: every unordered write-write conflict seeded explicitly is found *)
+let p_seeded_conflict_found =
+  QCheck.Test.make ~name:"seeded conflicting pair is detected" ~count:100
+    (QCheck.pair (arb_prog ~aligned:true) (QCheck.make (QCheck.Gen.int_bound 15)))
+    (fun (p, slot) ->
+      (* append an unprotected write to a fresh address in two threads *)
+      let off = 256 + (4 * slot) in
+      let addr = 0x1000 + off (* static_alloc hands out the base at 0x1000 *) in
+      let p =
+        { p with ops = List.map (fun ops -> ops @ [ Owrite (off, 4) ]) p.ops }
+      in
+      List.for_all
+        (fun (_, d) ->
+          let d = run_prog d p in
+          List.exists
+            (fun (r : Dgrace_events.Report.t) ->
+              r.granule_lo <= addr && addr < r.granule_hi)
+            (races d))
+        [
+          ("byte", Dynamic_granularity.create ~sharing:false ());
+          ("dynamic", Dynamic_granularity.create ());
+          ("dynamic-ext",
+           Dynamic_granularity.create ~reshare_after:4 ~write_guided_reads:true ());
+          ("djit", Djit.create ());
+          ("drd", Drd_segment.create ());
+        ])
+
+(* regression: heavy lock contention with many threads stays bounded
+   in time and clock storage for every happens-before detector (the
+   thread/lock clock mutual-join pattern once blew up exponentially
+   beyond 5 threads) *)
+let test_many_thread_contention_bounded () =
+  let kernel () =
+    let open Dgrace_sim in
+    let arr = Sim.static_alloc 256 in
+    let m = Sim.mutex () in
+    let ts =
+      List.init 12 (fun _ -> Sim.spawn (fun () ->
+          for i = 0 to 63 do
+            Sim.with_lock m (fun () ->
+                Sim.read (arr + (4 * (i mod 64))) 4;
+                Sim.write (arr + (4 * (i mod 64))) 4)
+          done))
+    in
+    List.iter Sim.join ts
+  in
+  List.iter
+    (fun (n, d) ->
+      let d = run_detector d kernel in
+      Alcotest.(check int) (n ^ ": race free") 0 (race_count d);
+      Alcotest.(check bool) (n ^ ": clock bytes bounded") true
+        (Dgrace_shadow.Accounting.peak_vc_bytes d.Detector.account < 10_000_000))
+    (hb_detectors ())
+
+let suites : unit Alcotest.test list =
+  [
+    ( "properties.cross-detector",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          p_djit_equiv_fasttrack;
+          p_no_false_positives;
+          p_deterministic;
+          p_replay_equals_live;
+          p_seeded_conflict_found;
+        ]
+      @ [
+          Alcotest.test_case "dynamic minimal precision loss" `Slow
+            test_dynamic_minimal_loss;
+          Alcotest.test_case "many-thread contention bounded" `Quick
+            test_many_thread_contention_bounded;
+        ] );
+  ]

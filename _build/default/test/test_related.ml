@@ -1,0 +1,147 @@
+(* The §VI related-work detectors: RaceTrack-style adaptive refinement,
+   LiteRace-style sampling, and MultiRace. *)
+
+open Dgrace_detectors
+open Tutil
+
+(* ------------------------------------------------------------------ *)
+(* RaceTrack *)
+
+let racetrack () = Racetrack_adaptive.create ()
+
+(* a recurring race is refined on first sight and confirmed on
+   recurrence *)
+let test_racetrack_recurring_race () =
+  let evs =
+    fork 0 1
+    :: List.concat_map
+         (fun i ->
+           [ wr 0 0x100;
+             Dgrace_events.Event.Acquire { tid = 0; lock = 10 + i; sync = Dgrace_events.Event.Lock };
+             Dgrace_events.Event.Release { tid = 0; lock = 10 + i; sync = Dgrace_events.Event.Lock };
+             wr 1 0x100;
+             Dgrace_events.Event.Acquire { tid = 1; lock = 40 + i; sync = Dgrace_events.Event.Lock };
+             Dgrace_events.Event.Release { tid = 1; lock = 40 + i; sync = Dgrace_events.Event.Lock } ])
+         (List.init 6 Fun.id)
+  in
+  let d = feed_events (racetrack ()) evs in
+  Alcotest.(check int) "confirmed on recurrence" 1 (race_count d)
+
+(* a one-shot race only triggers refinement and is lost — the designed
+   blind spot the paper contrasts with its fine-to-coarse approach *)
+let test_racetrack_one_shot_miss () =
+  let evs = [ fork 0 1; wr 0 0x100; wr 1 0x100 ] in
+  let d = feed_events (racetrack ()) evs in
+  Alcotest.(check int) "one-shot race missed" 0 (race_count d);
+  (* byte FastTrack finds it on the same stream *)
+  let b = feed_events (Dynamic_granularity.create ~sharing:false ()) evs in
+  Alcotest.(check int) "byte finds it" 1 (race_count b)
+
+(* race-free programs stay race-free *)
+let test_racetrack_clean () =
+  let evs =
+    [ fork 0 1; acq 0; wr 0 0x100; rel 0; acq 1; wr 1 0x100; rel 1 ]
+  in
+  Alcotest.(check int) "clean" 0 (race_count (feed_events (racetrack ()) evs))
+
+(* coarse regions use one clock until refined *)
+let test_racetrack_coarse_memory () =
+  let open Dgrace_shadow in
+  let writes = List.map (fun i -> wr 0 (0x1000 + (4 * i))) (List.init 64 Fun.id) in
+  let d = feed_events (racetrack ()) writes in
+  (* 64 words over 64-byte regions: 4 coarse clocks *)
+  Alcotest.(check int) "one clock per region" 4 (Accounting.peak_vcs d.Detector.account)
+
+(* ------------------------------------------------------------------ *)
+(* LiteRace *)
+
+let test_literace_hot_region_sampled_away () =
+  (* the same racy instruction pair executed many times in a hot
+     region: decay drops the analysis rate and most races are missed;
+     a one-off cold-region race is still caught *)
+  let hot =
+    fork 0 1
+    :: (List.init 512 (fun i -> wr ~loc:"hot" 0 (0x1000 + (4 * (i mod 256))))
+        @ List.init 512 (fun i -> wr ~loc:"hot" 1 (0x1000 + (4 * (i mod 256)))))
+    @ [ wr ~loc:"cold" 0 0x8000; wr ~loc:"cold" 1 0x8000 ]
+  in
+  let lite = feed_events (Literace_sampling.create ()) hot in
+  let full = feed_events (Dynamic_granularity.create ~sharing:false ()) hot in
+  Alcotest.(check bool) "sampling misses most hot races" true
+    (race_count lite < race_count full / 2);
+  Alcotest.(check bool) "cold race found" true
+    (List.exists
+       (fun (r : Dgrace_events.Report.t) -> r.addr = 0x8000)
+       (races lite))
+
+let test_literace_sync_always_processed () =
+  (* lock discipline is never sampled away: a fully ordered program
+     yields no false positives even at the floor rate *)
+  let evs =
+    fork 0 1
+    :: List.concat_map
+         (fun i ->
+           let a = 0x100 + (4 * (i mod 8)) in
+           [ acq 0; wr ~loc:"hot" 0 a; rel 0; acq 1; wr ~loc:"hot" 1 a; rel 1 ])
+         (List.init 400 Fun.id)
+  in
+  let d = feed_events (Literace_sampling.create ()) evs in
+  Alcotest.(check int) "no false positives" 0 (race_count d)
+
+let test_literace_skipped_counted () =
+  let evs = fork 0 1 :: List.init 1000 (fun _ -> rd ~loc:"hot" 0 0x100) in
+  let d = feed_events (Literace_sampling.create ()) evs in
+  Alcotest.(check bool) "accesses skipped" true (d.Detector.stats.same_epoch > 500)
+
+(* ------------------------------------------------------------------ *)
+(* MultiRace *)
+
+let test_multirace_confirms_real_races () =
+  let evs = [ fork 0 1; wr 0 0x100; wr 1 0x100 ] in
+  let d = feed_events (Multirace.create ()) evs in
+  Alcotest.(check int) "confirmed" 1 (race_count d);
+  Alcotest.(check int) "nothing potential-only" 0 (Multirace.potential_only d)
+
+let test_multirace_filters_eraser_false_alarm () =
+  (* ordered by fork/join: Eraser alone alarms, MultiRace's
+     happens-before side explains it away *)
+  let evs =
+    [ wr 0 0x100; fork 0 1; wr 1 0x100;
+      Dgrace_events.Event.Thread_exit { tid = 1 }; join 0 1; wr 0 0x100 ]
+  in
+  let d = feed_events (Multirace.create ()) evs in
+  Alcotest.(check int) "no confirmed race" 0 (race_count d);
+  Alcotest.(check int) "one potential-only" 1 (Multirace.potential_only d);
+  let e = feed_events (Lockset.create ()) evs in
+  Alcotest.(check int) "eraser alone alarms" 1 (race_count e)
+
+let test_multirace_clean () =
+  let evs =
+    [ fork 0 1; acq 0; wr 0 0x100; rel 0; acq 1; wr 1 0x100; rel 1 ]
+  in
+  let d = feed_events (Multirace.create ()) evs in
+  Alcotest.(check int) "clean" 0 (race_count d);
+  Alcotest.(check int) "no potentials" 0 (Multirace.potential_only d)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "related.racetrack",
+      [
+        Alcotest.test_case "recurring race confirmed" `Quick test_racetrack_recurring_race;
+        Alcotest.test_case "one-shot race missed" `Quick test_racetrack_one_shot_miss;
+        Alcotest.test_case "clean program" `Quick test_racetrack_clean;
+        Alcotest.test_case "coarse clocks" `Quick test_racetrack_coarse_memory;
+      ] );
+    ( "related.literace",
+      [
+        Alcotest.test_case "hot region sampled away" `Quick test_literace_hot_region_sampled_away;
+        Alcotest.test_case "sync always processed" `Quick test_literace_sync_always_processed;
+        Alcotest.test_case "skip accounting" `Quick test_literace_skipped_counted;
+      ] );
+    ( "related.multirace",
+      [
+        Alcotest.test_case "confirms real races" `Quick test_multirace_confirms_real_races;
+        Alcotest.test_case "filters Eraser false alarms" `Quick test_multirace_filters_eraser_false_alarm;
+        Alcotest.test_case "clean program" `Quick test_multirace_clean;
+      ] );
+  ]

@@ -1,0 +1,275 @@
+(* Shadow memory: the Fig. 4 indexing structure, the same-epoch
+   bitmaps, and the accounting that feeds Tables 2 and 3. *)
+
+open Dgrace_shadow
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow_table, fixed mode *)
+
+let test_fixed_set_get () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Alcotest.(check (option int)) "absent" None (Shadow_table.get t 0x1000);
+  Shadow_table.set t 0x1001 7;
+  (* slot covers the whole word *)
+  Alcotest.(check (option int)) "same slot" (Some 7) (Shadow_table.get t 0x1003);
+  Alcotest.(check (option int)) "next slot" None (Shadow_table.get t 0x1004);
+  Alcotest.(check (pair int int)) "slot bounds" (0x1000, 0x1004)
+    (Shadow_table.slot_bounds t 0x1002)
+
+let test_set_range_remove_range () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set_range t ~lo:0x1000 ~hi:0x1100 1;
+  check_int "entries span blocks" 2 (Shadow_table.entry_count t);
+  Alcotest.(check (option int)) "covered" (Some 1) (Shadow_table.get t 0x10fc);
+  Shadow_table.remove_range t ~lo:0x1000 ~hi:0x1100;
+  Alcotest.(check (option int)) "removed" None (Shadow_table.get t 0x1050);
+  check_int "empty entries dropped" 0 (Shadow_table.entry_count t)
+
+let test_partial_remove_keeps_entry () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set_range t ~lo:0x1000 ~hi:0x1080 1;
+  Shadow_table.remove_range t ~lo:0x1000 ~hi:0x1040;
+  check_int "entry kept" 1 (Shadow_table.entry_count t);
+  Alcotest.(check (option int)) "tail kept" (Some 1) (Shadow_table.get t 0x1060)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive mode: m/4 -> m expansion *)
+
+let test_adaptive_expansion () =
+  let a = Accounting.create () in
+  let t = Shadow_table.create ~mode:Shadow_table.Adaptive ~account:a () in
+  Shadow_table.set t 0x1000 1;
+  Alcotest.(check (pair int int)) "word slots initially" (0x1000, 0x1004)
+    (Shadow_table.slot_bounds t 0x1001);
+  let before = Shadow_table.bytes t in
+  (* a sub-word access expands the entry to byte slots *)
+  Shadow_table.ensure_granularity t ~addr:0x1001 ~size:1;
+  Alcotest.(check (pair int int)) "byte slots after" (0x1001, 0x1002)
+    (Shadow_table.slot_bounds t 0x1001);
+  check_bool "index grew" true (Shadow_table.bytes t > before);
+  (* the old word's pointer is inherited by each of its bytes *)
+  Alcotest.(check (option int)) "byte 0" (Some 1) (Shadow_table.get t 0x1000);
+  Alcotest.(check (option int)) "byte 3" (Some 1) (Shadow_table.get t 0x1003);
+  Alcotest.(check (option int)) "byte 4" None (Shadow_table.get t 0x1004)
+
+let test_adaptive_word_access_no_expansion () =
+  let t = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+  Shadow_table.set t 0x2000 1;
+  Shadow_table.ensure_granularity t ~addr:0x2000 ~size:4;
+  Alcotest.(check (pair int int)) "still word slots" (0x2000, 0x2004)
+    (Shadow_table.slot_bounds t 0x2000);
+  Shadow_table.ensure_granularity t ~addr:0x2008 ~size:8;
+  Alcotest.(check (pair int int)) "8-byte aligned access stays word" (0x2008, 0x200c)
+    (Shadow_table.slot_bounds t 0x2008)
+
+let test_adaptive_precreates_byte_entry () =
+  let t = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+  Shadow_table.ensure_granularity t ~addr:0x3001 ~size:1;
+  Alcotest.(check (pair int int)) "fresh entry at byte slots" (0x3001, 0x3002)
+    (Shadow_table.slot_bounds t 0x3001)
+
+(* ------------------------------------------------------------------ *)
+(* Neighbours and group *)
+
+let test_neighbors () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x1000 1;
+  Shadow_table.set t 0x1008 2;
+  (match Shadow_table.prev_neighbor t 0x1008 with
+   | Some (lo, hi, v) ->
+     check_int "prev lo" 0x1000 lo;
+     check_int "prev hi" 0x1004 hi;
+     check_int "prev v" 1 v
+   | None -> Alcotest.fail "expected prev neighbor");
+  (match Shadow_table.next_neighbor t 0x1000 with
+   | Some (lo, _, v) ->
+     check_int "next lo" 0x1008 lo;
+     check_int "next v" 2 v
+   | None -> Alcotest.fail "expected next neighbor");
+  check_bool "no prev of first" true (Shadow_table.prev_neighbor t 0x1000 = None)
+
+let test_neighbor_scan_is_bounded () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x1000 1;
+  (* a value far away is beyond the bounded neighbourhood *)
+  check_bool "too far" true (Shadow_table.prev_neighbor t 0x1060 = None)
+
+let test_neighbor_crosses_block () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x107c 5;
+  (* 0x1080 is the next 128-byte block *)
+  match Shadow_table.prev_neighbor t 0x1080 with
+  | Some (lo, _, v) ->
+    check_int "lo" 0x107c lo;
+    check_int "v" 5 v
+  | None -> Alcotest.fail "expected neighbor across block boundary"
+
+let test_group () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set_range t ~lo:0x1000 ~hi:0x1010 1;
+  Shadow_table.set_range t ~lo:0x1010 ~hi:0x1018 2;
+  let glo, ghi, v = Shadow_table.group t 0x1004 ~hi:0x1020 in
+  check_int "group lo" 0x1004 glo;
+  check_int "group hi stops at other cell" 0x1010 ghi;
+  check_bool "value" true (v = Some 1);
+  let glo, ghi, v = Shadow_table.group t 0x1018 ~hi:0x1030 in
+  check_int "empty group lo" 0x1018 glo;
+  check_int "empty group extends" 0x1030 ghi;
+  check_bool "empty value" true (v = None)
+
+let test_group_clips_to_slot_boundary () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set_range t ~lo:0x1000 ~hi:0x1040 9;
+  let glo, ghi, _ = Shadow_table.group t 0x1006 ~hi:0x1007 in
+  check_int "lo aligned" 0x1004 glo;
+  check_int "hi rounded up to slot" 0x1008 ghi
+
+let test_group_crosses_blocks () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set_range t ~lo:0x1000 ~hi:0x1200 3;
+  let _, ghi, v = Shadow_table.group t 0x1000 ~hi:0x1200 in
+  check_int "crosses two blocks" 0x1200 ghi;
+  check_bool "same value" true (v = Some 3)
+
+let test_iter_range () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x1000 1;
+  Shadow_table.set t 0x1004 2;
+  Shadow_table.set t 0x1010 3;
+  let acc = ref [] in
+  Shadow_table.iter_range (fun lo _ v -> acc := (lo, v) :: !acc) t ~lo:0x1000 ~hi:0x1008;
+  Alcotest.(check (list (pair int int))) "only intersecting slots"
+    [ (0x1000, 1); (0x1004, 2) ] (List.rev !acc)
+
+(* model-based: adaptive table vs a plain per-byte Hashtbl *)
+let model_test =
+  let open QCheck in
+  Test.make ~name:"shadow table agrees with per-byte model" ~count:200
+    (small_list
+       (triple (int_bound 2) (int_bound 512) (int_bound 3)))
+    (fun ops ->
+      let t = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let base = 0x4000 in
+      List.iter
+        (fun (op, off, szi) ->
+          let addr = base + off in
+          let size = [| 1; 2; 4; 8 |].(szi) in
+          match op with
+          | 0 ->
+            Shadow_table.ensure_granularity t ~addr ~size;
+            let lo, hi = Shadow_table.slot_bounds t addr in
+            let lo2, hi2 = (min lo addr, max hi (addr + size)) in
+            Shadow_table.set_range t ~lo:lo2 ~hi:hi2 off;
+            for a = lo2 to hi2 - 1 do Hashtbl.replace model a off done
+          | 1 ->
+            Shadow_table.remove_range t ~lo:addr ~hi:(addr + size);
+            (* removal is slot-aligned: the model must drop whole slots *)
+            let slo, _ = Shadow_table.slot_bounds t addr in
+            let _, shi = Shadow_table.slot_bounds t (addr + size - 1) in
+            for a = slo to shi - 1 do Hashtbl.remove model a done
+          | _ ->
+            let got = Shadow_table.get t addr in
+            let expect = Hashtbl.find_opt model addr in
+            if got <> expect then
+              Test.fail_reportf "get 0x%x: got %s, expected %s" addr
+                (match got with Some v -> string_of_int v | None -> "-")
+                (match expect with Some v -> string_of_int v | None -> "-"))
+        ops;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch bitmap *)
+
+let test_bitmap_planes () =
+  let b = Epoch_bitmap.create () in
+  Epoch_bitmap.mark b ~write:false ~lo:100 ~hi:104;
+  check_bool "read marked" true (Epoch_bitmap.test b ~write:false 102);
+  check_bool "write plane untouched" false (Epoch_bitmap.test b ~write:true 102);
+  check_bool "outside" false (Epoch_bitmap.test b ~write:false 104);
+  Epoch_bitmap.mark b ~write:true ~lo:102 ~hi:103;
+  check_bool "write marked" true (Epoch_bitmap.test b ~write:true 102);
+  check_bool "read still marked" true (Epoch_bitmap.test b ~write:false 102);
+  Epoch_bitmap.reset b;
+  check_bool "reset clears" false (Epoch_bitmap.test b ~write:false 102);
+  check_int "reset releases storage" 0 (Epoch_bitmap.bytes b)
+
+let bitmap_model =
+  let open QCheck in
+  Test.make ~name:"bitmap mark/test agrees with model" ~count:200
+    (small_list (triple bool (int_bound 5000) (int_bound 600)))
+    (fun ranges ->
+      let b = Epoch_bitmap.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (write, lo, len) ->
+          Epoch_bitmap.mark b ~write ~lo ~hi:(lo + len);
+          for a = lo to lo + len - 1 do Hashtbl.replace model (write, a) () done)
+        ranges;
+      let ok = ref true in
+      for a = 0 to 5700 do
+        List.iter
+          (fun write ->
+            if Epoch_bitmap.test b ~write a <> Hashtbl.mem model (write, a) then
+              ok := false)
+          [ true; false ]
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting *)
+
+let test_accounting_peaks () =
+  let a = Accounting.create () in
+  Accounting.add_vc a 100;
+  Accounting.add_hash a 50;
+  Accounting.add_vc a (-80);
+  check_int "current" 70 (Accounting.current_bytes a);
+  check_int "peak" 150 (Accounting.peak_bytes a);
+  check_int "peak vc" 100 (Accounting.peak_vc_bytes a);
+  Accounting.vc_created a;
+  Accounting.vc_created a;
+  Accounting.vc_freed a;
+  check_int "live" 1 (Accounting.live_vcs a);
+  check_int "peak vcs" 2 (Accounting.peak_vcs a);
+  Accounting.bind_locations a 10;
+  Alcotest.(check (float 0.001)) "avg sharing" 5.0 (Accounting.avg_sharing a);
+  Accounting.reset a;
+  check_int "reset" 0 (Accounting.peak_bytes a)
+
+let suites : unit Alcotest.test list =
+    [
+      ( "shadow.fixed",
+        [
+          Alcotest.test_case "set/get" `Quick test_fixed_set_get;
+          Alcotest.test_case "set_range/remove_range" `Quick test_set_range_remove_range;
+          Alcotest.test_case "partial remove" `Quick test_partial_remove_keeps_entry;
+        ] );
+      ( "shadow.adaptive",
+        [
+          Alcotest.test_case "sub-word access expands" `Quick test_adaptive_expansion;
+          Alcotest.test_case "word access stays" `Quick test_adaptive_word_access_no_expansion;
+          Alcotest.test_case "pre-creates byte entry" `Quick test_adaptive_precreates_byte_entry;
+        ] );
+      ( "shadow.navigation",
+        [
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "bounded scan" `Quick test_neighbor_scan_is_bounded;
+          Alcotest.test_case "cross-block neighbor" `Quick test_neighbor_crosses_block;
+          Alcotest.test_case "group runs" `Quick test_group;
+          Alcotest.test_case "group slot clipping" `Quick test_group_clips_to_slot_boundary;
+          Alcotest.test_case "group across blocks" `Quick test_group_crosses_blocks;
+          Alcotest.test_case "iter_range" `Quick test_iter_range;
+          QCheck_alcotest.to_alcotest model_test;
+        ] );
+      ( "shadow.bitmap",
+        [
+          Alcotest.test_case "planes and reset" `Quick test_bitmap_planes;
+          QCheck_alcotest.to_alcotest bitmap_model;
+        ] );
+      ( "shadow.accounting",
+        [ Alcotest.test_case "peaks and sharing" `Quick test_accounting_peaks ] );
+    ]

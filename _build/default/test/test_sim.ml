@@ -1,0 +1,494 @@
+(* The cooperative simulator: event correctness, scheduling
+   determinism, synchronisation semantics, memory allocator. *)
+
+open Dgrace_sim
+open Dgrace_events
+
+let record ?policy prog =
+  let events = ref [] in
+  let r = Sim.run ?policy ~sink:(fun e -> events := e :: !events) prog in
+  (r, List.rev !events)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_event_order_single_thread () =
+  let _, evs = record (fun () ->
+      let a = Sim.malloc 8 in
+      Sim.write a 4;
+      Sim.read a 4;
+      Sim.free a)
+  in
+  let kinds = List.map (function
+      | Event.Alloc _ -> "alloc" | Event.Access { kind = Write; _ } -> "w"
+      | Event.Access { kind = Read; _ } -> "r" | Event.Free _ -> "free"
+      | Event.Thread_exit _ -> "exit" | _ -> "?") evs
+  in
+  Alcotest.(check (list string)) "order" [ "alloc"; "w"; "r"; "free"; "exit" ] kinds
+
+let test_result_counters () =
+  let r, _ = record (fun () ->
+      let a = Sim.malloc 100 in
+      Sim.write a 4;
+      let t = Sim.spawn (fun () -> Sim.read a 4) in
+      Sim.join t;
+      Sim.free a)
+  in
+  check_int "threads" 2 r.threads;
+  check_int "accesses" 2 r.accesses;
+  check_int "allocated" 100 r.total_allocated
+
+let test_determinism () =
+  let prog () =
+    let a = Sim.static_alloc 64 in
+    let m = Sim.mutex () in
+    let ts = List.init 3 (fun i -> Sim.spawn (fun () ->
+        for k = 0 to 9 do
+          Sim.with_lock m (fun () -> Sim.write (a + 4 * ((i + k) mod 16)) 4)
+        done))
+    in
+    List.iter Sim.join ts
+  in
+  (* sync-object ids are globally unique, so two runs differ in raw
+     ids; compare the streams with lock ids renamed to first-use order *)
+  let normalize evs =
+    let ids = Hashtbl.create 8 in
+    let rename l =
+      match Hashtbl.find_opt ids l with
+      | Some x -> x
+      | None ->
+        let x = Hashtbl.length ids in
+        Hashtbl.replace ids l x;
+        x
+    in
+    List.map
+      (fun e ->
+        match e with
+        | Event.Acquire a -> Event.Acquire { a with lock = rename a.lock }
+        | Event.Release r -> Event.Release { r with lock = rename r.lock }
+        | e -> e)
+      evs
+  in
+  let same policy =
+    let _, e1 = record ~policy prog in
+    let _, e2 = record ~policy prog in
+    List.map Event.to_string (normalize e1)
+    = List.map Event.to_string (normalize e2)
+  in
+  check_bool "round robin deterministic" true (same Scheduler.Round_robin);
+  check_bool "random deterministic per seed" true (same (Scheduler.Random_each 7));
+  check_bool "chunked deterministic per seed" true
+    (same (Scheduler.Chunked { seed = 3; chunk = 16 }))
+
+let test_policies_differ () =
+  let prog () =
+    let a = Sim.static_alloc 8 in
+    let ts = List.init 2 (fun _ -> Sim.spawn (fun () ->
+        for _ = 0 to 9 do Sim.write a 4 done))
+    in
+    List.iter Sim.join ts
+  in
+  let _, e1 = record ~policy:(Scheduler.Random_each 1) prog in
+  let _, e2 = record ~policy:(Scheduler.Random_each 2) prog in
+  check_bool "different seeds interleave differently" true
+    (List.map Event.to_string e1 <> List.map Event.to_string e2)
+
+let test_mutex_mutual_exclusion () =
+  (* replaying the event stream, the lock is never acquired while held *)
+  let m = ref None in
+  let prog () =
+    let mu = Sim.mutex () in
+    m := Some mu;
+    let a = Sim.static_alloc 4 in
+    let ts = List.init 4 (fun _ -> Sim.spawn (fun () ->
+        for _ = 0 to 19 do Sim.with_lock mu (fun () -> Sim.write a 4) done))
+    in
+    List.iter Sim.join ts
+  in
+  let _, evs = record ~policy:(Scheduler.Random_each 5) prog in
+  let lid = Sim.mutex_id (Option.get !m) in
+  let held = ref (-1) in
+  List.iter
+    (function
+      | Event.Acquire { tid; lock; _ } when lock = lid ->
+        check_int "acquired only when free" (-1) !held;
+        held := tid
+      | Event.Release { tid; lock; _ } when lock = lid ->
+        check_int "released by holder" tid !held;
+        held := -1
+      | _ -> ())
+    evs
+
+let test_lock_error_cases () =
+  Alcotest.check_raises "relock" (Invalid_argument "Sim.lock: mutex already held by caller")
+    (fun () ->
+      ignore (Sim.run (fun () ->
+          let m = Sim.mutex () in
+          Sim.lock m;
+          Sim.lock m)));
+  Alcotest.check_raises "unlock not held" (Invalid_argument "Sim.unlock: mutex not held by caller")
+    (fun () -> ignore (Sim.run (fun () -> Sim.unlock (Sim.mutex ()))))
+
+let test_deadlock_detection () =
+  let raised = ref false in
+  (try
+     ignore (Sim.run ~policy:Scheduler.Round_robin (fun () ->
+         let m1 = Sim.mutex () and m2 = Sim.mutex () in
+         let t = Sim.spawn (fun () ->
+             Sim.lock m2;
+             Sim.yield ();
+             Sim.lock m1;
+             Sim.unlock m1;
+             Sim.unlock m2)
+         in
+         Sim.lock m1;
+         Sim.yield ();
+         Sim.lock m2;
+         Sim.unlock m2;
+         Sim.unlock m1;
+         Sim.join t))
+   with Sim.Deadlock tids ->
+     raised := true;
+     check_int "both threads blocked" 2 (List.length tids));
+  check_bool "deadlock raised" true !raised
+
+let test_join_semantics () =
+  let order = ref [] in
+  let _, _ = record (fun () ->
+      let t = Sim.spawn (fun () -> order := "child" :: !order) in
+      Sim.join t;
+      order := "parent" :: !order)
+  in
+  Alcotest.(check (list string)) "join waits" [ "parent"; "child" ] !order
+
+let test_join_already_exited () =
+  let _, evs = record (fun () ->
+      let t = Sim.spawn (fun () -> ()) in
+      (* let the child run to completion first *)
+      for _ = 0 to 5 do Sim.yield () done;
+      Sim.join t)
+  in
+  let joins = List.filter (function Event.Join _ -> true | _ -> false) evs in
+  check_int "join event emitted" 1 (List.length joins)
+
+let test_barrier_all_arrive_before_depart () =
+  let prog () =
+    let b = Sim.barrier 3 in
+    let ts = List.init 2 (fun _ -> Sim.spawn (fun () -> Sim.barrier_wait b)) in
+    Sim.barrier_wait b;
+    List.iter Sim.join ts
+  in
+  let _, evs = record ~policy:(Scheduler.Random_each 11) prog in
+  (* all three releases (arrivals) precede all three acquires (departures) *)
+  let seq = List.filter_map (function
+      | Event.Release { sync = Event.Barrier; _ } -> Some `R
+      | Event.Acquire { sync = Event.Barrier; _ } -> Some `A
+      | _ -> None) evs
+  in
+  Alcotest.(check (list bool)) "arrivals before departures"
+    [ true; true; true; false; false; false ]
+    (List.map (fun x -> x = `R) seq)
+
+let test_barrier_reusable () =
+  let counter = ref 0 in
+  let _, _ = record (fun () ->
+      let b = Sim.barrier 2 in
+      let t = Sim.spawn (fun () ->
+          Sim.barrier_wait b;
+          Sim.barrier_wait b;
+          incr counter)
+      in
+      Sim.barrier_wait b;
+      Sim.barrier_wait b;
+      incr counter;
+      Sim.join t)
+  in
+  check_int "both passed two generations" 2 !counter
+
+let test_event_flag () =
+  let seen = ref false in
+  let _, _ = record (fun () ->
+      let f = Sim.event () in
+      let t = Sim.spawn (fun () -> Sim.event_wait f; seen := true) in
+      for _ = 0 to 3 do Sim.yield () done;
+      check_bool "waiter blocked until set" false !seen;
+      Sim.event_set f;
+      Sim.join t)
+  in
+  check_bool "woken after set" true !seen
+
+let test_try_lock () =
+  let results = ref [] in
+  let _, evs = record (fun () ->
+      let m = Sim.mutex () in
+      Sim.lock m;
+      let t = Sim.spawn (fun () -> results := Sim.try_lock m :: !results) in
+      Sim.join t;
+      Sim.unlock m;
+      results := Sim.try_lock m :: !results;
+      Sim.unlock m)
+  in
+  Alcotest.(check (list bool)) "busy then free" [ true; false ] !results;
+  let acquires = List.length (List.filter (function Event.Acquire _ -> true | _ -> false) evs) in
+  check_int "failed try_lock emits nothing" 2 acquires
+
+let test_condition_variable () =
+  let log = ref [] in
+  let _, _ = record ~policy:Scheduler.Round_robin (fun () ->
+      let m = Sim.mutex () in
+      let cv = Sim.condition () in
+      let consumer = Sim.spawn (fun () ->
+          Sim.lock m;
+          log := "wait" :: !log;
+          Sim.cond_wait cv m;
+          log := "woken" :: !log;
+          Sim.unlock m)
+      in
+      for _ = 0 to 5 do Sim.yield () done;
+      Sim.lock m;
+      log := "signal" :: !log;
+      Sim.cond_signal cv;
+      Sim.unlock m;
+      Sim.join consumer)
+  in
+  Alcotest.(check (list string)) "wait blocks until signal"
+    [ "woken"; "signal"; "wait" ] !log
+
+let test_condition_broadcast () =
+  let woken = ref 0 in
+  let _, _ = record (fun () ->
+      let m = Sim.mutex () in
+      let cv = Sim.condition () in
+      let entered = ref 0 in
+      let ts = List.init 3 (fun _ -> Sim.spawn (fun () ->
+          Sim.lock m;
+          incr entered;
+          Sim.cond_wait cv m;
+          incr woken;
+          Sim.unlock m))
+      in
+      while !entered < 3 do Sim.yield () done;
+      (* all three hold-or-queued; one more lock round makes sure the
+         last one reached the wait *)
+      Sim.with_lock m (fun () -> ());
+      Sim.with_lock m (fun () -> Sim.cond_broadcast cv);
+      List.iter Sim.join ts)
+  in
+  check_int "all woken" 3 !woken
+
+let test_cond_wait_requires_mutex () =
+  Alcotest.check_raises "not held"
+    (Invalid_argument "Sim.cond_wait: mutex not held by caller") (fun () ->
+      ignore (Sim.run (fun () -> Sim.cond_wait (Sim.condition ()) (Sim.mutex ()))))
+
+let test_cond_gives_hb_edge () =
+  (* signaller's prior writes are ordered before the woken waiter *)
+  let open Dgrace_detectors in
+  let d = Dynamic_granularity.create () in
+  let _ = Sim.run ~sink:d.Detector.on_event (fun () ->
+      let m = Sim.mutex () and cv = Sim.condition () in
+      let a = Sim.static_alloc 4 in
+      let entered = ref false in
+      let t = Sim.spawn (fun () ->
+          Sim.lock m;
+          entered := true;
+          Sim.cond_wait cv m;
+          Sim.read a 4;
+          Sim.unlock m)
+      in
+      while not !entered do Sim.yield () done;
+      Sim.with_lock m (fun () -> ());
+      Sim.write a 4;
+      Sim.with_lock m (fun () -> Sim.cond_signal cv);
+      Sim.join t)
+  in
+  d.finish ();
+  check_int "cond wait orders the read" 0 (Detector.race_count d)
+
+let test_semaphore () =
+  let order = ref [] in
+  let _, _ = record ~policy:Scheduler.Round_robin (fun () ->
+      let s = Sim.semaphore 0 in
+      let t = Sim.spawn (fun () ->
+          Sim.sem_wait s;
+          order := "consumed" :: !order)
+      in
+      for _ = 0 to 5 do Sim.yield () done;
+      order := "posting" :: !order;
+      Sim.sem_post s;
+      Sim.join t)
+  in
+  Alcotest.(check (list string)) "wait blocks until post"
+    [ "consumed"; "posting" ] !order
+
+let test_semaphore_counts () =
+  let acquired = ref 0 in
+  let _, _ = record (fun () ->
+      let s = Sim.semaphore 2 in
+      Sim.sem_wait s;
+      incr acquired;
+      Sim.sem_wait s;
+      incr acquired;
+      Sim.sem_post s;
+      Sim.sem_wait s;
+      incr acquired)
+  in
+  check_int "initial permits plus a post" 3 !acquired
+
+let test_semaphore_hb_edge () =
+  let open Dgrace_detectors in
+  let d = Dynamic_granularity.create () in
+  let _ = Sim.run ~sink:d.Detector.on_event (fun () ->
+      let s = Sim.semaphore 0 in
+      let a = Sim.static_alloc 4 in
+      let t = Sim.spawn (fun () ->
+          Sim.sem_wait s;
+          Sim.write a 4)
+      in
+      Sim.write a 4;
+      Sim.sem_post s;
+      Sim.join t)
+  in
+  d.finish ();
+  check_int "post orders the writes" 0 (Detector.race_count d)
+
+let test_atomic_load_store () =
+  let open Dgrace_detectors in
+  let d = Dynamic_granularity.create () in
+  let _ = Sim.run ~sink:d.Detector.on_event (fun () ->
+      let a = Sim.static_alloc 4 in
+      let t = Sim.spawn (fun () -> Sim.atomic_load a 4) in
+      Sim.atomic_store a 4;
+      Sim.join t)
+  in
+  d.finish ();
+  check_int "atomics never race" 0 (Detector.race_count d)
+
+let test_atomic_events () =
+  let _, evs = record (fun () -> Sim.atomic_rmw 0x1000 4) in
+  let shapes = List.filter_map (function
+      | Event.Acquire { sync = Event.Atomic; _ } -> Some "acq"
+      | Event.Release { sync = Event.Atomic; _ } -> Some "rel"
+      | Event.Access { kind = Read; _ } -> Some "r"
+      | Event.Access { kind = Write; _ } -> Some "w"
+      | _ -> None) evs
+  in
+  Alcotest.(check (list string)) "atomic is acq/r/w/rel" [ "acq"; "r"; "w"; "rel" ] shapes
+
+let test_self_ids () =
+  let ids = ref [] in
+  let _, _ = record (fun () ->
+      ids := Sim.self () :: !ids;
+      let t = Sim.spawn (fun () -> ids := Sim.self () :: !ids) in
+      Sim.join t)
+  in
+  Alcotest.(check (list int)) "tids" [ 1; 0 ] !ids
+
+let test_many_threads () =
+  let n = 500 in
+  let sum = ref 0 in
+  let r, _ = record (fun () ->
+      let a = Sim.static_alloc (4 * n) in
+      let ts = List.init n (fun i -> Sim.spawn (fun () ->
+          Sim.write (a + (4 * i)) 4;
+          incr sum))
+      in
+      List.iter Sim.join ts)
+  in
+  check_int "all ran" n !sum;
+  check_int "thread count" (n + 1) r.threads
+
+let test_thread_limit () =
+  Alcotest.check_raises "tid space bounded"
+    (Invalid_argument "Sim.spawn: more than 1024 threads") (fun () ->
+      ignore (Sim.run (fun () ->
+          for _ = 1 to 1100 do
+            ignore (Sim.spawn (fun () -> ()))
+          done)))
+
+let test_memory_allocator () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 100 in
+  let b = Memory.alloc m 100 in
+  check_bool "blocks disjoint" true (b >= a + 100 || a >= b + 100);
+  check_int "live" 200 (Memory.live_bytes m);
+  Alcotest.(check (option int)) "size_of" (Some 100) (Memory.size_of m a);
+  check_int "free returns size" 100 (Memory.free m a);
+  check_int "live after free" 100 (Memory.live_bytes m);
+  let c = Memory.alloc m 100 in
+  check_int "freed block recycled" a c;
+  check_int "total allocated accumulates" 300 (Memory.total_allocated m);
+  check_int "alloc count" 3 (Memory.alloc_count m);
+  Alcotest.check_raises "double free"
+    (Invalid_argument (Printf.sprintf "Memory.free: unknown address 0x%x" b))
+    (fun () -> ignore (Memory.free m b); ignore (Memory.free m b))
+
+let test_memory_alignment () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~align:64 10 in
+  check_int "aligned" 0 (a land 63);
+  let s = Memory.alloc_static m ~align:16 5 in
+  check_int "static aligned" 0 (s land 15)
+
+let test_calloc_emits_init_write () =
+  let _, evs = record (fun () -> ignore (Sim.calloc ~loc:"init" 32)) in
+  let writes = List.filter (function
+      | Event.Access { kind = Write; size = 32; loc = "init"; _ } -> true
+      | _ -> false) evs
+  in
+  check_int "zeroing write" 1 (List.length writes)
+
+let test_alloc_free_events_carry_size () =
+  let _, evs = record (fun () ->
+      let a = Sim.malloc 48 in
+      Sim.free a)
+  in
+  List.iter (function
+      | Event.Alloc { size; _ } -> check_int "alloc size" 48 size
+      | Event.Free { size; _ } -> check_int "free size" 48 size
+      | _ -> ()) evs
+
+let suites : unit Alcotest.test list =
+    [
+      ( "sim.events",
+        [
+          Alcotest.test_case "single-thread order" `Quick test_event_order_single_thread;
+          Alcotest.test_case "result counters" `Quick test_result_counters;
+          Alcotest.test_case "atomic op shape" `Quick test_atomic_events;
+          Alcotest.test_case "alloc/free sizes" `Quick test_alloc_free_events_carry_size;
+          Alcotest.test_case "calloc init write" `Quick test_calloc_emits_init_write;
+        ] );
+      ( "sim.scheduling",
+        [
+          Alcotest.test_case "determinism per seed" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_policies_differ;
+          Alcotest.test_case "self ids" `Quick test_self_ids;
+        ] );
+      ( "sim.sync",
+        [
+          Alcotest.test_case "mutex mutual exclusion" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "lock misuse errors" `Quick test_lock_error_cases;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "join waits" `Quick test_join_semantics;
+          Alcotest.test_case "join after exit" `Quick test_join_already_exited;
+          Alcotest.test_case "barrier ordering" `Quick test_barrier_all_arrive_before_depart;
+          Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+          Alcotest.test_case "event flag" `Quick test_event_flag;
+          Alcotest.test_case "try_lock" `Quick test_try_lock;
+          Alcotest.test_case "condition wait/signal" `Quick test_condition_variable;
+          Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+          Alcotest.test_case "cond_wait requires mutex" `Quick test_cond_wait_requires_mutex;
+          Alcotest.test_case "cond gives HB edge" `Quick test_cond_gives_hb_edge;
+          Alcotest.test_case "semaphore blocks" `Quick test_semaphore;
+          Alcotest.test_case "semaphore counts" `Quick test_semaphore_counts;
+          Alcotest.test_case "semaphore HB edge" `Quick test_semaphore_hb_edge;
+          Alcotest.test_case "atomic load/store" `Quick test_atomic_load_store;
+        ] );
+      ( "sim.memory",
+        [
+          Alcotest.test_case "allocator" `Quick test_memory_allocator;
+          Alcotest.test_case "500 threads" `Quick test_many_threads;
+          Alcotest.test_case "thread-id limit" `Quick test_thread_limit;
+          Alcotest.test_case "alignment" `Quick test_memory_alignment;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Trace record/replay: round-trips, the varint encoding, location
+   interning, and corruption handling. *)
+
+open Dgrace_events
+open Dgrace_trace
+
+let tmp_file () = Filename.temp_file "dgrace" ".trace"
+
+let roundtrip events =
+  let path = tmp_file () in
+  let (), n = Trace_writer.to_file path (fun sink -> List.iter sink events) in
+  let back = Trace_reader.read_file path in
+  Sys.remove path;
+  (n, back)
+
+let sample_events =
+  [
+    Event.Fork { parent = 0; child = 1 };
+    Event.Alloc { tid = 0; addr = 0x1000; size = 64 };
+    Event.Access { tid = 0; kind = Write; addr = 0x1000; size = 4; loc = "init" };
+    Event.Acquire { tid = 1; lock = 3; sync = Event.Lock };
+    Event.Access { tid = 1; kind = Read; addr = 0x1001; size = 1; loc = "worker" };
+    Event.Release { tid = 1; lock = 3; sync = Event.Lock };
+    Event.Acquire { tid = 1; lock = 9; sync = Event.Barrier };
+    Event.Release { tid = 0; lock = 10; sync = Event.Flag };
+    Event.Acquire { tid = 0; lock = 11; sync = Event.Atomic };
+    Event.Access { tid = 0; kind = Write; addr = 0x1000; size = 4; loc = "init" };
+    Event.Free { tid = 0; addr = 0x1000; size = 64 };
+    Event.Join { parent = 0; child = 1 };
+    Event.Thread_exit { tid = 0 };
+  ]
+
+let test_roundtrip () =
+  let n, back = roundtrip sample_events in
+  Alcotest.(check int) "count" (List.length sample_events) n;
+  Alcotest.(check (list string)) "events"
+    (List.map Event.to_string sample_events)
+    (List.map Event.to_string back)
+
+let test_loc_interning_compact () =
+  (* the same long label repeated must be written once *)
+  let loc = String.make 100 'x' in
+  let ev = Event.Access { tid = 0; kind = Read; addr = 1; size = 1; loc } in
+  let path = tmp_file () in
+  let (), _ = Trace_writer.to_file path (fun sink -> for _ = 1 to 50 do sink ev done) in
+  let size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  Alcotest.(check bool) "interned (well under 50 copies)" true (size < 100 * 10)
+
+let test_varint () =
+  let buf = Buffer.create 16 in
+  List.iter (Trace_format.write_varint buf) [ 0; 1; 127; 128; 300; 1 lsl 40 ];
+  let path = tmp_file () in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let ic = open_in_bin path in
+  let vals = List.init 6 (fun _ -> Trace_format.read_varint ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list int)) "roundtrip" [ 0; 1; 127; 128; 300; 1 lsl 40 ] vals;
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Trace_format.write_varint: negative")
+    (fun () -> Trace_format.write_varint buf (-1))
+
+let test_bad_magic () =
+  let path = tmp_file () in
+  let oc = open_out_bin path in
+  output_string oc "NOPE!";
+  close_out oc;
+  Alcotest.check_raises "corrupt" (Trace_format.Corrupt "bad magic") (fun () ->
+      ignore (Trace_reader.read_file path));
+  Sys.remove path
+
+let test_truncated_event () =
+  let path = tmp_file () in
+  let (), _ = Trace_writer.to_file path (fun sink -> List.iter sink sample_events) in
+  (* chop the file mid-record *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full - 1));
+  close_out oc;
+  Alcotest.check_raises "truncation detected" (Trace_format.Corrupt "truncated event")
+    (fun () -> ignore (Trace_reader.read_file path));
+  Sys.remove path
+
+let test_empty_trace () =
+  let n, back = roundtrip [] in
+  Alcotest.(check int) "count" 0 n;
+  Alcotest.(check int) "empty" 0 (List.length back)
+
+let test_fold_file () =
+  let path = tmp_file () in
+  let (), _ = Trace_writer.to_file path (fun sink -> List.iter sink sample_events) in
+  let n = Trace_reader.fold_file path (fun acc _ -> acc + 1) 0 in
+  Sys.remove path;
+  Alcotest.(check int) "fold count" (List.length sample_events) n
+
+(* qcheck: arbitrary event lists survive the round-trip *)
+let arb_event =
+  let open QCheck.Gen in
+  let tid = int_bound 50 in
+  let addr = int_bound 0xffff in
+  let size = oneofl [ 1; 2; 4; 8; 64 ] in
+  let loc = oneofl [ ""; "a"; "some:place"; "other" ] in
+  let sync = oneofl Event.[ Lock; Barrier; Flag; Atomic ] in
+  QCheck.make
+    (oneof
+       [
+         map (fun (t, a, (s, l)) -> Event.Access { tid = t; kind = Read; addr = a; size = s; loc = l })
+           (triple tid addr (pair size loc));
+         map (fun (t, a, (s, l)) -> Event.Access { tid = t; kind = Write; addr = a; size = s; loc = l })
+           (triple tid addr (pair size loc));
+         map (fun (t, l, s) -> Event.Acquire { tid = t; lock = l; sync = s }) (triple tid (int_bound 100) sync);
+         map (fun (t, l, s) -> Event.Release { tid = t; lock = l; sync = s }) (triple tid (int_bound 100) sync);
+         map (fun (p, c) -> Event.Fork { parent = p; child = c }) (pair tid tid);
+         map (fun (p, c) -> Event.Join { parent = p; child = c }) (pair tid tid);
+         map (fun (t, a, s) -> Event.Alloc { tid = t; addr = a; size = s }) (triple tid addr (int_bound 1024));
+         map (fun (t, a, s) -> Event.Free { tid = t; addr = a; size = s }) (triple tid addr (int_bound 1024));
+         map (fun t -> Event.Thread_exit { tid = t }) tid;
+       ])
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"random event lists round-trip" ~count:100
+    (QCheck.small_list arb_event) (fun events ->
+      let _, back = roundtrip events in
+      List.map Event.to_string back = List.map Event.to_string events)
+
+let suites : unit Alcotest.test list =
+    [
+      ( "trace.format",
+        [
+          Alcotest.test_case "varint" `Quick test_varint;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "truncated event" `Quick test_truncated_event;
+        ] );
+      ( "trace.roundtrip",
+        [
+          Alcotest.test_case "all event kinds" `Quick test_roundtrip;
+          Alcotest.test_case "empty" `Quick test_empty_trace;
+          Alcotest.test_case "fold_file" `Quick test_fold_file;
+          Alcotest.test_case "loc interning" `Quick test_loc_interning_compact;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        ] );
+    ]

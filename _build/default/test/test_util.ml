@@ -1,0 +1,91 @@
+(* Vec: model-based testing against OCaml lists. *)
+
+module Vec = Dgrace_util.Vec
+
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do Vec.push v (i * 2) done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get 0" 0 (Vec.get v 0);
+  check_int "get 99" 198 (Vec.get v 99);
+  Vec.set v 10 (-1);
+  check_int "set" (-1) (Vec.get v 10);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 100))
+
+let test_swap_remove () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check_int "removed" 2 (Vec.swap_remove v 1);
+  check_list "last moved in" [ 1; 4; 3 ] (Vec.to_list v)
+
+let test_remove_ordered () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check_int "removed" 2 (Vec.remove_ordered v 1);
+  check_list "order preserved" [ 1; 3; 4 ] (Vec.to_list v);
+  check_int "remove head" 1 (Vec.remove_ordered v 0);
+  check_list "order preserved" [ 3; 4 ] (Vec.to_list v)
+
+let test_pop_clear () =
+  let v = Vec.of_list [ 5; 6 ] in
+  Alcotest.(check (option int)) "pop" (Some 6) (Vec.pop v);
+  Vec.clear v;
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_iterators () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_int "fold" 6 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  Alcotest.(check (option int)) "find_index" (Some 2) (Vec.find_index (fun x -> x = 3) v);
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  check_list "iter order" [ 3; 2; 1 ] !acc
+
+(* model-based: a random sequence of operations applied to both a Vec
+   and a list must agree *)
+let model_ops =
+  let open QCheck in
+  Test.make ~name:"Vec agrees with list model" ~count:300
+    (small_list (pair (int_bound 2) small_nat))
+    (fun ops ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            Vec.push v x;
+            model := !model @ [ x ]
+          | 1 ->
+            if !model <> [] then begin
+              let i = x mod List.length !model in
+              let r = Vec.remove_ordered v i in
+              let expected = List.nth !model i in
+              assert (r = expected);
+              model := List.filteri (fun j _ -> j <> i) !model
+            end
+          | _ ->
+            if !model <> [] then begin
+              let i = x mod List.length !model in
+              Vec.set v i x;
+              model := List.mapi (fun j y -> if j = i then x else y) !model
+            end)
+        ops;
+      Vec.to_list v = !model)
+
+let suites : unit Alcotest.test list =
+    [
+      ( "util.vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_push_get;
+          Alcotest.test_case "swap_remove" `Quick test_swap_remove;
+          Alcotest.test_case "remove_ordered" `Quick test_remove_ordered;
+          Alcotest.test_case "pop/clear" `Quick test_pop_clear;
+          Alcotest.test_case "iterators" `Quick test_iterators;
+          QCheck_alcotest.to_alcotest model_ops;
+        ] );
+    ]

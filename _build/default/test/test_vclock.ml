@@ -1,0 +1,205 @@
+(* Vector clocks and epochs: unit tests for the representation and
+   qcheck laws for the join-semilattice structure that happens-before
+   detection relies on. *)
+
+open Dgrace_vclock
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch *)
+
+let test_epoch_pack () =
+  let e = Epoch.make ~tid:7 ~clock:123 in
+  check_int "tid" 7 (Epoch.tid e);
+  check_int "clock" 123 (Epoch.clock e);
+  check "none is none" true (Epoch.is_none Epoch.none);
+  check "real epoch is not none" false (Epoch.is_none e);
+  Alcotest.check_raises "tid too large" (Invalid_argument "Epoch.make: tid 1024 out of range")
+    (fun () -> ignore (Epoch.make ~tid:1024 ~clock:1));
+  Alcotest.check_raises "negative clock" (Invalid_argument "Epoch.make: negative clock")
+    (fun () -> ignore (Epoch.make ~tid:0 ~clock:(-1)))
+
+let test_epoch_pp () =
+  Alcotest.(check string) "pp" "5@2" (Epoch.to_string (Epoch.make ~tid:2 ~clock:5));
+  Alcotest.(check string) "pp none" "-" (Epoch.to_string Epoch.none)
+
+let epoch_roundtrip =
+  QCheck.Test.make ~name:"epoch pack/unpack roundtrip" ~count:500
+    QCheck.(pair (int_bound Epoch.max_tid) (int_bound 1_000_000))
+    (fun (tid, clock) ->
+      let e = Epoch.make ~tid ~clock in
+      Epoch.tid e = tid && Epoch.clock e = clock)
+
+(* ------------------------------------------------------------------ *)
+(* Vector clock *)
+
+let test_get_set () =
+  let vc = Vector_clock.create () in
+  check_int "unset is 0" 0 (Vector_clock.get vc 5);
+  Vector_clock.set vc 5 42;
+  check_int "set" 42 (Vector_clock.get vc 5);
+  check_int "beyond capacity is 0" 0 (Vector_clock.get vc 1000);
+  Vector_clock.tick vc 5;
+  check_int "tick" 43 (Vector_clock.get vc 5);
+  Vector_clock.tick vc 9;
+  check_int "tick from 0" 1 (Vector_clock.get vc 9)
+
+let test_join_leq () =
+  let a = Vector_clock.create () and b = Vector_clock.create () in
+  Vector_clock.set a 0 3;
+  Vector_clock.set b 1 5;
+  check "incomparable a<=b" false (Vector_clock.leq a b);
+  check "incomparable b<=a" false (Vector_clock.leq b a);
+  Vector_clock.join a b;
+  check_int "join keeps own" 3 (Vector_clock.get a 0);
+  check_int "join takes other" 5 (Vector_clock.get a 1);
+  check "b <= join" true (Vector_clock.leq b a)
+
+let test_equal_ignores_capacity () =
+  let a = Vector_clock.create ~capacity:2 () in
+  let b = Vector_clock.create ~capacity:32 () in
+  Vector_clock.set a 1 7;
+  Vector_clock.set b 1 7;
+  check "equal across capacities" true (Vector_clock.equal a b);
+  Vector_clock.set b 20 1;
+  check "not equal" false (Vector_clock.equal a b)
+
+let test_epoch_leq () =
+  let vc = Vector_clock.create () in
+  Vector_clock.set vc 2 10;
+  check "ordered" true (Vector_clock.epoch_leq (Epoch.make ~tid:2 ~clock:10) vc);
+  check "not ordered" false (Vector_clock.epoch_leq (Epoch.make ~tid:2 ~clock:11) vc);
+  check "none before everything" true (Vector_clock.epoch_leq Epoch.none vc)
+
+let test_of_epoch () =
+  let vc = Vector_clock.of_epoch (Epoch.make ~tid:3 ~clock:9) in
+  check_int "component" 9 (Vector_clock.get vc 3);
+  check_int "others" 0 (Vector_clock.get vc 0);
+  check_int "max_tid_set" 3 (Vector_clock.max_tid_set vc)
+
+let test_assign_copy () =
+  let a = Vector_clock.create () in
+  Vector_clock.set a 1 4;
+  let b = Vector_clock.copy a in
+  Vector_clock.set a 1 9;
+  check_int "copy is independent" 4 (Vector_clock.get b 1);
+  Vector_clock.set b 7 2;
+  Vector_clock.assign b a;
+  check "assign makes equal" true (Vector_clock.equal a b);
+  check_int "assign cleared stale component" 0 (Vector_clock.get b 7)
+
+(* regression: two clocks that repeatedly join each other (the
+   thread/lock pattern under contention) must not inflate each other's
+   storage — this once grew exponentially with >5 threads *)
+let test_mutual_join_capacity_stable () =
+  let a = Vector_clock.create () and b = Vector_clock.create () in
+  Vector_clock.set a 8 1;
+  (* b starts smaller; repeated mutual joins must converge, not race *)
+  for i = 1 to 1000 do
+    Vector_clock.set a 8 i;
+    Vector_clock.join b a;
+    Vector_clock.set b 3 i;
+    Vector_clock.join a b
+  done;
+  check "a stays small" true (Vector_clock.heap_words a < 64);
+  check "b stays small" true (Vector_clock.heap_words b < 64)
+
+let test_fold_pp () =
+  let vc = Vector_clock.create () in
+  Vector_clock.set vc 0 1;
+  Vector_clock.set vc 2 3;
+  let sum = Vector_clock.fold (fun _ c acc -> acc + c) vc 0 in
+  check_int "fold over non-zero" 4 sum;
+  Alcotest.(check string) "pp" "<1, 0, 3>" (Vector_clock.to_string vc)
+
+(* qcheck: generate small clocks as lists of (tid, clock) *)
+let gen_vc =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        let vc = Vector_clock.create () in
+        List.iter (fun (t, c) -> Vector_clock.set vc t c) l;
+        vc)
+      (small_list (pair (int_bound 12) (int_bound 50))))
+
+let arb_vc = QCheck.make ~print:Vector_clock.to_string gen_vc
+
+let join_into a b =
+  let r = Vector_clock.copy a in
+  Vector_clock.join r b;
+  r
+
+let law_join_commutative =
+  QCheck.Test.make ~name:"join commutative" ~count:300 (QCheck.pair arb_vc arb_vc)
+    (fun (a, b) -> Vector_clock.equal (join_into a b) (join_into b a))
+
+let law_join_associative =
+  QCheck.Test.make ~name:"join associative" ~count:300
+    (QCheck.triple arb_vc arb_vc arb_vc) (fun (a, b, c) ->
+      Vector_clock.equal (join_into (join_into a b) c) (join_into a (join_into b c)))
+
+let law_join_idempotent =
+  QCheck.Test.make ~name:"join idempotent" ~count:300 arb_vc (fun a ->
+      Vector_clock.equal (join_into a a) a)
+
+let law_join_upper_bound =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:300
+    (QCheck.pair arb_vc arb_vc) (fun (a, b) ->
+      let j = join_into a b in
+      Vector_clock.leq a j && Vector_clock.leq b j)
+
+let law_leq_antisym =
+  QCheck.Test.make ~name:"leq antisymmetric" ~count:300 (QCheck.pair arb_vc arb_vc)
+    (fun (a, b) ->
+      if Vector_clock.leq a b && Vector_clock.leq b a then Vector_clock.equal a b
+      else true)
+
+let law_leq_transitive =
+  QCheck.Test.make ~name:"leq transitive via join" ~count:300
+    (QCheck.triple arb_vc arb_vc arb_vc) (fun (a, b, c) ->
+      (* a <= a⊔b <= (a⊔b)⊔c *)
+      let ab = join_into a b in
+      let abc = join_into ab c in
+      Vector_clock.leq a ab && Vector_clock.leq ab abc && Vector_clock.leq a abc)
+
+let law_epoch_leq_consistent =
+  QCheck.Test.make ~name:"epoch_leq agrees with leq of of_epoch" ~count:300
+    (QCheck.pair (QCheck.pair (QCheck.int_bound 12) (QCheck.int_bound 50)) arb_vc)
+    (fun ((tid, clock), vc) ->
+      let e = Epoch.make ~tid ~clock in
+      Vector_clock.epoch_leq e vc = Vector_clock.leq (Vector_clock.of_epoch e) vc)
+
+let suites : unit Alcotest.test list =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  [
+      ( "vclock.epoch",
+        [
+          Alcotest.test_case "pack/unpack + bounds" `Quick test_epoch_pack;
+          Alcotest.test_case "pretty printing" `Quick test_epoch_pp;
+        ]
+        @ q [ epoch_roundtrip ] );
+      ( "vclock.vector-clock",
+        [
+          Alcotest.test_case "get/set/tick" `Quick test_get_set;
+          Alcotest.test_case "join and leq" `Quick test_join_leq;
+          Alcotest.test_case "equal ignores capacity" `Quick test_equal_ignores_capacity;
+          Alcotest.test_case "epoch_leq" `Quick test_epoch_leq;
+          Alcotest.test_case "of_epoch" `Quick test_of_epoch;
+          Alcotest.test_case "assign/copy" `Quick test_assign_copy;
+          Alcotest.test_case "mutual join capacity stable" `Quick test_mutual_join_capacity_stable;
+          Alcotest.test_case "fold and pp" `Quick test_fold_pp;
+        ] );
+      ( "vclock.laws",
+        q
+          [
+            law_join_commutative;
+            law_join_associative;
+            law_join_idempotent;
+            law_join_upper_bound;
+            law_leq_antisym;
+            law_leq_transitive;
+            law_epoch_leq_consistent;
+          ] );
+    ]
