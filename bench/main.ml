@@ -6,6 +6,9 @@
      dune exec bench/main.exe -- --scale 8    # bigger workloads
      dune exec bench/main.exe -- --bechamel   # Bechamel timing runs,
                                               # one Test per table
+     dune exec bench/main.exe -- --metrics-out BENCH.json
+                                              # dump every measured run
+                                              # as versioned JSON
 
    The Bechamel mode measures the wall-clock cost of the measurement
    kernel behind each table (workload x detector analysis runs) with
@@ -85,6 +88,8 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+let metrics_out = ref None
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse sel = function
@@ -95,12 +100,17 @@ let () =
     | "--reps" :: n :: rest ->
       Measure.reps := int_of_string n;
       parse sel rest
+    | "--metrics-out" :: file :: rest ->
+      metrics_out := Some file;
+      parse sel rest
     | "--bechamel" :: rest ->
       run_bechamel ();
       parse sel rest
     | name :: rest when List.mem_assoc name all_tables -> parse (name :: sel) rest
     | other :: _ ->
-      Printf.eprintf "unknown argument %S; expected: %s, --scale N, --reps N, --bechamel\n"
+      Printf.eprintf
+        "unknown argument %S; expected: %s, --scale N, --reps N, --bechamel, \
+         --metrics-out FILE\n"
         other
         (String.concat ", " (List.map fst all_tables));
       exit 1
@@ -114,4 +124,9 @@ let () =
   Printf.printf
     "dgrace benchmark harness — scale=%d reps=%d (threads/workload defaults)\n"
     !Measure.scale !Measure.reps;
-  List.iter (fun name -> (List.assoc name all_tables) ()) selected
+  List.iter (fun name -> (List.assoc name all_tables) ()) selected;
+  match !metrics_out with
+  | None -> ()
+  | Some file ->
+    Dgrace_obs.Json.to_file file (Measure.metrics_json ());
+    Printf.eprintf "bench metrics written to %s\n" file

@@ -30,6 +30,10 @@ type m = {
 let scale = ref 4
 let reps = ref 3
 
+(* Full summaries of every (workload x detector) run this process made,
+   for the self-describing BENCH metrics export. *)
+let summaries : (string * string, Engine.summary) Hashtbl.t = Hashtbl.create 64
+
 let suppression_for = function
   | Spec.Drd | Spec.Inspector | Spec.Eraser -> Suppression.empty
   | _ -> Suppression.default_runtime
@@ -56,6 +60,7 @@ let get (w : Workload.t) spec =
       | _ -> best := Some s
     done;
     let s = Option.get !best in
+    Hashtbl.replace summaries key s;
     let sim = Option.get s.sim in
     let m =
       {
@@ -84,9 +89,34 @@ let mem_vs_byte w spec =
   let m = (get w spec).mem.peak_bytes in
   if byte = 0 then Float.nan else float_of_int m /. float_of_int byte
 
-let geomean = function
-  | [] -> Float.nan
-  | xs ->
-    exp (List.fold_left (fun acc x -> acc +. log x) 0. xs /. float_of_int (List.length xs))
-
+let geomean = Dgrace_util.Stat.geomean
 let kb n = n / 1024
+
+(* Everything measured so far as one versioned document: each run is
+   the same JSON body [racedet run --metrics-out] writes, so BENCH
+   trajectories carry their own schema. *)
+let metrics_json () =
+  let module Json = Dgrace_obs.Json in
+  let runs =
+    Hashtbl.fold
+      (fun (wname, dname) s acc -> ((wname, dname), s) :: acc)
+      summaries []
+    |> List.sort compare
+    |> List.map (fun ((wname, _), s) ->
+        match Engine.summary_to_json ~workload:(Json.String wname) s with
+        | Json.Obj fields ->
+          (* strip the per-run envelope; the document carries one *)
+          Json.Obj
+            (List.filter
+               (fun (k, _) ->
+                 k <> Dgrace_obs.Export.version_key
+                 && k <> "kind" && k <> "generator")
+               fields)
+        | other -> other)
+  in
+  Dgrace_obs.Export.envelope ~kind:"bench"
+    [
+      ("scale", Json.Int !scale);
+      ("reps", Json.Int !reps);
+      ("runs", Json.List runs);
+    ]

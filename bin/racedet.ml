@@ -1,16 +1,23 @@
 (* racedet — command-line front end.
 
    Subcommands:
-     run      analyse a workload with one detector
-     compare  analyse a workload with several detectors side by side
-     record   record a workload's event stream to a trace file
-     replay   analyse a recorded trace
-     list     list workloads and detectors *)
+     run          analyse a workload with one detector
+     compare      analyse a workload with several detectors side by side
+     profile      phase/hot-path breakdown of one workload per detector
+     record       record a workload's event stream to a trace file
+     replay       analyse a recorded trace
+     metrics-info validate and summarise a --metrics-out document
+     list         list workloads and detectors *)
 
 open Cmdliner
 open Dgrace_core
 open Dgrace_workloads
 open Dgrace_events
+module Json = Dgrace_obs.Json
+module Metrics = Dgrace_obs.Metrics
+module Sampler = Dgrace_obs.Sampler
+module State_matrix = Dgrace_obs.State_matrix
+module Export = Dgrace_obs.Export
 
 (* ------------------------------------------------------------------ *)
 (* converters and shared options *)
@@ -72,6 +79,30 @@ let no_suppress_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race report.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's structured metrics (summary, time-series, \
+           state-transition matrix) as versioned JSON to $(docv).")
+
+let sample_every_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "sample-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot shadow-memory accounting every $(docv) events into the \
+           exported time-series (active only with $(b,--metrics-out)).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Print a heartbeat line to stderr every 100k events.")
+
 let params w threads scale seed = Workload.with_params ?threads ?scale ?seed w
 
 let suppression no_suppress =
@@ -79,15 +110,48 @@ let suppression no_suppress =
 
 let policy sched_seed = Dgrace_sim.Scheduler.Chunked { seed = sched_seed; chunk = 64 }
 
+(* Heartbeat for long runs: reads the live detector state so the line
+   shows real progress, not just an event count. *)
+let progress_for flag (d : Dgrace_detectors.Detector.t) =
+  if not flag then None
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Some
+      ( 100_000,
+        fun events ->
+          Printf.eprintf
+            "[progress] %s: events=%d accesses=%d races=%d shadow=%dKB (%.1fs)\n%!"
+            d.name events d.stats.Dgrace_detectors.Run_stats.accesses
+            (Dgrace_detectors.Detector.race_count d)
+            (Dgrace_shadow.Accounting.current_bytes d.account / 1024)
+            (Unix.gettimeofday () -. t0) )
+  end
+
+let workload_json (w : Workload.t) (p : Workload.params) =
+  Json.Obj
+    [
+      ("name", Json.String w.name);
+      ("threads", Json.Int p.threads);
+      ("scale", Json.Int p.scale);
+      ("seed", Json.Int p.seed);
+    ]
+
+let write_metrics path json =
+  Json.to_file path json;
+  Format.eprintf "metrics written to %s@." path
+
 (* ------------------------------------------------------------------ *)
 (* run *)
 
 let run_cmd =
-  let action w spec threads scale seed sched_seed no_suppress verbose =
+  let action w spec threads scale seed sched_seed no_suppress verbose
+      metrics_out sample_every progress =
     let p = params w threads scale seed in
+    let d = Spec.to_detector ~suppression:(suppression no_suppress) spec in
     let s =
-      Engine.run ~policy:(policy sched_seed) ~suppression:(suppression no_suppress)
-        ~spec
+      Engine.with_detector ~policy:(policy sched_seed)
+        ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
+        ?progress:(progress_for progress d) d
         (w.Workload.program p)
     in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@." w.name p.threads
@@ -95,12 +159,18 @@ let run_cmd =
     Format.printf "%a@." Engine.pp_summary s;
     if verbose then
       List.iter (fun r -> Format.printf "%s@." (Report.to_string r)) s.races;
+    Option.iter
+      (fun path ->
+        write_metrics path
+          (Engine.summary_to_json ~workload:(workload_json w p) s))
+      metrics_out;
     if s.race_count > 0 then exit 2
   in
   let term =
     Term.(
       const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
-      $ seed_arg $ sched_seed_arg $ no_suppress_arg $ verbose_arg)
+      $ seed_arg $ sched_seed_arg $ no_suppress_arg $ verbose_arg
+      $ metrics_out_arg $ sample_every_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one detector."
@@ -113,21 +183,29 @@ let run_cmd =
 (* compare *)
 
 let compare_cmd =
-  let action w threads scale seed sched_seed no_suppress =
+  let action w threads scale seed sched_seed no_suppress metrics_out
+      sample_every =
     let p = params w threads scale seed in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@.@." w.name
       p.threads p.scale p.seed;
     Format.printf "%-28s %8s %10s %12s %10s %10s@." "detector" "races"
       "time(ms)" "peak-mem" "peak-VCs" "same-ep";
     let base = ref 0. in
+    let slowdowns = ref [] in
+    let summaries = ref [] in
     List.iter
       (fun spec ->
         let s =
           Engine.run ~policy:(policy sched_seed)
-            ~suppression:(suppression no_suppress) ~spec
+            ~suppression:(suppression no_suppress)
+            ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
+            ~spec
             (w.Workload.program p)
         in
-        if spec = Spec.No_detection then base := s.elapsed;
+        summaries := s :: !summaries;
+        if spec = Spec.No_detection then base := s.elapsed
+        else if !base > 0. then
+          slowdowns := (s.elapsed /. !base) :: !slowdowns;
         Format.printf "%-28s %8d %10.1f %11dK %10d %9.0f%%@." s.detector
           s.race_count (1000. *. s.elapsed)
           (s.mem.peak_bytes / 1024)
@@ -137,14 +215,192 @@ let compare_cmd =
         Spec.No_detection; Spec.byte; Spec.word; Spec.dynamic;
         Spec.Djit { granularity = 4 }; Spec.Drd; Spec.Inspector; Spec.Eraser;
         Spec.Multirace; Spec.Racetrack { region = 64 }; Spec.Literace;
-      ]
+      ];
+    (* the paper's Figure 7 summary statistic: geometric-mean slowdown
+       of each detector relative to the uninstrumented (null) run *)
+    if !slowdowns <> [] then
+      Format.printf "@.%-28s %8s %9.2fx (slowdown vs none)@." "geomean" ""
+        (Dgrace_util.Stat.geomean !slowdowns);
+    Option.iter
+      (fun path ->
+        write_metrics path
+          (Engine.summaries_to_json ~workload:(workload_json w p)
+             (List.rev !summaries)))
+      metrics_out
   in
   let term =
     Term.(
       const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
-      $ sched_seed_arg $ no_suppress_arg)
+      $ sched_seed_arg $ no_suppress_arg $ metrics_out_arg $ sample_every_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run one workload under every detector.") term
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let pct part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let print_profile (s : Engine.summary) =
+  let stats = s.stats in
+  let total = stats.accesses in
+  let fast = stats.same_epoch in
+  let analysed =
+    (* instrumented detectors count this directly; the invariant
+       fast + analysed = total holds by construction *)
+    Option.value
+      (Metrics.find_counter s.metrics "accesses.analysed")
+      ~default:(total - fast)
+  in
+  Format.printf "@.detector: %s@." s.detector;
+  Format.printf "  accesses                 : %d@." total;
+  Format.printf "  same-epoch fast path     : %d (%.1f%%)@." fast
+    (pct fast total);
+  Format.printf "  slow path (analysed)     : %d (%.1f%%)@." analysed
+    (pct analysed total);
+  Option.iter
+    (Format.printf "    epoch comparisons      : %d@.")
+    (Metrics.find_counter s.metrics "phase.epoch_compare");
+  Option.iter
+    (Format.printf "    full VC operations     : %d@.")
+    (Metrics.find_counter s.metrics "phase.vc_op");
+  Format.printf "  sync ops                 : %d@." stats.sync_ops;
+  (match
+     ( Metrics.find_counter s.metrics "sharing.decisions",
+       Metrics.find_counter s.metrics "sharing.decisions.shared",
+       Metrics.find_counter s.metrics "sharing.decisions.private" )
+   with
+   | Some d, Some sh, Some pr when d > 0 ->
+     Format.printf "  sharing decisions        : %d (shared %d / private %d)@."
+       d sh pr
+   | _ -> ());
+  Option.iter
+    (fun m ->
+      Format.printf "  state transitions        : %d@." (State_matrix.total m))
+    s.transitions;
+  Format.printf "  races                    : %d (%d suppressed)@." s.race_count
+    s.suppressed;
+  Format.printf "  elapsed                  : %.3fs@." s.elapsed
+
+let profile_cmd =
+  let action w specs threads scale seed sched_seed no_suppress metrics_out
+      sample_every progress =
+    let specs =
+      if specs = [] then [ Spec.byte; Spec.word; Spec.dynamic ] else specs
+    in
+    let p = params w threads scale seed in
+    Format.printf "workload: %s (threads=%d scale=%d seed=%d)@." w.name
+      p.threads p.scale p.seed;
+    let summaries =
+      List.map
+        (fun spec ->
+          let d =
+            Spec.to_detector ~suppression:(suppression no_suppress) spec
+          in
+          let s =
+            Engine.with_detector ~policy:(policy sched_seed)
+              ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
+              ?progress:(progress_for progress d) d
+              (w.Workload.program p)
+          in
+          print_profile s;
+          s)
+        specs
+    in
+    Option.iter
+      (fun path ->
+        write_metrics path
+          (Engine.summaries_to_json ~workload:(workload_json w p) summaries))
+      metrics_out
+  in
+  let specs_arg =
+    Arg.(
+      value
+      & opt_all spec_conv []
+      & info [ "d"; "detector" ] ~docv:"DETECTOR"
+          ~doc:
+            "Detector(s) to profile (repeatable); default: byte, word, \
+             dynamic.")
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ specs_arg $ threads_arg $ scale_arg
+      $ seed_arg $ sched_seed_arg $ no_suppress_arg $ metrics_out_arg
+      $ sample_every_arg $ progress_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload and print the per-detector phase breakdown: \
+          same-epoch fast path vs. epoch comparison vs. full vector-clock \
+          work, plus sharing-state telemetry."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "The fast-path and slow-path counts sum to the total number of \
+              analysed memory accesses; the sharing lines expose the \
+              dynamic-granularity state machine (paper Fig. 2) directly." ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* metrics-info *)
+
+let metrics_info_cmd =
+  let action path =
+    match Json.parse_file path with
+    | Error msg ->
+      Format.eprintf "metrics-info: %s: invalid JSON: %s@." path msg;
+      exit 1
+    | Ok doc -> (
+      match Export.validate doc with
+      | Error msg ->
+        Format.eprintf "metrics-info: %s: not a metrics document: %s@." path
+          msg;
+        exit 1
+      | Ok (version, kind) ->
+        Format.printf "%s: %d@." Export.version_key version;
+        Format.printf "kind: %s@." kind;
+        let runs =
+          match Json.member "runs" doc with
+          | Some (Json.List rs) -> rs
+          | _ -> [ doc ]
+        in
+        Format.printf "runs: %d@." (List.length runs);
+        List.iter
+          (fun run ->
+            let detector =
+              match Json.member "detector" run with
+              | Some (Json.String d) -> d
+              | _ -> "?"
+            in
+            let samples =
+              match
+                Option.bind (Json.member "timeseries" run) (Json.member "samples")
+              with
+              | Some (Json.List ss) -> List.length ss
+              | _ -> 0
+            in
+            let transitions =
+              match
+                Option.bind (Json.member "transitions" run) (Json.member "total")
+              with
+              | Some (Json.Int n) -> n
+              | _ -> 0
+            in
+            Format.printf "  %s: samples=%d transitions=%d@." detector samples
+              transitions)
+          runs)
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A --metrics-out document.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-info"
+       ~doc:"Validate and summarise a --metrics-out JSON document.")
+    Term.(const action $ path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* record / replay *)
@@ -344,5 +600,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; compare_cmd; explore_cmd; record_cmd; replay_cmd;
-            trace_info_cmd; trace_dump_cmd; list_cmd ]))
+          [ run_cmd; compare_cmd; profile_cmd; explore_cmd; record_cmd;
+            replay_cmd; trace_info_cmd; trace_dump_cmd; metrics_info_cmd;
+            list_cmd ]))

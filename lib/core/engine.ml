@@ -2,6 +2,11 @@ open Dgrace_events
 open Dgrace_detectors
 open Dgrace_shadow
 open Dgrace_sim
+module Json = Dgrace_obs.Json
+module Metrics = Dgrace_obs.Metrics
+module Sampler = Dgrace_obs.Sampler
+module State_matrix = Dgrace_obs.State_matrix
+module Export = Dgrace_obs.Export
 
 type summary = {
   detector : string;
@@ -12,6 +17,9 @@ type summary = {
   mem : mem_summary;
   elapsed : float;
   sim : Sim.result option;
+  metrics : Metrics.t;
+  transitions : State_matrix.t option;
+  timeseries : Sampler.t option;
 }
 
 and mem_summary = {
@@ -35,7 +43,7 @@ let mem_of_account a =
     avg_sharing = Accounting.avg_sharing a;
   }
 
-let summarize (d : Detector.t) ~elapsed ~sim =
+let summarize (d : Detector.t) ~elapsed ~sim ~timeseries =
   {
     detector = d.name;
     races = Detector.races d;
@@ -45,25 +53,78 @@ let summarize (d : Detector.t) ~elapsed ~sim =
     mem = mem_of_account d.account;
     elapsed;
     sim;
+    metrics = d.metrics;
+    transitions = d.transitions;
+    timeseries;
   }
 
-let with_detector ?policy (d : Detector.t) program =
+(* The memory-over-time sources of the paper's Table 2/3 quantities,
+   read live from the detector's accounting on each sample. *)
+let sampler_sources (d : Detector.t) =
+  [
+    ("hash_bytes", fun () -> Accounting.hash_bytes d.account);
+    ("vc_bytes", fun () -> Accounting.vc_bytes d.account);
+    ("bitmap_bytes", fun () -> Accounting.bitmap_bytes d.account);
+    ("total_bytes", fun () -> Accounting.current_bytes d.account);
+    ("live_vcs", fun () -> Accounting.live_vcs d.account);
+    ("accesses", fun () -> d.stats.Run_stats.accesses);
+    ("races", fun () -> Report.Collector.count d.collector);
+  ]
+
+(* Compose the detector sink with sampler ticks and the progress
+   heartbeat; when neither is requested the sink is the detector's own
+   handler and the event loop pays nothing. *)
+let make_sink (d : Detector.t) ~sampler ~progress =
+  match (sampler, progress) with
+  | None, None -> d.on_event
+  | _ ->
+    let events = ref 0 in
+    let progress_tick =
+      match progress with
+      | None -> fun (_ : int) -> ()
+      | Some (every, f) ->
+        if every <= 0 then invalid_arg "Engine: non-positive progress period";
+        fun n -> if n mod every = 0 then f n
+    in
+    fun ev ->
+      d.on_event ev;
+      (match sampler with Some s -> Sampler.tick s | None -> ());
+      incr events;
+      progress_tick !events
+
+let with_detector ?policy ?sample_every ?progress (d : Detector.t) program =
+  let sampler =
+    Option.map
+      (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
+      sample_every
+  in
+  let sink = make_sink d ~sampler ~progress in
   let t0 = Unix.gettimeofday () in
-  let sim = Sim.run ?policy ~sink:d.on_event program in
+  let sim = Sim.run ?policy ~sink program in
   d.finish ();
+  Option.iter Sampler.flush sampler;
   let elapsed = Unix.gettimeofday () -. t0 in
-  summarize d ~elapsed ~sim:(Some sim)
+  summarize d ~elapsed ~sim:(Some sim) ~timeseries:sampler
 
-let run ?policy ?suppression ~spec program =
-  with_detector ?policy (Spec.to_detector ?suppression spec) program
+let run ?policy ?suppression ?sample_every ?progress ~spec program =
+  with_detector ?policy ?sample_every ?progress
+    (Spec.to_detector ?suppression spec)
+    program
 
-let replay ?suppression ~spec events =
+let replay ?suppression ?sample_every ?progress ~spec events =
   let d = Spec.to_detector ?suppression spec in
+  let sampler =
+    Option.map
+      (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
+      sample_every
+  in
+  let sink = make_sink d ~sampler ~progress in
   let t0 = Unix.gettimeofday () in
-  Seq.iter d.on_event events;
+  Seq.iter sink events;
   d.finish ();
+  Option.iter Sampler.flush sampler;
   let elapsed = Unix.gettimeofday () -. t0 in
-  summarize d ~elapsed ~sim:None
+  summarize d ~elapsed ~sim:None ~timeseries:sampler
 
 let pp_summary ppf s =
   Format.fprintf ppf "@[<v>detector: %s@,elapsed: %.3fs@,%a@," s.detector
@@ -75,3 +136,74 @@ let pp_summary ppf s =
   Format.fprintf ppf "races: %d (%d suppressed)" s.race_count s.suppressed;
   List.iter (fun r -> Format.fprintf ppf "@,  %a" Report.pp r) s.races;
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* structured export (doc/observability.md documents the schema) *)
+
+let stats_to_json (st : Run_stats.t) =
+  Json.Obj
+    [
+      ("accesses", Json.Int st.accesses);
+      ("reads", Json.Int st.reads);
+      ("writes", Json.Int st.writes);
+      ("same_epoch", Json.Int st.same_epoch);
+      ("sync_ops", Json.Int st.sync_ops);
+      ("allocs", Json.Int st.allocs);
+      ("frees", Json.Int st.frees);
+    ]
+
+let mem_to_json m =
+  Json.Obj
+    [
+      ("peak_bytes", Json.Int m.peak_bytes);
+      ("peak_hash_bytes", Json.Int m.peak_hash_bytes);
+      ("peak_vc_bytes", Json.Int m.peak_vc_bytes);
+      ("peak_bitmap_bytes", Json.Int m.peak_bitmap_bytes);
+      ("peak_vcs", Json.Int m.peak_vcs);
+      ("total_vcs", Json.Int m.total_vcs);
+      ("avg_sharing", Json.Float m.avg_sharing);
+    ]
+
+let summary_body ?workload s =
+  List.concat
+    [
+      [ ("detector", Json.String s.detector) ];
+      (match workload with Some w -> [ ("workload", w) ] | None -> []);
+      [
+        ("elapsed_s", Json.Float s.elapsed);
+        ("races", Json.Int s.race_count);
+        ("suppressed", Json.Int s.suppressed);
+        ("stats", stats_to_json s.stats);
+        ("memory", mem_to_json s.mem);
+        ("metrics", Metrics.to_json s.metrics);
+      ];
+      (match s.transitions with
+       | Some m -> [ ("transitions", State_matrix.to_json m) ]
+       | None -> []);
+      (match s.timeseries with
+       | Some ts -> [ ("timeseries", Sampler.to_json ts) ]
+       | None -> []);
+      (match s.sim with
+       | Some sim ->
+         [
+           ( "sim",
+             Json.Obj
+               [
+                 ("threads", Json.Int sim.Sim.threads);
+                 ("events", Json.Int sim.Sim.events);
+                 ("accesses", Json.Int sim.Sim.accesses);
+                 ("total_allocated", Json.Int sim.Sim.total_allocated);
+               ] );
+         ]
+       | None -> []);
+    ]
+
+let summary_to_json ?workload s =
+  Export.envelope ~kind:"run" (summary_body ?workload s)
+
+let summaries_to_json ?workload ss =
+  Export.envelope ~kind:"compare"
+    [
+      (match workload with Some w -> ("workload", w) | None -> ("workload", Json.Null));
+      ("runs", Json.List (List.map (fun s -> Json.Obj (summary_body s)) ss));
+    ]

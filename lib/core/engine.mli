@@ -1,7 +1,8 @@
 (** The analysis engine: run a simulated program (or a recorded event
     stream) under a detector and collect everything the evaluation
-    needs — races, stream statistics, shadow-memory accounting and
-    wall-clock time.
+    needs — races, stream statistics, shadow-memory accounting,
+    wall-clock time, and (on request) a sampled time-series plus the
+    detector's own telemetry.
 
     This is the main entry point of the library:
 
@@ -29,6 +30,11 @@ type summary = {
   mem : mem_summary;
   elapsed : float;  (** wall-clock seconds for the instrumented run *)
   sim : Sim.result option;  (** simulator result (None for replays) *)
+  metrics : Dgrace_obs.Metrics.t;  (** the detector's instruments *)
+  transitions : Dgrace_obs.State_matrix.t option;
+      (** sharing-state transition counts (dynamic detectors) *)
+  timeseries : Dgrace_obs.Sampler.t option;
+      (** memory/stream samples, present iff [sample_every] was given *)
 }
 
 and mem_summary = {
@@ -44,22 +50,53 @@ and mem_summary = {
 val run :
   ?policy:Scheduler.policy ->
   ?suppression:Suppression.t ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
   spec:Spec.t ->
   (unit -> unit) ->
   summary
 (** Execute the program under the simulator, feeding every event to a
-    fresh detector built from [spec]. *)
+    fresh detector built from [spec].
+
+    [sample_every] snapshots shadow-memory accounting and stream
+    counters every N events into [summary.timeseries] (a final sample
+    is always taken at end of stream).  [progress] is [(every, f)]:
+    [f events] is called every [every] events — the CLI heartbeat.
+    When neither is given the event loop is exactly the detector's own
+    handler: observability costs nothing unless asked for. *)
 
 val replay :
   ?suppression:Suppression.t ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
   spec:Spec.t ->
   Event.t Seq.t ->
   summary
 (** Analyse a pre-recorded event stream (see {!Dgrace_trace}). *)
 
 val with_detector :
-  ?policy:Scheduler.policy -> Detector.t -> (unit -> unit) -> summary
+  ?policy:Scheduler.policy ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  Detector.t ->
+  (unit -> unit) ->
+  summary
 (** Like {!run} for an externally constructed detector. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Multi-line human-readable rendering. *)
+
+(** {1 Structured export}
+
+    Versioned machine-readable documents (see {!Dgrace_obs.Export} and
+    [doc/observability.md]). *)
+
+val summary_to_json : ?workload:Dgrace_obs.Json.t -> summary -> Dgrace_obs.Json.t
+(** One run as a [kind = "run"] envelope: summary, stats, memory
+    peaks, metrics, and — when present — transition matrix and
+    time-series. *)
+
+val summaries_to_json :
+  ?workload:Dgrace_obs.Json.t -> summary list -> Dgrace_obs.Json.t
+(** Several runs of the same workload as a [kind = "compare"]
+    envelope. *)

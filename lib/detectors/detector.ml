@@ -8,6 +8,8 @@ type t = {
   collector : Report.Collector.t;
   account : Accounting.t;
   stats : Run_stats.t;
+  metrics : Dgrace_obs.Metrics.t;
+  transitions : Dgrace_obs.State_matrix.t option;
 }
 
 let races t = Report.Collector.races t.collector
@@ -21,4 +23,6 @@ let null () =
     collector = Report.Collector.create ();
     account = Accounting.create ();
     stats = Run_stats.create ();
+    metrics = Dgrace_obs.Metrics.create ();
+    transitions = None;
   }

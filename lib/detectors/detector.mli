@@ -20,6 +20,13 @@ type t = {
   collector : Report.Collector.t;  (** the races found *)
   account : Accounting.t;  (** shadow-memory accounting *)
   stats : Run_stats.t;  (** stream statistics *)
+  metrics : Dgrace_obs.Metrics.t;
+      (** the detector's instrument registry: phase counters, sharing
+          decisions, region-size histograms — empty for detectors that
+          expose nothing beyond {!stats} *)
+  transitions : Dgrace_obs.State_matrix.t option;
+      (** sharing-state transition counts (dynamic-granularity
+          detectors only) *)
 }
 
 val races : t -> Report.t list

@@ -171,4 +171,6 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
     collector = st.collector;
     account = st.account;
     stats = st.stats;
+    metrics = Dgrace_obs.Metrics.create ();
+    transitions = None;
   }

@@ -2,6 +2,8 @@ open Dgrace_vclock
 open Dgrace_events
 open Dgrace_shadow
 module Vec = Dgrace_util.Vec
+module Metrics = Dgrace_obs.Metrics
+module State_matrix = Dgrace_obs.State_matrix
 
 (* A cell is one vector clock shared by the locations in [lo, hi).
    Cells live in one plane only (read or write); the dormant history
@@ -46,7 +48,39 @@ type state = {
   account : Accounting.t;
   stats : Run_stats.t;
   collector : Report.Collector.t;
+  (* telemetry: the sharing-state transition matrix plus direct-held
+     instruments, so each hot-path update is one integer store *)
+  metrics : Metrics.t;
+  transitions : State_matrix.t;
+  m_analysed : Metrics.counter;  (* accesses that left the fast path *)
+  m_epoch_cmp : Metrics.counter;  (* O(1) epoch comparisons *)
+  m_vc_op : Metrics.counter;  (* full vector-clock reads/joins *)
+  m_decisions : Metrics.counter;
+  m_dec_shared : Metrics.counter;
+  m_dec_private : Metrics.counter;
+  m_first_cells : Metrics.counter;  (* cell lifetimes begun *)
+  m_splits : Metrics.counter;  (* extra lifetimes begun by splits *)
+  m_adopted : Metrics.counter;  (* lifetimes begun by joining a region *)
+  h_shared : Metrics.histogram;  (* region bytes at shared decisions *)
+  h_private : Metrics.histogram;  (* region bytes at private decisions *)
 }
+
+(* Matrix row/column 0 is the virtual pre-first-access state; the
+   Share_state values follow in [Share_state.index] order. *)
+let matrix_states = Array.append [| "start" |] Share_state.names
+let start_index = 0
+let state_index s = 1 + Share_state.index s
+
+let decided st ~shared ~bytes =
+  Metrics.incr st.m_decisions;
+  if shared then begin
+    Metrics.incr st.m_dec_shared;
+    Metrics.observe st.h_shared bytes
+  end
+  else begin
+    Metrics.incr st.m_dec_private;
+    Metrics.observe st.h_private bytes
+  end
 
 let plane st ~write = if write then st.wplane else st.rplane
 
@@ -89,6 +123,9 @@ let update_hist st ~write c ~tid ~tvc ~here ~loc =
   else begin
     let before = Read_state.bytes c.r in
     c.r <- Read_state.update c.r ~tid ~tvc;
+    (match c.r with
+     | Read_state.Vc _ -> Metrics.incr st.m_vc_op
+     | Read_state.No_reads | Read_state.Ep _ -> Metrics.incr st.m_epoch_cmp);
     let after = Read_state.bytes c.r in
     if after <> before then Accounting.add_vc st.account (after - before)
   end;
@@ -104,6 +141,9 @@ let find_conflict st ~write ~sub_lo ~sub_hi ~tvc =
       let _, ghi, v = Shadow_table.group pl a ~hi:sub_hi in
       match v with
       | Some c when c.cstate <> Share_state.Race ->
+        (match c.r with
+         | Read_state.Vc _ when write -> Metrics.incr st.m_vc_op
+         | _ -> Metrics.incr st.m_epoch_cmp);
         if write then
           if not (Read_state.leq c.r tvc) then
             Some (Race_info.of_read_state c.r ~against:tvc ~loc:c.loc)
@@ -117,6 +157,7 @@ let find_conflict st ~write ~sub_lo ~sub_hi ~tvc =
   walk sub_lo
 
 let check_races st ~write ~cell ~sub_lo ~sub_hi ~tvc =
+  if write then Metrics.incr st.m_epoch_cmp;
   if write && not (Vector_clock.epoch_leq cell.w tvc) then
     Some (Race_info.of_write ~w:cell.w ~loc:cell.loc)
   else find_conflict st ~write ~sub_lo ~sub_hi ~tvc
@@ -143,9 +184,12 @@ let reset_contained_reads st ~sub_lo ~sub_hi =
   in
   walk sub_lo
 
-let must_step c stimulus =
+let must_step st c stimulus =
   match Share_state.step c.cstate stimulus with
-  | Some s -> c.cstate <- s
+  | Some s ->
+    State_matrix.record st.transitions ~from_:(state_index c.cstate)
+      ~to_:(state_index s);
+    c.cstate <- s
   | None -> assert false
 
 (* The sharing group dissolves on a race: every member location —
@@ -175,7 +219,7 @@ let dissolve_and_report st ~write c ~current ~previous =
     a := shi
   done;
   flush c.hi;
-  must_step c Share_state.Race_on_l
+  must_step st c Share_state.Race_on_l
 
 (* Merge the (contiguous, hole-free) cell [l] into neighbour [nc]. *)
 let absorb st ~write ~into:nc l ~stimulus =
@@ -184,7 +228,7 @@ let absorb st ~write ~into:nc l ~stimulus =
   nc.lo <- min nc.lo l.lo;
   nc.hi <- max nc.hi l.hi;
   nc.refs <- nc.refs + l.refs;
-  must_step nc stimulus;
+  must_step st nc stimulus;
   Accounting.bind_locations st.account l.refs;
   retire st l
 
@@ -224,18 +268,22 @@ let first_access st ~write ~ulo ~uhi ~here ~tid ~tvc ~loc =
     (* the cell's label stays that of its creating access: a shared
        label is approximate either way, and overwriting it would let a
        suppressed runtime label mask an application race *)
-    must_step nc
+    must_step st nc
       (if st.init_state then Share_state.Init_neighbor_matched
        else Share_state.Adopted_by_neighbor);
+    Metrics.incr st.m_adopted;
     Accounting.bind_locations st.account (uhi - ulo);
+    decided st ~shared:true ~bytes:(nc.hi - nc.lo);
     nc
   | None ->
-    let l =
-      fresh_cell st ~lo:ulo ~hi:uhi ~born:here
-        ~state:
-          (if st.init_state then Share_state.Init_private
-           else Share_state.Private)
+    let state =
+      if st.init_state then Share_state.Init_private else Share_state.Private
     in
+    let l = fresh_cell st ~lo:ulo ~hi:uhi ~born:here ~state in
+    State_matrix.record st.transitions ~from_:start_index
+      ~to_:(state_index state);
+    Metrics.incr st.m_first_cells;
+    decided st ~shared:false ~bytes:(uhi - ulo);
     update_hist st ~write l ~tid ~tvc ~here ~loc;
     Shadow_table.set_range pl ~lo:ulo ~hi:uhi l;
     l
@@ -245,6 +293,7 @@ let first_access st ~write ~ulo ~uhi ~here ~tid ~tvc ~loc =
 let split_off st ~write c ~sub_lo ~sub_hi =
   if c.lo = sub_lo && c.hi = sub_hi && c.refs = sub_hi - sub_lo then c
   else begin
+    Metrics.incr st.m_splits;
     let l = fresh_cell st ~lo:sub_lo ~hi:sub_hi ~born:c.born ~state:c.cstate in
     l.w <- c.w;
     l.r <-
@@ -303,10 +352,12 @@ let second_epoch st ~write c ~sub_lo ~sub_hi ~here ~tid ~tvc ~loc ~current =
     (match candidate with
      | Some nc ->
        absorb st ~write ~into:nc l ~stimulus:Share_state.Adopted_by_neighbor;
+       decided st ~shared:true ~bytes:(nc.hi - nc.lo);
        nc
      | None ->
-       must_step l
+       must_step st l
          (Share_state.Second_epoch_access { matching_settled_neighbor = false });
+       decided st ~shared:false ~bytes:(l.hi - l.lo);
        l)
 
 (* §VII extension: after k consecutive clock matches with a settled
@@ -329,13 +380,16 @@ let try_reshare st ~write c =
     with
     | Some nc ->
       c.evidence <- c.evidence + 1;
-      if c.evidence >= st.reshare_after && nc.refs = nc.hi - nc.lo then
-        absorb st ~write ~into:nc c ~stimulus:Share_state.Adopted_by_neighbor
+      if c.evidence >= st.reshare_after && nc.refs = nc.hi - nc.lo then begin
+        absorb st ~write ~into:nc c ~stimulus:Share_state.Adopted_by_neighbor;
+        decided st ~shared:true ~bytes:(nc.hi - nc.lo)
+      end
     | None -> c.evidence <- 0
   end
 
 (* Accesses after the firm decision: plain FastTrack on the cell. *)
 let steady st ~write c ~sub_lo ~sub_hi ~here ~tid ~tvc ~loc ~current =
+  Metrics.incr st.m_epoch_cmp;
   let same_epoch =
     if write then Epoch.equal c.w here else Read_state.same_epoch c.r here
   in
@@ -357,6 +411,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
   if Epoch_bitmap.test bm ~write addr && Epoch_bitmap.test bm ~write (addr + size - 1)
   then st.stats.same_epoch <- st.stats.same_epoch + 1
   else begin
+    Metrics.incr st.m_analysed;
     let tvc = Vc_env.clock_of st.env tid in
     let here = Epoch.make ~tid ~clock:(Vector_clock.get tvc tid) in
     let current () =
@@ -424,6 +479,7 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
     ?(reshare_after = 0) ?(write_guided_reads = false)
     ?(index = Shadow_table.Adaptive) ?name ?(suppression = Suppression.empty) () =
   let account = Accounting.create () in
+  let metrics = Metrics.create () in
   let st =
     {
       sharing;
@@ -438,6 +494,19 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
       account;
       stats = Run_stats.create ();
       collector = Report.Collector.create ~suppression ();
+      metrics;
+      transitions = State_matrix.create ~states:matrix_states;
+      m_analysed = Metrics.counter metrics "accesses.analysed";
+      m_epoch_cmp = Metrics.counter metrics "phase.epoch_compare";
+      m_vc_op = Metrics.counter metrics "phase.vc_op";
+      m_decisions = Metrics.counter metrics "sharing.decisions";
+      m_dec_shared = Metrics.counter metrics "sharing.decisions.shared";
+      m_dec_private = Metrics.counter metrics "sharing.decisions.private";
+      m_first_cells = Metrics.counter metrics "cells.first_access";
+      m_splits = Metrics.counter metrics "cells.split";
+      m_adopted = Metrics.counter metrics "cells.adopted";
+      h_shared = Metrics.histogram metrics "sharing.region_bytes.shared";
+      h_private = Metrics.histogram metrics "sharing.region_bytes.private";
     }
   in
   let on_boundary tid = Epoch_bitmap.reset (bitmap st tid) in
@@ -472,4 +541,6 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
     collector = st.collector;
     account = st.account;
     stats = st.stats;
+    metrics = st.metrics;
+    transitions = Some st.transitions;
   }

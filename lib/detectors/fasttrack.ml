@@ -2,6 +2,7 @@ open Dgrace_vclock
 open Dgrace_events
 open Dgrace_shadow
 module Vec = Dgrace_util.Vec
+module Metrics = Dgrace_obs.Metrics
 
 type cell = {
   mutable w : Epoch.t;
@@ -23,6 +24,10 @@ type state = {
   account : Accounting.t;
   stats : Run_stats.t;
   collector : Report.Collector.t;
+  metrics : Metrics.t;
+  m_analysed : Metrics.counter;  (* accesses that left the fast path *)
+  m_epoch_cmp : Metrics.counter;  (* O(1) epoch comparisons *)
+  m_vc_op : Metrics.counter;  (* full vector-clock reads/joins *)
 }
 
 let bitmap st tid =
@@ -59,6 +64,9 @@ let cell_at st a =
 let record_read st c ~tid ~tvc ~loc =
   let before = Read_state.bytes c.r in
   c.r <- Read_state.update c.r ~tid ~tvc;
+  (match c.r with
+   | Read_state.Vc _ -> Metrics.incr st.m_vc_op
+   | Read_state.No_reads | Read_state.Ep _ -> Metrics.incr st.m_epoch_cmp);
   c.r_loc <- loc;
   let after = Read_state.bytes c.r in
   if after <> before then Accounting.add_vc st.account (after - before)
@@ -79,6 +87,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
   if Epoch_bitmap.test bm ~write addr && Epoch_bitmap.test bm ~write (addr + size - 1)
   then st.stats.same_epoch <- st.stats.same_epoch + 1
   else begin
+    Metrics.incr st.m_analysed;
     let tvc = Vc_env.clock_of st.env tid in
     let here = Epoch.make ~tid ~clock:(Vector_clock.get tvc tid) in
     let g = st.granularity in
@@ -102,6 +111,10 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
       if not c.racy then begin
         if write then begin
           if not (Epoch.equal c.w here) then begin
+            Metrics.incr st.m_epoch_cmp;
+            (match c.r with
+             | Read_state.Vc _ -> Metrics.incr st.m_vc_op
+             | Read_state.No_reads | Read_state.Ep _ -> ());
             if not (Vector_clock.epoch_leq c.w tvc) then
               race c ~previous:(Race_info.of_write ~w:c.w ~loc:c.w_loc) ~slot_lo
             else if not (Read_state.leq c.r tvc) then
@@ -122,6 +135,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
           end
         end
         else if not (Read_state.same_epoch c.r here) then begin
+          Metrics.incr st.m_epoch_cmp;
           if not (Vector_clock.epoch_leq c.w tvc) then
             race c ~previous:(Race_info.of_write ~w:c.w ~loc:c.w_loc) ~slot_lo
           else record_read st c ~tid ~tvc ~loc
@@ -143,6 +157,7 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
   if granularity <= 0 || granularity land (granularity - 1) <> 0 then
     invalid_arg "Fasttrack.create: granularity must be a power of two";
   let account = Accounting.create () in
+  let metrics = Metrics.create () in
   let st =
     {
       granularity;
@@ -153,6 +168,10 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
       account;
       stats = Run_stats.create ();
       collector = Report.Collector.create ~suppression ();
+      metrics;
+      m_analysed = Metrics.counter metrics "accesses.analysed";
+      m_epoch_cmp = Metrics.counter metrics "phase.epoch_compare";
+      m_vc_op = Metrics.counter metrics "phase.vc_op";
     }
   in
   let on_boundary tid = Epoch_bitmap.reset (bitmap st tid) in
@@ -178,4 +197,6 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
     collector = st.collector;
     account = st.account;
     stats = st.stats;
+    metrics = st.metrics;
+    transitions = None;
   }

@@ -166,4 +166,6 @@ let create ?(granularity = 4) ?(history = 2) ?(suppression = Suppression.empty) 
     collector = st.collector;
     account = st.account;
     stats = st.stats;
+    metrics = Dgrace_obs.Metrics.create ();
+    transitions = None;
   }

@@ -84,4 +84,6 @@ let create ?(floor_rate = 0.02) ?(decay_every = 64)
     collector = st.inner.collector;
     account = st.inner.account;
     stats = st.stats;
+    metrics = st.inner.metrics;
+    transitions = st.inner.transitions;
   }

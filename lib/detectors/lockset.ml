@@ -143,4 +143,6 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
     collector = st.collector;
     account = st.account;
     stats = st.stats;
+    metrics = Dgrace_obs.Metrics.create ();
+    transitions = None;
   }

@@ -48,6 +48,8 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
       collector;
       account = hb.account;
       stats = hb.stats;
+      metrics = hb.metrics;
+      transitions = hb.transitions;
     }
   in
   registry := (d, potential) :: !registry;

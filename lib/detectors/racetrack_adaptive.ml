@@ -210,4 +210,6 @@ let create ?(region = 64) ?(suppression = Suppression.empty) () =
     collector = st.collector;
     account = st.account;
     stats = st.stats;
+    metrics = Dgrace_obs.Metrics.create ();
+    transitions = None;
   }

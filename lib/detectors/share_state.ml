@@ -45,3 +45,15 @@ let pp ppf s =
      | Race -> "race")
 
 let to_string s = Format.asprintf "%a" pp s
+
+let index = function
+  | Init_private -> 0
+  | Init_shared -> 1
+  | Private -> 2
+  | Shared -> 3
+  | Race -> 4
+
+let n_states = 5
+
+let names =
+  [| "1st-epoch-private"; "1st-epoch-shared"; "private"; "shared"; "race" |]

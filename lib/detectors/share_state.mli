@@ -53,3 +53,17 @@ val is_settled : t -> bool
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Telemetry support}
+
+    A stable enumeration of the states so transition counters can be
+    kept in a flat matrix (see {!Dgrace_obs.State_matrix}). *)
+
+val index : t -> int
+(** [Init_private = 0], [Init_shared = 1], [Private = 2], [Shared = 3],
+    [Race = 4]. *)
+
+val n_states : int
+
+val names : string array
+(** Display names in {!index} order (same spelling as {!pp}). *)

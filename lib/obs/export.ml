@@ -1,0 +1,19 @@
+let schema_version = 1
+let version_key = "schema_version"
+
+let envelope ~kind body =
+  Json.Obj
+    ((version_key, Json.Int schema_version)
+     :: ("kind", Json.String kind)
+     :: ("generator", Json.String "dgrace")
+     :: body)
+
+let validate doc =
+  match Json.member version_key doc with
+  | Some (Json.Int v) -> (
+    match Json.member "kind" doc with
+    | Some (Json.String kind) -> Ok (v, kind)
+    | Some _ -> Error "\"kind\" is not a string"
+    | None -> Error "missing \"kind\"")
+  | Some _ -> Error (Printf.sprintf "%S is not an integer" version_key)
+  | None -> Error (Printf.sprintf "missing %S" version_key)

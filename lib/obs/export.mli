@@ -1,0 +1,20 @@
+(** The versioned export envelope shared by every metrics document the
+    system writes ([racedet run/compare/profile --metrics-out] and the
+    bench harness).
+
+    Consumers dispatch on two top-level keys: ["schema_version"] (bump
+    on any incompatible change) and ["kind"] (what the body is). *)
+
+val schema_version : int
+(** Currently [1]. *)
+
+val version_key : string
+(** The literal key name, ["schema_version"]. *)
+
+val envelope : kind:string -> (string * Json.t) list -> Json.t
+(** [envelope ~kind body] is an object starting with
+    [schema_version]/[kind]/[generator] followed by [body]. *)
+
+val validate : Json.t -> (int * string, string) result
+(** Check a parsed document is an envelope; returns
+    [(schema_version, kind)]. *)

@@ -1,0 +1,10 @@
+let geomean = function
+  | [] -> Float.nan
+  | xs ->
+    exp
+      (List.fold_left (fun acc x -> acc +. log x) 0. xs
+       /. float_of_int (List.length xs))
+
+let mean = function
+  | [] -> Float.nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

@@ -1,0 +1,8 @@
+(** Tiny numeric summaries shared by the bench harness and the CLI. *)
+
+val geomean : float list -> float
+(** Geometric mean; [nan] on the empty list (matches the bench
+    tables' "no data" rendering). *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)

@@ -66,3 +66,50 @@ Schedule exploration reports race stability across interleavings:
   $ racedet explore hmmsearch -n 3 | tail -2
   
   1 distinct racy location(s) across all seeds; 1 found under every seed
+
+Per-phase profile: fast path + slow path always sum to the access
+total; the dynamic detector shows its sharing decisions (elapsed is
+the only non-deterministic line):
+
+  $ racedet profile pbzip2 -d dynamic | grep -v elapsed
+  workload: pbzip2 (threads=4 scale=1 seed=20)
+  
+  detector: ft-dynamic
+    accesses                 : 51400
+    same-epoch fast path     : 35678 (69.4%)
+    slow path (analysed)     : 15722 (30.6%)
+      epoch comparisons      : 15768
+      full VC operations     : 0
+    sync ops                 : 110
+    sharing decisions        : 15718 (shared 15541 / private 177)
+    state transitions        : 15720
+    races                    : 1 (0 suppressed)
+
+Compare ends with the geomean slowdown row (timing varies, shape not):
+
+  $ racedet compare dedup 2>/dev/null | tail -1 | sed 's/[0-9][0-9.]*x/N.NNx/'
+  geomean                                    N.NNx (slowdown vs none)
+
+Metrics export: a racy run still writes the document (exit 2 is the
+race signal), the JSON parses, carries the schema version, and
+validates:
+
+  $ racedet run pbzip2 -d dynamic --metrics-out m.json >/dev/null 2>&1; test $? -eq 2 && echo racy
+  racy
+
+  $ grep -c '"schema_version": 1' m.json
+  1
+
+  $ racedet metrics-info m.json
+  schema_version: 1
+  kind: run
+  runs: 1
+    ft-dynamic: samples=51 transitions=15720
+
+Validation fails loudly on a non-envelope document:
+
+  $ echo '{"x": 1}' > bad.json && racedet metrics-info bad.json
+  metrics-info: bad.json: not a metrics document: missing "schema_version"
+  [1]
+
+  $ rm m.json bad.json

@@ -8,6 +8,7 @@ let () =
          Test_units.suites;
          Test_util.suites;
          Test_shadow.suites;
+         Test_obs.suites;
          Test_events.suites;
          Test_sim.suites;
          Test_trace.suites;

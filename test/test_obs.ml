@@ -1,0 +1,230 @@
+(* Dgrace_obs: registry semantics, sampler cadence, matrix accounting
+   and the JSON printer/parser round-trip behind --metrics-out. *)
+
+open Dgrace_obs
+
+let json = Alcotest.testable (Fmt.of_to_string Json.to_string) Json.equal
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_counter () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "x" in
+  Alcotest.(check int) "fresh" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 5;
+  Alcotest.(check int) "incr+add" 7 (Metrics.value c);
+  (* find-or-create: same name is the same instrument *)
+  Metrics.incr (Metrics.counter r "x");
+  Alcotest.(check int) "idempotent registration" 8 (Metrics.value c);
+  Alcotest.(check (option int)) "find_counter" (Some 8)
+    (Metrics.find_counter r "x");
+  Alcotest.(check (option int)) "find_counter missing" None
+    (Metrics.find_counter r "y");
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: negative counter increment") (fun () ->
+      Metrics.add c (-1))
+
+let test_gauge () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge r "live" in
+  Metrics.set g 42;
+  Metrics.set g 7;
+  Alcotest.(check int) "moves both ways" 7 (Metrics.gauge_value g);
+  Alcotest.(check (list (pair string int))) "listing" [ ("live", 7) ]
+    (Metrics.gauges r)
+
+let test_counters_sorted () =
+  let r = Metrics.create () in
+  List.iter
+    (fun n -> Metrics.incr (Metrics.counter r n))
+    [ "b"; "a"; "c"; "a" ];
+  Alcotest.(check (list (pair string int)))
+    "sorted by name"
+    [ ("a", 2); ("b", 1); ("c", 1) ]
+    (Metrics.counters r)
+
+let test_histogram () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "sizes" in
+  List.iter (Metrics.observe h) [ 0; 1; 1; 2; 3; 4; 7; 8; 1024 ];
+  Alcotest.(check int) "count" 9 (Metrics.histogram_count h);
+  Alcotest.(check int) "sum" 1050 (Metrics.histogram_sum h);
+  Alcotest.(check int) "max" 1024 (Metrics.histogram_max h);
+  (* bucket 0 holds <=1; bucket i holds 2^i .. 2^(i+1)-1 *)
+  Alcotest.(check (list (triple int int int)))
+    "buckets"
+    [ (0, 1, 3); (2, 3, 2); (4, 7, 2); (8, 15, 1); (1024, 2047, 1) ]
+    (Metrics.histogram_buckets h)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler cadence *)
+
+let mk_sampler every =
+  let clock = ref 0 in
+  (clock, Sampler.create ~every ~sources:[ ("clock", fun () -> !clock) ])
+
+let test_sampler_cadence () =
+  let clock, s = mk_sampler 4 in
+  for i = 1 to 10 do
+    clock := i * 100;
+    Sampler.tick s
+  done;
+  Alcotest.(check int) "two periods elapsed" 2 (Sampler.length s);
+  Alcotest.(check (list (pair int int)))
+    "samples at every=4 boundaries"
+    [ (4, 400); (8, 800) ]
+    (List.map
+       (fun (x : Sampler.sample) -> (x.at_event, x.values.(0)))
+       (Sampler.samples s))
+
+let test_sampler_flush () =
+  let clock, s = mk_sampler 4 in
+  for i = 1 to 10 do
+    clock := i * 100;
+    Sampler.tick s
+  done;
+  Sampler.flush s;
+  Alcotest.(check int) "flush adds the tail sample" 3 (Sampler.length s);
+  Sampler.flush s;
+  Alcotest.(check int) "flush is idempotent" 3 (Sampler.length s);
+  let last = List.nth (Sampler.samples s) 2 in
+  Alcotest.(check int) "tail at current event count" 10 last.at_event
+
+let test_sampler_flush_aligned () =
+  (* when the run length is a multiple of [every], flush must not
+     duplicate the sample already taken there *)
+  let _, s = mk_sampler 5 in
+  for _ = 1 to 10 do
+    Sampler.tick s
+  done;
+  Sampler.flush s;
+  Alcotest.(check int) "no duplicate at the boundary" 2 (Sampler.length s)
+
+let test_sampler_empty_run () =
+  let _, s = mk_sampler 4 in
+  Sampler.flush s;
+  Alcotest.(check int) "no sample for an event-free run" 0 (Sampler.length s)
+
+let test_sampler_invalid () =
+  Alcotest.check_raises "every=0"
+    (Invalid_argument "Sampler.create: non-positive period") (fun () ->
+      ignore (Sampler.create ~every:0 ~sources:[ ("x", fun () -> 0) ]));
+  Alcotest.check_raises "no sources"
+    (Invalid_argument "Sampler.create: no sources") (fun () ->
+      ignore (Sampler.create ~every:1 ~sources:[]))
+
+(* ------------------------------------------------------------------ *)
+(* State matrix *)
+
+let test_matrix () =
+  let m = State_matrix.create ~states:[| "a"; "b"; "c" |] in
+  State_matrix.record m ~from_:0 ~to_:1;
+  State_matrix.record m ~from_:0 ~to_:1;
+  State_matrix.record m ~from_:1 ~to_:2;
+  Alcotest.(check int) "get" 2 (State_matrix.get m ~from_:0 ~to_:1);
+  Alcotest.(check int) "total" 3 (State_matrix.total m);
+  Alcotest.(check int) "row" 2 (State_matrix.row_total m 0);
+  Alcotest.(check int) "col" 1 (State_matrix.col_total m 2);
+  let edges = ref [] in
+  State_matrix.iter
+    (fun ~from_ ~to_ ~count -> edges := (from_, to_, count) :: !edges)
+    m;
+  Alcotest.(check (list (triple int int int)))
+    "non-zero edges, row-major"
+    [ (0, 1, 2); (1, 2, 1) ]
+    (List.rev !edges)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip and export envelope *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("n", Json.Null);
+        ("b", Json.Bool true);
+        ("i", Json.Int (-42));
+        ("f", Json.Float 2.5);
+        ("s", Json.String "a\"b\\c\nd\tunicode \xc3\xa9");
+        ("l", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]);
+      ]
+  in
+  (match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.check json "pretty round-trip" v v'
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Json.parse (Json.to_string ~minify:true v) with
+  | Ok v' -> Alcotest.check json "minified round-trip" v v'
+  | Error e -> Alcotest.failf "minified parse failed: %s" e
+
+let test_json_numbers () =
+  (match Json.parse "17" with
+  | Ok (Json.Int 17) -> ()
+  | _ -> Alcotest.fail "bare int");
+  (match Json.parse "1.5e2" with
+  | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "exponent" 150. f
+  | _ -> Alcotest.fail "float with exponent");
+  match Json.parse "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input must not parse"
+
+let test_envelope () =
+  let doc = Export.envelope ~kind:"run" [ ("x", Json.Int 1) ] in
+  (match Export.validate doc with
+  | Ok (v, kind) ->
+    Alcotest.(check int) "version" Export.schema_version v;
+    Alcotest.(check string) "kind" "run" kind
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (match Json.member Export.version_key doc with
+  | Some (Json.Int _) -> ()
+  | _ -> Alcotest.fail "version key present");
+  match Export.validate (Json.Obj [ ("x", Json.Int 1) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare object must not validate"
+
+let test_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter r "c");
+  Metrics.set (Metrics.gauge r "g") 3;
+  Metrics.observe (Metrics.histogram r "h") 5;
+  let j = Metrics.to_json r in
+  Alcotest.(check (option json)) "counters"
+    (Some (Json.Obj [ ("c", Json.Int 1) ]))
+    (Json.member "counters" j);
+  Alcotest.(check (option json)) "gauges"
+    (Some (Json.Obj [ ("g", Json.Int 3) ]))
+    (Json.member "gauges" j);
+  (* the whole registry export must survive a round-trip *)
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> Alcotest.check json "registry round-trip" j j'
+  | Error e -> Alcotest.failf "registry parse: %s" e
+
+let suites : unit Alcotest.test list =
+  [
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "gauge" `Quick test_gauge;
+        Alcotest.test_case "counters sorted" `Quick test_counters_sorted;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram;
+      ] );
+    ( "obs.sampler",
+      [
+        Alcotest.test_case "cadence" `Quick test_sampler_cadence;
+        Alcotest.test_case "flush" `Quick test_sampler_flush;
+        Alcotest.test_case "flush on boundary" `Quick test_sampler_flush_aligned;
+        Alcotest.test_case "empty run" `Quick test_sampler_empty_run;
+        Alcotest.test_case "invalid args" `Quick test_sampler_invalid;
+      ] );
+    ( "obs.matrix",
+      [ Alcotest.test_case "record/totals/iter" `Quick test_matrix ] );
+    ( "obs.json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "numbers" `Quick test_json_numbers;
+        Alcotest.test_case "envelope" `Quick test_envelope;
+        Alcotest.test_case "registry export" `Quick test_metrics_json;
+      ] );
+  ]

@@ -66,8 +66,64 @@ let test_settled_final () =
         (step s Init_neighbor_matched))
     [ Shared; Private ]
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: run the dynamic detector on a real workload and check the
+   recorded transition matrix against the sharing-decision counters. *)
+
+let dynamic_run () =
+  let w = Option.get (Dgrace_workloads.Registry.find "pbzip2") in
+  let p = Dgrace_workloads.Workload.with_params ~scale:2 w in
+  Dgrace_core.Engine.run
+    ~policy:(Dgrace_sim.Scheduler.Chunked { seed = 1; chunk = 64 })
+    ~spec:Dgrace_core.Spec.dynamic (w.program p)
+
+let test_transition_telemetry () =
+  let module M = Dgrace_obs.State_matrix in
+  let module Mx = Dgrace_obs.Metrics in
+  let s = dynamic_run () in
+  let m = Option.get s.transitions in
+  let count name =
+    Option.value ~default:0 (Mx.find_counter s.metrics name)
+  in
+  Alcotest.(check bool) "ran" true (M.total m > 0);
+  (* every recorded edge leaves a known state for a known state *)
+  M.iter
+    (fun ~from_ ~to_ ~count:_ ->
+      ignore (M.state_name m from_);
+      ignore (M.state_name m to_))
+    m;
+  (* a sharing decision is every transition that is not a race edge:
+     decisions = total - (edges into the race state) *)
+  let race_ix = 1 + Share_state.index Share_state.Race in
+  Alcotest.(check int) "decisions = non-race transitions"
+    (M.total m - M.col_total m race_ix)
+    (count "sharing.decisions");
+  Alcotest.(check int) "decisions split shared/private"
+    (count "sharing.decisions")
+    (count "sharing.decisions.shared" + count "sharing.decisions.private");
+  (* the paper's bound: at most two decisions (temporary + firm) per
+     location lifetime; lifetimes start at first access, a split, or by
+     an address range being adopted into an existing region *)
+  let lifetimes =
+    count "cells.first_access" + count "cells.split" + count "cells.adopted"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "<= 2 decisions per lifetime (%d vs %d lifetimes)"
+       (count "sharing.decisions") lifetimes)
+    true
+    (count "sharing.decisions" <= 2 * lifetimes);
+  (* phase accounting: the same-epoch fast path and the analysed slow
+     path partition the access stream *)
+  Alcotest.(check int) "fast + analysed = accesses" s.stats.accesses
+    (s.stats.same_epoch + count "accesses.analysed")
+
 let suites : unit Alcotest.test list =
   [
+    ( "state-machine.telemetry",
+      [
+        Alcotest.test_case "matrix vs decision counters" `Quick
+          test_transition_telemetry;
+      ] );
     ( "state-machine.figure2",
       [
         Alcotest.test_case "initial" `Quick test_initial;
