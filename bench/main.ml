@@ -87,6 +87,38 @@ let run_bechamel () =
     instances
 
 (* ------------------------------------------------------------------ *)
+(* --faults: the resilience acceptance matrix — every fault mode under
+   five seeds, asserting the recover-or-declare contract holds while
+   the benchmark workloads are in the loop. *)
+
+let run_faults () =
+  let open Dgrace_core in
+  let w = Option.get (Dgrace_workloads.Registry.find "dedup") in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  Printf.printf "\n== fault injection (workload=%s, %d seeds x %d modes) ==\n"
+    w.Dgrace_workloads.Workload.name (List.length seeds)
+    (List.length Fault_harness.all);
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun fault ->
+          let outcome =
+            Fault_harness.run ~seed
+              ~program:(w.Dgrace_workloads.Workload.program w.defaults)
+              fault
+          in
+          if not (Fault_harness.acceptable outcome) then incr failures;
+          Printf.printf "  seed=%-3d %-11s %s\n%!" seed
+            (Fault_harness.name fault)
+            (Fault_harness.describe outcome))
+        Fault_harness.all)
+    seeds;
+  if !failures > 0 then begin
+    Printf.eprintf "bench: --faults: %d contract violation(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "all injections recovered or declared\n"
 
 let metrics_out = ref None
 
@@ -106,11 +138,14 @@ let () =
     | "--bechamel" :: rest ->
       run_bechamel ();
       parse sel rest
+    | "--faults" :: rest ->
+      run_faults ();
+      parse sel rest
     | name :: rest when List.mem_assoc name all_tables -> parse (name :: sel) rest
     | other :: _ ->
       Printf.eprintf
         "unknown argument %S; expected: %s, --scale N, --reps N, --bechamel, \
-         --metrics-out FILE\n"
+         --faults, --metrics-out FILE\n"
         other
         (String.concat ", " (List.map fst all_tables));
       exit 1

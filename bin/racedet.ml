@@ -6,8 +6,15 @@
      profile      phase/hot-path breakdown of one workload per detector
      record       record a workload's event stream to a trace file
      replay       analyse a recorded trace
+     inject       fault-injection harness (corrupt traces, stuck threads)
      metrics-info validate and summarise a --metrics-out document
-     list         list workloads and detectors *)
+     list         list workloads and detectors
+
+   Exit codes (doc/resilience.md):
+     0  run completed, no races
+     2  run completed, races found
+     3  partial or degraded results (budget stop, deadlock, resynced trace)
+     4  input error (corrupt trace, invalid argument values) *)
 
 open Cmdliner
 open Dgrace_core
@@ -18,6 +25,8 @@ module Metrics = Dgrace_obs.Metrics
 module Sampler = Dgrace_obs.Sampler
 module State_matrix = Dgrace_obs.State_matrix
 module Export = Dgrace_obs.Export
+module Rerr = Dgrace_resilience.Error
+module Budget = Dgrace_resilience.Budget
 
 (* ------------------------------------------------------------------ *)
 (* converters and shared options *)
@@ -26,6 +35,27 @@ let spec_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Spec.of_string s) in
   let print ppf s = Format.pp_print_string ppf (Spec.name s) in
   Arg.conv (parse, print)
+
+(* Limits and periods are validated here, at argument parsing, so a
+   bad value is a usage error (cmdliner's exit 124) with a pointed
+   message — not an [Invalid_argument] from deep inside the engine. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg "must be a positive integer")
+    | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some x when x > 0. -> Ok x
+    | Some _ -> Error (`Msg "must be positive")
+    | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 let workload_conv =
   let parse s =
@@ -100,8 +130,46 @@ let sample_every_arg =
 let progress_arg =
   Arg.(
     value & flag
-    & info [ "progress" ]
-        ~doc:"Print a heartbeat line to stderr every 100k events.")
+    & info [ "progress" ] ~doc:"Print a heartbeat line to stderr.")
+
+let progress_every_arg =
+  Arg.(
+    value
+    & opt pos_int 100_000
+    & info [ "progress-every" ] ~docv:"N"
+        ~doc:
+          "Heartbeat period in events for $(b,--progress) (must be \
+           positive; default 100000).")
+
+(* Budget flags (doc/resilience.md): exceeding the shadow cap degrades
+   the detector and keeps going; exceeding events/deadline stops the
+   run with partial results and exit code 3. *)
+let max_shadow_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "max-shadow-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Shadow-memory budget: over this the detector sheds state \
+           (degraded results), and the run stops only if shedding is \
+           exhausted.")
+
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Stop (partial results) after analysing $(docv) events.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some pos_float) None
+    & info [ "deadline-s" ] ~docv:"SECONDS"
+        ~doc:"Stop (partial results) after $(docv) seconds of wall clock.")
+
+let budget max_shadow_bytes max_events deadline_s =
+  Budget.make ?max_shadow_bytes ?max_events ?deadline_s ()
 
 let params w threads scale seed = Workload.with_params ?threads ?scale ?seed w
 
@@ -112,12 +180,12 @@ let policy sched_seed = Dgrace_sim.Scheduler.Chunked { seed = sched_seed; chunk 
 
 (* Heartbeat for long runs: reads the live detector state so the line
    shows real progress, not just an event count. *)
-let progress_for flag (d : Dgrace_detectors.Detector.t) =
+let progress_for flag every (d : Dgrace_detectors.Detector.t) =
   if not flag then None
   else begin
     let t0 = Unix.gettimeofday () in
     Some
-      ( 100_000,
+      ( every,
         fun events ->
           Printf.eprintf
             "[progress] %s: events=%d accesses=%d races=%d shadow=%dKB (%.1fs)\n%!"
@@ -126,6 +194,19 @@ let progress_for flag (d : Dgrace_detectors.Detector.t) =
             (Dgrace_shadow.Accounting.current_bytes d.account / 1024)
             (Unix.gettimeofday () -. t0) )
   end
+
+(* Structured-failure boundary: anything the stack declares — corrupt
+   trace, deadlocked workload — is printed to stderr and mapped to the
+   documented exit code.  No raw exception ever reaches the user. *)
+let or_fail f =
+  try f () with
+  | Rerr.E e ->
+    Format.eprintf "racedet: %a@." Rerr.pp e;
+    exit (Rerr.exit_code e)
+  | Dgrace_sim.Sim.Deadlock { Dgrace_sim.Sim.blocked; held } ->
+    let e = Rerr.Deadlock { blocked; held } in
+    Format.eprintf "racedet: %a@." Rerr.pp e;
+    exit (Rerr.exit_code e)
 
 let workload_json (w : Workload.t) (p : Workload.params) =
   Json.Obj
@@ -145,13 +226,17 @@ let write_metrics path json =
 
 let run_cmd =
   let action w spec threads scale seed sched_seed no_suppress verbose
-      metrics_out sample_every progress =
+      metrics_out sample_every progress progress_every max_shadow max_events
+      deadline =
+    or_fail @@ fun () ->
     let p = params w threads scale seed in
     let d = Spec.to_detector ~suppression:(suppression no_suppress) spec in
     let s =
       Engine.with_detector ~policy:(policy sched_seed)
+        ~budget:(budget max_shadow max_events deadline)
         ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
-        ?progress:(progress_for progress d) d
+        ?progress:(progress_for progress progress_every d)
+        d
         (w.Workload.program p)
     in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@." w.name p.threads
@@ -164,19 +249,24 @@ let run_cmd =
         write_metrics path
           (Engine.summary_to_json ~workload:(workload_json w p) s))
       metrics_out;
-    if s.race_count > 0 then exit 2
+    let code = Engine.exit_code_of_summary s in
+    if code <> 0 then exit code
   in
   let term =
     Term.(
       const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
       $ seed_arg $ sched_seed_arg $ no_suppress_arg $ verbose_arg
-      $ metrics_out_arg $ sample_every_arg $ progress_arg)
+      $ metrics_out_arg $ sample_every_arg $ progress_arg $ progress_every_arg
+      $ max_shadow_arg $ max_events_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one detector."
        ~man:
          [ `S Manpage.s_description;
-           `P "Exit code 2 when races are found, 0 when clean." ])
+           `P
+             "Exit code 0 when clean, 2 when races are found, 3 when a \
+              resource budget made the results partial or degraded, 4 on \
+              input errors." ])
     term
 
 (* ------------------------------------------------------------------ *)
@@ -284,7 +374,7 @@ let print_profile (s : Engine.summary) =
 
 let profile_cmd =
   let action w specs threads scale seed sched_seed no_suppress metrics_out
-      sample_every progress =
+      sample_every progress progress_every =
     let specs =
       if specs = [] then [ Spec.byte; Spec.word; Spec.dynamic ] else specs
     in
@@ -300,7 +390,8 @@ let profile_cmd =
           let s =
             Engine.with_detector ~policy:(policy sched_seed)
               ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
-              ?progress:(progress_for progress d) d
+              ?progress:(progress_for progress progress_every d)
+              d
               (w.Workload.program p)
           in
           print_profile s;
@@ -326,7 +417,7 @@ let profile_cmd =
     Term.(
       const action $ workload_arg $ specs_arg $ threads_arg $ scale_arg
       $ seed_arg $ sched_seed_arg $ no_suppress_arg $ metrics_out_arg
-      $ sample_every_arg $ progress_arg)
+      $ sample_every_arg $ progress_arg $ progress_every_arg)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -350,13 +441,13 @@ let metrics_info_cmd =
     match Json.parse_file path with
     | Error msg ->
       Format.eprintf "metrics-info: %s: invalid JSON: %s@." path msg;
-      exit 1
+      exit Rerr.exit_input_error
     | Ok doc -> (
       match Export.validate doc with
       | Error msg ->
         Format.eprintf "metrics-info: %s: not a metrics document: %s@." path
           msg;
-        exit 1
+        exit Rerr.exit_input_error
       | Ok (version, kind) ->
         Format.printf "%s: %d@." Export.version_key version;
         Format.printf "kind: %s@." kind;
@@ -431,24 +522,144 @@ let record_cmd =
     term
 
 let replay_cmd =
-  let action path spec no_suppress verbose =
-    let events = Dgrace_trace.Trace_reader.read_file path in
+  let action path spec no_suppress verbose resync max_shadow max_events
+      deadline =
+    or_fail @@ fun () ->
+    let events, recovered_gaps =
+      if resync then begin
+        let events, r = Dgrace_trace.Trace_reader.read_file_resync path in
+        if r.Dgrace_trace.Trace_reader.gaps > 0 then
+          Format.eprintf
+            "racedet: resync: dropped %d byte(s) in %d gap(s), %d event(s) \
+             salvaged@."
+            r.dropped_bytes r.gaps r.events;
+        (events, r.gaps)
+      end
+      else (Dgrace_trace.Trace_reader.read_file path, 0)
+    in
     let s =
-      Engine.replay ~suppression:(suppression no_suppress) ~spec
-        (List.to_seq events)
+      Engine.replay ~budget:(budget max_shadow max_events deadline)
+        ~suppression:(suppression no_suppress) ~spec (List.to_seq events)
     in
     Format.printf "%a@." Engine.pp_summary s;
     if verbose then
       List.iter (fun r -> Format.printf "%s@." (Report.to_string r)) s.races;
-    if s.race_count > 0 then exit 2
+    let code = Engine.exit_code_of_summary s in
+    (* a resynced trace is partial evidence even when the run itself
+       completed: races are a lower bound *)
+    let code = if recovered_gaps > 0 then max code Rerr.exit_partial else code in
+    if code <> 0 then exit code
   in
   let path_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
   in
-  let term =
-    Term.(const action $ path_arg $ spec_arg $ no_suppress_arg $ verbose_arg)
+  let resync_arg =
+    Arg.(
+      value & flag
+      & info [ "resync" ]
+          ~doc:
+            "Skip corrupt trace regions instead of failing: scan forward to \
+             the next decodable record, report what was dropped on stderr, \
+             and exit 3 (partial) if anything was.")
   in
-  Cmd.v (Cmd.info "replay" ~doc:"Analyse a recorded trace.") term
+  let term =
+    Term.(
+      const action $ path_arg $ spec_arg $ no_suppress_arg $ verbose_arg
+      $ resync_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Analyse a recorded trace."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "A corrupt trace fails with a structured error (exit 4) unless \
+              $(b,--resync) is given, in which case decodable events around \
+              the damage are still analysed (exit 3)." ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* inject: the fault-injection harness *)
+
+let inject_cmd =
+  let action w spec threads scale seeds fault_names =
+    let p = params w threads scale None in
+    let faults =
+      match fault_names with
+      | [] -> Fault_harness.all
+      | names ->
+        List.map
+          (fun n ->
+            match Fault_harness.of_name n with
+            | Some f -> f
+            | None ->
+              Format.eprintf "racedet: unknown fault %S (try: %s)@." n
+                (String.concat ", " Fault_harness.names);
+              exit Rerr.exit_input_error)
+          names
+    in
+    Format.printf "fault injection: workload=%s detector=%s seeds=%s@." w.name
+      (Spec.name spec)
+      (String.concat "," (List.map string_of_int seeds));
+    let failures = ref 0 in
+    List.iter
+      (fun injection_seed ->
+        List.iter
+          (fun fault ->
+            let outcome =
+              Fault_harness.run ~spec ~seed:injection_seed
+                ~program:(w.Workload.program p) fault
+            in
+            if not (Fault_harness.acceptable outcome) then incr failures;
+            Format.printf "  seed=%-3d %-11s %s@." injection_seed
+              (Fault_harness.name fault)
+              (Fault_harness.describe outcome))
+          faults)
+      seeds;
+    if !failures > 0 then begin
+      Format.eprintf "racedet: inject: %d contract violation(s)@." !failures;
+      exit 1
+    end
+    else
+      Format.printf "all %d injection(s) recovered or declared@."
+        (List.length seeds * List.length faults)
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt_all pos_int [ 1 ]
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Injection seed (repeatable; default 1).")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            (Printf.sprintf "Fault to inject (repeatable): one of %s. \
+                             Default: all."
+               (String.concat ", " Fault_harness.names)))
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
+      $ seeds_arg $ faults_arg)
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Inject deterministic faults (corrupt trace bytes, stalled \
+          threads, lost unlocks) and verify the recover-or-declare \
+          contract."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Every injected fault must end in recovery (resync) or a \
+              structured declared error — never an uncaught exception or a \
+              hang.  Exit 0 when the contract holds for every seed/fault \
+              pair, 1 otherwise.  The same seed always reproduces the same \
+              corruption." ])
+    term
 
 (* ------------------------------------------------------------------ *)
 (* explore: schedule sensitivity *)
@@ -507,6 +718,7 @@ let trace_path_arg =
 
 let trace_info_cmd =
   let action path =
+    or_fail @@ fun () ->
     let accesses = ref 0 and reads = ref 0 and writes = ref 0 in
     let syncs = ref 0 and allocs = ref 0 and frees = ref 0 in
     let forks = ref 0 and bytes_alloc = ref 0 in
@@ -559,6 +771,7 @@ let trace_info_cmd =
 
 let trace_dump_cmd =
   let action path limit =
+    or_fail @@ fun () ->
     let printed =
       Dgrace_trace.Trace_reader.fold_file path
         (fun n ev ->
@@ -601,5 +814,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; profile_cmd; explore_cmd; record_cmd;
-            replay_cmd; trace_info_cmd; trace_dump_cmd; metrics_info_cmd;
-            list_cmd ]))
+            replay_cmd; inject_cmd; trace_info_cmd; trace_dump_cmd;
+            metrics_info_cmd; list_cmd ]))

@@ -7,6 +7,8 @@ module Metrics = Dgrace_obs.Metrics
 module Sampler = Dgrace_obs.Sampler
 module State_matrix = Dgrace_obs.State_matrix
 module Export = Dgrace_obs.Export
+module Budget = Dgrace_resilience.Budget
+module Error = Dgrace_resilience.Error
 
 type summary = {
   detector : string;
@@ -17,6 +19,8 @@ type summary = {
   mem : mem_summary;
   elapsed : float;
   sim : Sim.result option;
+  partial : Budget.stop option;
+  degraded : bool;
   metrics : Metrics.t;
   transitions : State_matrix.t option;
   timeseries : Sampler.t option;
@@ -43,7 +47,7 @@ let mem_of_account a =
     avg_sharing = Accounting.avg_sharing a;
   }
 
-let summarize (d : Detector.t) ~elapsed ~sim ~timeseries =
+let summarize (d : Detector.t) ~elapsed ~sim ~partial ~degraded ~timeseries =
   {
     detector = d.name;
     races = Detector.races d;
@@ -53,6 +57,8 @@ let summarize (d : Detector.t) ~elapsed ~sim ~timeseries =
     mem = mem_of_account d.account;
     elapsed;
     sim;
+    partial;
+    degraded;
     metrics = d.metrics;
     transitions = d.transitions;
     timeseries;
@@ -71,60 +77,147 @@ let sampler_sources (d : Detector.t) =
     ("races", fun () -> Report.Collector.count d.collector);
   ]
 
-(* Compose the detector sink with sampler ticks and the progress
-   heartbeat; when neither is requested the sink is the detector's own
-   handler and the event loop pays nothing. *)
-let make_sink (d : Detector.t) ~sampler ~progress =
-  match (sampler, progress) with
-  | None, None -> d.on_event
+(* Raised from the sink when a budget limit is breached: unwinds
+   [Sim.run] (any suspended thread continuations are simply collected
+   by the GC) or the replay loop, and is converted to the [partial]
+   field of the summary.  Never escapes this module. *)
+exception Stop of Budget.stop
+
+(* Enforce the budget after each delivered event.  Shadow pressure is
+   answered by asking the detector to degrade — one shedding step at a
+   time — and only stops the run once the detector can shed nothing
+   more and the accounting is still over the cap.  The deadline is
+   polled every 256 events to keep [gettimeofday] off the hot path. *)
+let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
+  let events = ref 0 in
+  let over limit = Accounting.current_bytes d.account > limit in
+  let rec shed limit =
+    if over limit then
+      match d.degrade with
+      | Some step when step () ->
+        degraded := true;
+        shed limit
+      | Some _ | None ->
+        raise
+          (Stop
+             (Budget.Shadow_bytes
+                { limit; bytes = Accounting.current_bytes d.account }))
+  in
+  fun () ->
+    incr events;
+    (match b.Budget.max_events with
+     | Some limit when !events >= limit ->
+       raise (Stop (Budget.Max_events { limit }))
+     | Some _ | None -> ());
+    (match b.Budget.max_shadow_bytes with
+     | Some limit -> if over limit then shed limit
+     | None -> ());
+    match b.Budget.deadline_s with
+    | Some limit_s when !events land 255 = 0 ->
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      if elapsed_s > limit_s then
+        raise (Stop (Budget.Deadline { limit_s; elapsed_s }))
+    | Some _ | None -> ()
+
+(* Compose the detector sink with budget checks, sampler ticks and the
+   progress heartbeat; when none are requested the sink is the
+   detector's own handler and the event loop pays nothing.  The
+   progress period is validated by the CLI (its [--progress-every]
+   parser rejects non-positive values), so it is taken as given
+   here. *)
+let make_sink (d : Detector.t) ~budget ~sampler ~progress =
+  let guard =
+    match budget with
+    | Some (b, degraded, t0) when not (Budget.is_unlimited b) ->
+      Some (budget_guard d b ~degraded ~t0)
+    | Some _ | None -> None
+  in
+  match (guard, sampler, progress) with
+  | None, None, None -> d.on_event
   | _ ->
     let events = ref 0 in
     let progress_tick =
       match progress with
       | None -> fun (_ : int) -> ()
-      | Some (every, f) ->
-        if every <= 0 then invalid_arg "Engine: non-positive progress period";
-        fun n -> if n mod every = 0 then f n
+      | Some (every, f) -> fun n -> if n mod every = 0 then f n
     in
     fun ev ->
       d.on_event ev;
+      (match guard with Some g -> g () | None -> ());
       (match sampler with Some s -> Sampler.tick s | None -> ());
       incr events;
       progress_tick !events
 
-let with_detector ?policy ?sample_every ?progress (d : Detector.t) program =
+let with_detector ?policy ?(budget = Budget.unlimited) ?sample_every ?progress
+    (d : Detector.t) program =
   let sampler =
     Option.map
       (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
       sample_every
   in
-  let sink = make_sink d ~sampler ~progress in
   let t0 = Unix.gettimeofday () in
-  let sim = Sim.run ?policy ~sink program in
+  let degraded = ref false in
+  let sink = make_sink d ~budget:(Some (budget, degraded, t0)) ~sampler ~progress in
+  let sim, partial =
+    match Sim.run ?policy ~sink program with
+    | sim -> (Some sim, None)
+    | exception Stop stop -> (None, Some stop)
+  in
   d.finish ();
   Option.iter Sampler.flush sampler;
   let elapsed = Unix.gettimeofday () -. t0 in
-  summarize d ~elapsed ~sim:(Some sim) ~timeseries:sampler
+  summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries:sampler
 
-let run ?policy ?suppression ?sample_every ?progress ~spec program =
-  with_detector ?policy ?sample_every ?progress
+let run ?policy ?budget ?suppression ?sample_every ?progress ~spec program =
+  with_detector ?policy ?budget ?sample_every ?progress
     (Spec.to_detector ?suppression spec)
     program
 
-let replay ?suppression ?sample_every ?progress ~spec events =
+let replay ?(budget = Budget.unlimited) ?suppression ?sample_every ?progress
+    ~spec events =
   let d = Spec.to_detector ?suppression spec in
   let sampler =
     Option.map
       (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
       sample_every
   in
-  let sink = make_sink d ~sampler ~progress in
   let t0 = Unix.gettimeofday () in
-  Seq.iter sink events;
+  let degraded = ref false in
+  let sink = make_sink d ~budget:(Some (budget, degraded, t0)) ~sampler ~progress in
+  let partial =
+    match Seq.iter sink events with
+    | () -> None
+    | exception Stop stop -> Some stop
+  in
   d.finish ();
   Option.iter Sampler.flush sampler;
   let elapsed = Unix.gettimeofday () -. t0 in
-  summarize d ~elapsed ~sim:None ~timeseries:sampler
+  summarize d ~elapsed ~sim:None ~partial ~degraded:!degraded
+    ~timeseries:sampler
+
+(* ------------------------------------------------------------------ *)
+(* checked entry points: structured errors instead of exceptions *)
+
+let checked f =
+  match f () with
+  | s -> Ok s
+  | exception Error.E e -> Error e
+  | exception Sim.Deadlock { Sim.blocked; held } ->
+    Error (Error.Deadlock { blocked; held })
+
+let run_checked ?policy ?budget ?suppression ?sample_every ?progress ~spec
+    program =
+  checked (fun () ->
+      run ?policy ?budget ?suppression ?sample_every ?progress ~spec program)
+
+let replay_checked ?budget ?suppression ?sample_every ?progress ~spec events =
+  checked (fun () ->
+      replay ?budget ?suppression ?sample_every ?progress ~spec events)
+
+let exit_code_of_summary s =
+  if s.partial <> None || s.degraded then Error.exit_partial
+  else if s.race_count > 0 then Error.exit_races
+  else Error.exit_ok
 
 let pp_summary ppf s =
   Format.fprintf ppf "@[<v>detector: %s@,elapsed: %.3fs@,%a@," s.detector
@@ -133,6 +226,12 @@ let pp_summary ppf s =
     "memory: peak=%dB (hash=%d vc=%d bitmap=%d) peak-vcs=%d avg-sharing=%.1f@,"
     s.mem.peak_bytes s.mem.peak_hash_bytes s.mem.peak_vc_bytes
     s.mem.peak_bitmap_bytes s.mem.peak_vcs s.mem.avg_sharing;
+  (match s.partial with
+   | Some stop ->
+     Format.fprintf ppf "status: partial (%s)@," (Budget.stop_to_string stop)
+   | None -> ());
+  if s.degraded then
+    Format.fprintf ppf "status: degraded (shadow state shed under budget)@,";
   Format.fprintf ppf "races: %d (%d suppressed)" s.race_count s.suppressed;
   List.iter (fun r -> Format.fprintf ppf "@,  %a" Report.pp r) s.races;
   Format.fprintf ppf "@]"
@@ -173,6 +272,13 @@ let summary_body ?workload s =
         ("elapsed_s", Json.Float s.elapsed);
         ("races", Json.Int s.race_count);
         ("suppressed", Json.Int s.suppressed);
+        ("partial", Json.Bool (s.partial <> None));
+        ("degraded", Json.Bool s.degraded);
+      ];
+      (match s.partial with
+       | Some stop -> [ ("stop_reason", Budget.stop_to_json stop) ]
+       | None -> []);
+      [
         ("stats", stats_to_json s.stats);
         ("memory", mem_to_json s.mem);
         ("metrics", Metrics.to_json s.metrics);

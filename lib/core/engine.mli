@@ -15,7 +15,16 @@
           Sim.join t)
       in
       List.iter (fun r -> print_endline (Report.to_string r)) summary.races
-    ]} *)
+    ]}
+
+    {b Resource budgets.}  Every entry point takes an optional
+    {!Dgrace_resilience.Budget.t}.  Exceeding the shadow-memory cap
+    first asks the detector to degrade (shed shadow state; the summary
+    is flagged [degraded]); exceeding the event or wall-clock cap —
+    or the shadow cap once degradation is exhausted — ends the run
+    early with [partial = Some reason].  A partial or degraded summary
+    still reports every race found: results are a lower bound, never
+    garbage.  See [doc/resilience.md]. *)
 
 open Dgrace_events
 open Dgrace_detectors
@@ -29,7 +38,12 @@ type summary = {
   stats : Run_stats.t;
   mem : mem_summary;
   elapsed : float;  (** wall-clock seconds for the instrumented run *)
-  sim : Sim.result option;  (** simulator result (None for replays) *)
+  sim : Sim.result option;
+      (** simulator result (None for replays and budget-stopped runs) *)
+  partial : Dgrace_resilience.Budget.stop option;
+      (** why the run ended before end-of-stream, if it did *)
+  degraded : bool;
+      (** the detector shed shadow state to stay under its budget *)
   metrics : Dgrace_obs.Metrics.t;  (** the detector's instruments *)
   transitions : Dgrace_obs.State_matrix.t option;
       (** sharing-state transition counts (dynamic detectors) *)
@@ -49,6 +63,7 @@ and mem_summary = {
 
 val run :
   ?policy:Scheduler.policy ->
+  ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
@@ -61,21 +76,30 @@ val run :
     [sample_every] snapshots shadow-memory accounting and stream
     counters every N events into [summary.timeseries] (a final sample
     is always taken at end of stream).  [progress] is [(every, f)]:
-    [f events] is called every [every] events — the CLI heartbeat.
-    When neither is given the event loop is exactly the detector's own
-    handler: observability costs nothing unless asked for. *)
+    [f events] is called every [every] events — the CLI heartbeat;
+    [every] must be positive (the CLI argument parser enforces this).
+    When nothing is given the event loop is exactly the detector's own
+    handler: observability and governance cost nothing unless asked
+    for.
+
+    @raise Sim.Deadlock when the workload globally deadlocks
+    (see {!run_checked} for the [result] form). *)
 
 val replay :
+  ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   spec:Spec.t ->
   Event.t Seq.t ->
   summary
-(** Analyse a pre-recorded event stream (see {!Dgrace_trace}). *)
+(** Analyse a pre-recorded event stream (see {!Dgrace_trace}).
+    @raise Dgrace_resilience.Error.E when forcing the sequence hits a
+    corrupt record (see {!replay_checked} for the [result] form). *)
 
 val with_detector :
   ?policy:Scheduler.policy ->
+  ?budget:Dgrace_resilience.Budget.t ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   Detector.t ->
@@ -83,8 +107,43 @@ val with_detector :
   summary
 (** Like {!run} for an externally constructed detector. *)
 
+(** {1 Checked entry points}
+
+    The same runs with every anticipated failure — deadlocked
+    workload, corrupt trace, exhausted budget raised as an error by a
+    lower layer — returned as a structured
+    {!Dgrace_resilience.Error.t} instead of an exception.  Budget
+    stops are {e not} errors here: they produce [Ok summary] with
+    [partial] set. *)
+
+val run_checked :
+  ?policy:Scheduler.policy ->
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?suppression:Suppression.t ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  spec:Spec.t ->
+  (unit -> unit) ->
+  (summary, Dgrace_resilience.Error.t) result
+
+val replay_checked :
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?suppression:Suppression.t ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  spec:Spec.t ->
+  Event.t Seq.t ->
+  (summary, Dgrace_resilience.Error.t) result
+
+val exit_code_of_summary : summary -> int
+(** The documented exit-code contract applied to a completed run:
+    {!Dgrace_resilience.Error.exit_partial} when partial or degraded,
+    {!Dgrace_resilience.Error.exit_races} when races were found,
+    {!Dgrace_resilience.Error.exit_ok} otherwise. *)
+
 val pp_summary : Format.formatter -> summary -> unit
-(** Multi-line human-readable rendering. *)
+(** Multi-line human-readable rendering (includes [status:] lines for
+    partial/degraded runs). *)
 
 (** {1 Structured export}
 
@@ -93,7 +152,8 @@ val pp_summary : Format.formatter -> summary -> unit
 
 val summary_to_json : ?workload:Dgrace_obs.Json.t -> summary -> Dgrace_obs.Json.t
 (** One run as a [kind = "run"] envelope: summary, stats, memory
-    peaks, metrics, and — when present — transition matrix and
+    peaks, metrics, partial/degraded flags (plus [stop_reason] when
+    partial), and — when present — transition matrix and
     time-series. *)
 
 val summaries_to_json :

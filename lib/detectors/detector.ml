@@ -10,6 +10,7 @@ type t = {
   stats : Run_stats.t;
   metrics : Dgrace_obs.Metrics.t;
   transitions : Dgrace_obs.State_matrix.t option;
+  degrade : (unit -> bool) option;
 }
 
 let races t = Report.Collector.races t.collector
@@ -25,4 +26,5 @@ let null () =
     stats = Run_stats.create ();
     metrics = Dgrace_obs.Metrics.create ();
     transitions = None;
+    degrade = None;
   }

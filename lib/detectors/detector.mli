@@ -27,6 +27,18 @@ type t = {
   transitions : Dgrace_obs.State_matrix.t option;
       (** sharing-state transition counts (dynamic-granularity
           detectors only) *)
+  degrade : (unit -> bool) option;
+      (** Shed shadow memory under budget pressure (graceful
+          degradation): each call performs one shedding step —
+          dropping fast-path bitmaps, force-coarsening equal-history
+          regions onto shared clocks, collapsing read vector clocks —
+          and returns [false] once nothing further can be shed.  The
+          engine keeps calling while the run is over its
+          [max_shadow_bytes] budget; a detector with [None] cannot
+          degrade and a breached budget ends its run instead.
+          Degraded precision is still sound for writes; dropped read
+          history may miss read-write races (documented in
+          [doc/resilience.md]). *)
 }
 
 val races : t -> Report.t list

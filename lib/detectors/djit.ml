@@ -173,4 +173,5 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
     stats = st.stats;
     metrics = Dgrace_obs.Metrics.create ();
     transitions = None;
+    degrade = None;
   }

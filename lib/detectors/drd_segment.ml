@@ -347,4 +347,5 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
     stats = st.stats;
     metrics = Dgrace_obs.Metrics.create ();
     transitions = None;
+    degrade = None;
   }

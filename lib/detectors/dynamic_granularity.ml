@@ -44,6 +44,9 @@ type state = {
   env : Vc_env.t;
   rplane : cell Shadow_table.t;
   wplane : cell Shadow_table.t;
+  mutable bitmaps_on : bool;
+      (* flipped off by the first degradation stage: every access then
+         takes the slow path, but the bitmap bytes are gone for good *)
   bitmaps : Epoch_bitmap.t option Vec.t;
   account : Accounting.t;
   stats : Run_stats.t;
@@ -63,6 +66,10 @@ type state = {
   m_adopted : Metrics.counter;  (* lifetimes begun by joining a region *)
   h_shared : Metrics.histogram;  (* region bytes at shared decisions *)
   h_private : Metrics.histogram;  (* region bytes at private decisions *)
+  m_degrade : Metrics.counter;  (* degradation passes requested *)
+  m_degrade_bitmap : Metrics.counter;  (* bitmap bytes freed *)
+  m_degrade_merged : Metrics.counter;  (* cells force-coarsened away *)
+  m_degrade_reads : Metrics.counter;  (* read VCs collapsed *)
 }
 
 (* Matrix row/column 0 is the virtual pre-first-access state; the
@@ -402,14 +409,114 @@ let steady st ~write c ~sub_lo ~sub_hi ~here ~tid ~tvc ~loc ~current =
       try_reshare st ~write c
   end
 
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation under a shadow-memory budget: staged shedding,
+   cheapest precision cost first (doc/resilience.md documents exactly
+   what each stage gives up).  Driven by the engine through
+   [Detector.degrade] whenever the run is over its budget. *)
+
+(* Stage 1: drop the per-thread same-epoch bitmaps and stop
+   maintaining them.  Costs only speed (every access now takes the
+   analysed path); precision is untouched. *)
+let shed_bitmaps st =
+  if not st.bitmaps_on then false
+  else begin
+    st.bitmaps_on <- false;
+    let freed = ref 0 in
+    for i = 0 to Vec.length st.bitmaps - 1 do
+      (match Vec.get st.bitmaps i with
+       | Some b ->
+         freed := !freed + Epoch_bitmap.bytes b;
+         Epoch_bitmap.reset b
+       | None -> ());
+      Vec.set st.bitmaps i None
+    done;
+    Metrics.add st.m_degrade_bitmap !freed;
+    true
+  end
+
+(* Stage 2: force-coarsen — merge adjacent settled hole-free cells
+   whose histories are equal onto one shared clock, ignoring the usual
+   evidence threshold.  Same race verdicts, fewer clocks. *)
+let coarsen_plane st ~write =
+  let pl = plane st ~write in
+  let cells = Hashtbl.create 64 in
+  Shadow_table.iter
+    (fun _ _ c ->
+      if Share_state.is_settled c.cstate && c.refs = c.hi - c.lo then
+        Hashtbl.replace cells c.lo c)
+    pl;
+  let los =
+    Hashtbl.fold (fun lo _ acc -> lo :: acc) cells [] |> List.sort compare
+  in
+  let merged = ref 0 in
+  List.iter
+    (fun lo ->
+      match Hashtbl.find_opt cells lo with
+      | None -> ()
+      | Some c -> (
+        (* the cell must still be live, hole-free and own its range *)
+        match Shadow_table.get pl c.lo with
+        | Some c' when c' == c && c.refs = c.hi - c.lo -> (
+          match Shadow_table.get pl (c.lo - 1) with
+          | Some nc
+            when nc != c
+                 && Share_state.is_settled nc.cstate
+                 && nc.refs = nc.hi - nc.lo && nc.hi = c.lo
+                 && hist_equal ~write c nc ->
+            Hashtbl.remove cells lo;
+            absorb st ~write ~into:nc c
+              ~stimulus:Share_state.Adopted_by_neighbor;
+            incr merged
+          | _ -> ())
+        | _ -> ()))
+    los;
+  !merged
+
+(* Stage 3: collapse read-shared vector clocks to "no reads".  This is
+   the only stage that loses precision: a subsequent write can miss a
+   read-write race whose read history was dropped. *)
+let shed_read_vcs st =
+  let dropped = ref 0 in
+  Shadow_table.iter
+    (fun _ _ c ->
+      match c.r with
+      | Read_state.Vc _ ->
+        Accounting.add_vc st.account (-(Read_state.bytes c.r));
+        c.r <- Read_state.No_reads;
+        incr dropped
+      | Read_state.No_reads | Read_state.Ep _ -> ())
+    st.rplane;
+  !dropped
+
+let degrade st =
+  Metrics.incr st.m_degrade;
+  if shed_bitmaps st then true
+  else begin
+    let merged = coarsen_plane st ~write:false + coarsen_plane st ~write:true in
+    Metrics.add st.m_degrade_merged merged;
+    if merged > 0 then true
+    else begin
+      let dropped = shed_read_vcs st in
+      Metrics.add st.m_degrade_reads dropped;
+      dropped > 0
+    end
+  end
+
 let on_access st ~tid ~kind ~addr ~size ~loc =
   st.stats.accesses <- st.stats.accesses + 1;
   let write = kind = Event.Write in
   if write then st.stats.writes <- st.stats.writes + 1
   else st.stats.reads <- st.stats.reads + 1;
-  let bm = bitmap st tid in
-  if Epoch_bitmap.test bm ~write addr && Epoch_bitmap.test bm ~write (addr + size - 1)
-  then st.stats.same_epoch <- st.stats.same_epoch + 1
+  let bm = if st.bitmaps_on then Some (bitmap st tid) else None in
+  let fast_path =
+    match bm with
+    | Some bm ->
+      Epoch_bitmap.test bm ~write addr
+      && Epoch_bitmap.test bm ~write (addr + size - 1)
+    | None -> false
+  in
+  if fast_path then st.stats.same_epoch <- st.stats.same_epoch + 1
   else begin
     Metrics.incr st.m_analysed;
     let tvc = Vc_env.clock_of st.env tid in
@@ -428,9 +535,12 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
        cells mark only the accessed group — they grow with every
        access and re-marking the growing range would be quadratic. *)
     let mark_covered c ~glo ~ghi =
-      if Share_state.is_settled c.cstate && c.refs = c.hi - c.lo then
-        Epoch_bitmap.mark bm ~write ~lo:c.lo ~hi:c.hi
-      else Epoch_bitmap.mark bm ~write ~lo:glo ~hi:ghi
+      match bm with
+      | None -> ()
+      | Some bm ->
+        if Share_state.is_settled c.cstate && c.refs = c.hi - c.lo then
+          Epoch_bitmap.mark bm ~write ~lo:c.lo ~hi:c.hi
+        else Epoch_bitmap.mark bm ~write ~lo:glo ~hi:ghi
     in
     let a = ref addr in
     while !a < access_hi do
@@ -490,6 +600,7 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
       env = Vc_env.create ();
       rplane = Shadow_table.create ~mode:index ~account ();
       wplane = Shadow_table.create ~mode:index ~account ();
+      bitmaps_on = true;
       bitmaps = Vec.create ();
       account;
       stats = Run_stats.create ();
@@ -507,9 +618,15 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
       m_adopted = Metrics.counter metrics "cells.adopted";
       h_shared = Metrics.histogram metrics "sharing.region_bytes.shared";
       h_private = Metrics.histogram metrics "sharing.region_bytes.private";
+      m_degrade = Metrics.counter metrics "degrade.passes";
+      m_degrade_bitmap = Metrics.counter metrics "degrade.bitmap_bytes_freed";
+      m_degrade_merged = Metrics.counter metrics "degrade.cells_merged";
+      m_degrade_reads = Metrics.counter metrics "degrade.read_vcs_dropped";
     }
   in
-  let on_boundary tid = Epoch_bitmap.reset (bitmap st tid) in
+  let on_boundary tid =
+    if st.bitmaps_on then Epoch_bitmap.reset (bitmap st tid)
+  in
   let on_event ev =
     if Vc_env.handle st.env ev ~on_boundary then
       st.stats.sync_ops <- st.stats.sync_ops + 1
@@ -543,4 +660,5 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
     stats = st.stats;
     metrics = st.metrics;
     transitions = Some st.transitions;
+    degrade = Some (fun () -> degrade st);
   }

@@ -199,4 +199,5 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
     stats = st.stats;
     metrics = st.metrics;
     transitions = None;
+    degrade = None;
   }

@@ -168,4 +168,5 @@ let create ?(granularity = 4) ?(history = 2) ?(suppression = Suppression.empty) 
     stats = st.stats;
     metrics = Dgrace_obs.Metrics.create ();
     transitions = None;
+    degrade = None;
   }

@@ -86,4 +86,5 @@ let create ?(floor_rate = 0.02) ?(decay_every = 64)
     stats = st.stats;
     metrics = st.inner.metrics;
     transitions = st.inner.transitions;
+    degrade = st.inner.degrade;
   }

@@ -50,6 +50,7 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
       stats = hb.stats;
       metrics = hb.metrics;
       transitions = hb.transitions;
+      degrade = hb.degrade;
     }
   in
   registry := (d, potential) :: !registry;

@@ -212,4 +212,5 @@ let create ?(region = 64) ?(suppression = Suppression.empty) () =
     stats = st.stats;
     metrics = Dgrace_obs.Metrics.create ();
     transitions = None;
+    degrade = None;
   }

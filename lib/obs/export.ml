@@ -1,4 +1,6 @@
-let schema_version = 1
+(* v2: run summaries gained "partial"/"degraded" flags and, when a
+   budget stopped the run, a "stop_reason" object. *)
+let schema_version = 2
 let version_key = "schema_version"
 
 let envelope ~kind body =

@@ -1,0 +1,81 @@
+module Json = Dgrace_obs.Json
+
+type t =
+  | Corrupt_trace of {
+      path : string option;
+      offset : int;
+      events_read : int;
+      reason : string;
+    }
+  | Deadlock of { blocked : int list; held : (int * int) list }
+  | Budget_exhausted of { budget : string; limit : int; actual : int }
+  | Invalid_input of { what : string; reason : string }
+
+exception E of t
+
+let exit_ok = 0
+let exit_races = 2
+let exit_partial = 3
+let exit_input_error = 4
+
+let exit_code = function
+  | Corrupt_trace _ | Invalid_input _ -> exit_input_error
+  | Deadlock _ | Budget_exhausted _ -> exit_partial
+
+let to_string = function
+  | Corrupt_trace { path; offset; events_read; reason } ->
+    Printf.sprintf "corrupt trace%s: %s at byte %d (%d events decoded before)"
+      (match path with Some p -> " " ^ p | None -> "")
+      reason offset events_read
+  | Deadlock { blocked; held } ->
+    let ints l = String.concat "," (List.map string_of_int l) in
+    Printf.sprintf "deadlock: threads [%s] blocked; held locks [%s]"
+      (ints blocked)
+      (String.concat ","
+         (List.map (fun (l, o) -> Printf.sprintf "%d@t%d" l o) held))
+  | Budget_exhausted { budget; limit; actual } ->
+    Printf.sprintf "budget exhausted: %s limit %d exceeded (%d)" budget limit
+      actual
+  | Invalid_input { what; reason } ->
+    Printf.sprintf "invalid input (%s): %s" what reason
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let to_json = function
+  | Corrupt_trace { path; offset; events_read; reason } ->
+    Json.Obj
+      [
+        ("error", Json.String "corrupt_trace");
+        ( "path",
+          match path with Some p -> Json.String p | None -> Json.Null );
+        ("offset", Json.Int offset);
+        ("events_read", Json.Int events_read);
+        ("reason", Json.String reason);
+      ]
+  | Deadlock { blocked; held } ->
+    Json.Obj
+      [
+        ("error", Json.String "deadlock");
+        ("blocked", Json.List (List.map (fun t -> Json.Int t) blocked));
+        ( "held",
+          Json.List
+            (List.map
+               (fun (l, o) ->
+                 Json.Obj [ ("lock", Json.Int l); ("owner", Json.Int o) ])
+               held) );
+      ]
+  | Budget_exhausted { budget; limit; actual } ->
+    Json.Obj
+      [
+        ("error", Json.String "budget_exhausted");
+        ("budget", Json.String budget);
+        ("limit", Json.Int limit);
+        ("actual", Json.Int actual);
+      ]
+  | Invalid_input { what; reason } ->
+    Json.Obj
+      [
+        ("error", Json.String "invalid_input");
+        ("what", Json.String what);
+        ("reason", Json.String reason);
+      ]

@@ -1,0 +1,53 @@
+type trace_fault = Bit_flip | Truncate | Duplicate
+
+let all = [ Bit_flip; Truncate; Duplicate ]
+
+let name = function
+  | Bit_flip -> "bitflip"
+  | Truncate -> "truncate"
+  | Duplicate -> "duplicate"
+
+let of_name = function
+  | "bitflip" -> Some Bit_flip
+  | "truncate" -> Some Truncate
+  | "duplicate" -> Some Duplicate
+  | _ -> None
+
+(* magic "DGRT" + version byte *)
+let header_len = 5
+
+let fault_tag = function Bit_flip -> 1 | Truncate -> 2 | Duplicate -> 3
+
+let rng ~seed fault =
+  Random.State.make [| seed; fault_tag fault; 0x5f3759df |]
+
+(* an offset in [header_len, len) *)
+let payload_offset st len = header_len + Random.State.int st (len - header_len)
+
+let apply ~seed fault bytes =
+  let len = String.length bytes in
+  if len <= header_len then bytes
+  else begin
+    let st = rng ~seed fault in
+    match fault with
+    | Bit_flip ->
+      let off = payload_offset st len in
+      let bit = Random.State.int st 8 in
+      let b = Bytes.of_string bytes in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+      Bytes.to_string b
+    | Truncate ->
+      let off = payload_offset st len in
+      String.sub bytes 0 off
+    | Duplicate ->
+      let a = payload_offset st len in
+      let b = payload_offset st len in
+      let lo = min a b and hi = max a b in
+      let hi = if lo = hi then min len (hi + 1) else hi in
+      String.concat ""
+        [
+          String.sub bytes 0 hi;
+          String.sub bytes lo (hi - lo);
+          String.sub bytes hi (len - hi);
+        ]
+  end

@@ -1,0 +1,28 @@
+(** Deterministic, seeded corruption of raw trace bytes.
+
+    The fault-injection harness ([racedet inject], [bench --faults])
+    needs faults that are {e reproducible}: the same seed always
+    yields the same corruption, so a crash found in CI replays locally
+    byte-for-byte.  This module is the pure core — string in, string
+    out, no IO. *)
+
+type trace_fault =
+  | Bit_flip  (** flip one random bit in a random payload byte *)
+  | Truncate  (** cut the trace at a random offset *)
+  | Duplicate
+      (** copy a random byte span and splice it back in — models a
+          partially double-written buffer *)
+
+val all : trace_fault list
+
+val name : trace_fault -> string
+(** ["bitflip"], ["truncate"], ["duplicate"]. *)
+
+val of_name : string -> trace_fault option
+
+val apply : seed:int -> trace_fault -> string -> string
+(** [apply ~seed fault bytes] corrupts the trace image.  Offsets are
+    drawn past the 5-byte header when the trace is long enough, so the
+    fault lands in record data; traces at most header-sized are
+    returned unchanged (nothing to corrupt).  Deterministic in
+    [(seed, fault, bytes)]. *)

@@ -15,7 +15,9 @@ type event_flag = { eid : int; mutable is_set : bool; ewaiters : waiter Vec.t }
 type condition = { cid : int; cwaiters : waiter Vec.t }
 type semaphore = { smid : int; mutable count : int; swaiters : waiter Vec.t }
 
-exception Deadlock of int list
+type deadlock_info = { blocked : int list; held : (int * int) list }
+
+exception Deadlock of deadlock_info
 
 let mutex () = { lid = fresh_sync_id (); owner = -1; waiters = Vec.create () }
 
@@ -120,6 +122,7 @@ type world = {
   ready : runnable Vec.t;
   sched : Scheduler.t;
   atomic_syncs : (int, int) Hashtbl.t;
+  held_locks : (int, int) Hashtbl.t;  (* mutex id -> owner tid *)
   mutable current : int;
   mutable live : int;
   mutable events : int;
@@ -135,6 +138,7 @@ let run ?(policy = Scheduler.default) ?(sink = fun (_ : Event.t) -> ()) main =
       ready = Vec.create ();
       sched = Scheduler.create policy;
       atomic_syncs = Hashtbl.create 64;
+      held_locks = Hashtbl.create 16;
       current = -1;
       live = 0;
       events = 0;
@@ -144,7 +148,15 @@ let run ?(policy = Scheduler.default) ?(sink = fun (_ : Event.t) -> ()) main =
   let thread tid = Vec.get w.threads tid in
   let emit e =
     w.events <- w.events + 1;
-    (match e with Event.Access _ -> w.accesses <- w.accesses + 1 | _ -> ());
+    (match e with
+     | Event.Access _ -> w.accesses <- w.accesses + 1
+     (* track mutex ownership so a deadlock report can name the held
+        locks (barrier/flag/atomic sync objects are not "held") *)
+     | Event.Acquire { tid; lock; sync = Event.Lock } ->
+       Hashtbl.replace w.held_locks lock tid
+     | Event.Release { lock; sync = Event.Lock; _ } ->
+       Hashtbl.remove w.held_locks lock
+     | _ -> ());
     w.sink e
   in
   let enqueue tid run =
@@ -454,7 +466,12 @@ let run ?(policy = Scheduler.default) ?(sink = fun (_ : Event.t) -> ()) main =
             (fun acc ti -> if ti.phase <> Exited then ti.tid :: acc else acc)
             [] w.threads
         in
-        raise (Deadlock (List.rev blocked))
+        let held =
+          Hashtbl.fold (fun lock owner acc -> (lock, owner) :: acc)
+            w.held_locks []
+          |> List.sort compare
+        in
+        raise (Deadlock { blocked = List.rev blocked; held })
       end
     end
     else begin

@@ -39,9 +39,18 @@ type semaphore
 (** A counting semaphore: every [post] happens-before the [wait] it
     permits. *)
 
-exception Deadlock of int list
-(** Raised by {!run} when no thread is runnable but some are blocked;
-    carries the blocked thread ids. *)
+type deadlock_info = {
+  blocked : int list;  (** non-exited thread ids, ascending *)
+  held : (int * int) list;
+      (** [(lock id, owner tid)] for every mutex still held — including
+          mutexes held by threads that already exited (a lost unlock),
+          which is usually the bug the report points at *)
+}
+
+exception Deadlock of deadlock_info
+(** Raised by {!run} when no thread is runnable but some are blocked:
+    a structured report of who is stuck and which locks are held,
+    instead of a hang. *)
 
 (** {1 Sync object constructors (usable anywhere)} *)
 

@@ -1,5 +1,6 @@
 let magic = "DGRT"
 let version = 1
+let header_len = String.length magic + 1
 let tag_read = 0
 let tag_write = 1
 let tag_acquire = 2
@@ -9,6 +10,14 @@ let tag_join = 5
 let tag_alloc = 6
 let tag_free = 7
 let tag_exit = 8
+let max_tag = tag_exit
+
+(* Field bounds a well-formed trace obeys; the reader rejects records
+   outside them so a corrupt varint cannot ask a detector to allocate
+   a clock for thread 2^40 or intern a petabyte location string. *)
+let max_tid = 1023 (* Epoch.max_tid: the detectors' own thread ceiling *)
+let max_access_size = 1 lsl 30
+let max_loc_len = 1 lsl 16
 
 exception Corrupt of string
 
@@ -30,4 +39,5 @@ let read_varint ic =
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 = 0 then acc else loop acc (shift + 7)
   in
-  loop 0 0
+  let n = loop 0 0 in
+  if n < 0 then raise (Corrupt "varint overflow") else n

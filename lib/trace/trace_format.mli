@@ -10,6 +10,19 @@
 val magic : string
 val version : int
 
+val header_len : int
+(** Bytes of [magic] plus the version byte. *)
+
+(** {1 Field bounds}
+
+    Limits a well-formed trace obeys; the reader rejects records
+    outside them as corrupt, so garbage varints can never drive a
+    detector into pathological allocation. *)
+
+val max_tid : int
+val max_access_size : int
+val max_loc_len : int
+
 (** Event tag bytes. *)
 
 val tag_read : int
@@ -22,11 +35,18 @@ val tag_alloc : int
 val tag_free : int
 val tag_exit : int
 
+val max_tag : int
+(** Largest valid tag byte. *)
+
 val write_varint : Buffer.t -> int -> unit
 (** Unsigned LEB128.  @raise Invalid_argument on negative input. *)
 
 val read_varint : in_channel -> int
-(** @raise End_of_file at end of stream. *)
+(** @raise End_of_file at end of stream.
+    @raise Corrupt on an over-long or overflowing encoding. *)
 
 exception Corrupt of string
-(** Raised by the reader on malformed input. *)
+(** Raised by the low-level decoding primitives on malformed input.
+    {!Trace_reader} converts these to
+    [Dgrace_resilience.Error.Corrupt_trace] values carrying the byte
+    offset and file context; user code should match on those. *)

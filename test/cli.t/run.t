@@ -97,19 +97,83 @@ validates:
   $ racedet run pbzip2 -d dynamic --metrics-out m.json >/dev/null 2>&1; test $? -eq 2 && echo racy
   racy
 
-  $ grep -c '"schema_version": 1' m.json
+  $ grep -c '"schema_version": 2' m.json
   1
 
   $ racedet metrics-info m.json
-  schema_version: 1
+  schema_version: 2
   kind: run
   runs: 1
     ft-dynamic: samples=51 transitions=15720
 
-Validation fails loudly on a non-envelope document:
+Validation fails loudly on a non-envelope document (input error, exit 4):
 
   $ echo '{"x": 1}' > bad.json && racedet metrics-info bad.json
   metrics-info: bad.json: not a metrics document: missing "schema_version"
-  [1]
+  [4]
 
   $ rm m.json bad.json
+
+Resource budgets (doc/resilience.md): stopping at an event cap flags
+the summary partial and exits 3; the JSON export carries the flags.
+
+  $ racedet run pbzip2 --max-events 1000 --metrics-out b.json 2>/dev/null | grep status:
+  status: partial (event budget reached (1000 events))
+
+  $ racedet run pbzip2 --max-events 1000 >/dev/null 2>&1; echo "exit=$?"
+  exit=3
+
+  $ grep -o '"partial": true' b.json && rm b.json
+  "partial": true
+
+A shadow budget degrades the detector instead of killing the run; the
+races are still found (exit 3 marks the shed precision):
+
+  $ racedet run raytrace --max-shadow-bytes 300000 | grep -E 'status:|races:'
+  status: degraded (shadow state shed under budget)
+  races: 2 (1 suppressed)
+
+  $ racedet run raytrace --max-shadow-bytes 300000 >/dev/null 2>&1; echo "exit=$?"
+  exit=3
+
+Bad budget and period values are usage errors, caught at parsing:
+
+  $ racedet run dedup --max-events 0 2>&1 | head -1
+  racedet: option '--max-events': must be a positive integer
+
+  $ racedet run dedup --progress-every=0 2>&1 | head -1
+  racedet: option '--progress-every': must be a positive integer
+
+Corrupt traces fail with a structured error (exit 4) or, with
+--resync, salvage the decodable remainder (exit 3):
+
+  $ racedet record ffmpeg t.bin >/dev/null
+  $ python3 -c "
+  > import sys
+  > b = bytearray(open('t.bin','rb').read())
+  > b[len(b)//2] = 0xee
+  > open('t.bin','wb').write(bytes(b[:3*len(b)//4]))"
+
+  $ racedet replay t.bin 2>&1 | sed 's/byte [0-9]*/byte N/;s/([0-9]* events/(N events/'
+  racedet: corrupt trace t.bin: truncated event at byte N (N events decoded before)
+
+  $ racedet replay t.bin >/dev/null 2>&1; echo "exit=$?"
+  exit=4
+
+  $ racedet replay t.bin --resync 2>&1 | sed 's/[0-9][0-9]* byte(s)/N byte(s)/;s/[0-9][0-9]* gap(s)/N gap(s)/;s/[0-9][0-9]* event(s)/N event(s)/' | grep -E 'resync|races:'
+  racedet: resync: dropped N byte(s) in N gap(s), N event(s) salvaged
+  races: 1 (0 suppressed)
+
+  $ racedet replay t.bin --resync >/dev/null 2>&1; echo "exit=$?"
+  exit=3
+
+  $ rm t.bin
+
+The fault-injection harness: every seeded fault must end in recovery
+or a declared structured error — exit 0 is the contract holding.
+
+  $ racedet inject ffmpeg --seed 1 --fault stall --fault lost-unlock
+  fault injection: workload=ffmpeg detector=ft-dynamic seeds=1
+    seed=1   stall       declared: deadlock: threads [0,1] blocked; held locks []
+    seed=1   lost-unlock declared: deadlock: threads [0,2] blocked; held locks [2@t1]
+  all 2 injection(s) recovered or declared

@@ -21,4 +21,5 @@ let () =
          Test_related.suites;
          Test_workloads.suites;
          Test_engine.suites;
+         Test_resilience.suites;
        ])

@@ -147,9 +147,10 @@ let test_deadlock_detection () =
          Sim.unlock m2;
          Sim.unlock m1;
          Sim.join t))
-   with Sim.Deadlock tids ->
+   with Sim.Deadlock { blocked; held } ->
      raised := true;
-     check_int "both threads blocked" 2 (List.length tids));
+     check_int "both threads blocked" 2 (List.length blocked);
+     check_int "both locks held" 2 (List.length held));
   check_bool "deadlock raised" true !raised
 
 let test_join_semantics () =

@@ -3,6 +3,7 @@
 
 open Dgrace_events
 open Dgrace_trace
+module Error = Dgrace_resilience.Error
 
 let tmp_file () = Filename.temp_file "dgrace" ".trace"
 
@@ -63,13 +64,45 @@ let test_varint () =
     (Invalid_argument "Trace_format.write_varint: negative")
     (fun () -> Trace_format.write_varint buf (-1))
 
+(* Every malformed input must surface as a structured Corrupt_trace
+   carrying the path — never a bare End_of_file or Corrupt. *)
+let expect_corrupt ~what path f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a structured corrupt-trace error" what
+  | exception Error.E (Error.Corrupt_trace { path = p; offset; events_read; _ })
+    ->
+    Alcotest.(check (option string)) (what ^ ": path carried") (Some path) p;
+    (offset, events_read)
+  | exception exn ->
+    Alcotest.failf "%s: expected Error.E (Corrupt_trace _), got %s" what
+      (Printexc.to_string exn)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
 let test_bad_magic () =
   let path = tmp_file () in
-  let oc = open_out_bin path in
-  output_string oc "NOPE!";
-  close_out oc;
-  Alcotest.check_raises "corrupt" (Trace_format.Corrupt "bad magic") (fun () ->
-      ignore (Trace_reader.read_file path));
+  write_file path "NOPE!";
+  let offset, events_read =
+    expect_corrupt ~what:"bad magic" path (fun () -> Trace_reader.read_file path)
+  in
+  Alcotest.(check int) "at offset 0" 0 offset;
+  Alcotest.(check int) "no events" 0 events_read;
+  Sys.remove path
+
+let test_short_header () =
+  (* a file shorter than the header must not leak End_of_file *)
+  let path = tmp_file () in
+  List.iter
+    (fun prefix ->
+      write_file path prefix;
+      ignore
+        (expect_corrupt ~what:"short header" path (fun () ->
+             Trace_reader.read_file path)
+          : int * int))
+    [ ""; "D"; "DGR"; "DGRT" ];
   Sys.remove path
 
 let test_truncated_event () =
@@ -77,11 +110,76 @@ let test_truncated_event () =
   let (), _ = Trace_writer.to_file path (fun sink -> List.iter sink sample_events) in
   (* chop the file mid-record *)
   let full = In_channel.with_open_bin path In_channel.input_all in
-  let oc = open_out_bin path in
-  output_string oc (String.sub full 0 (String.length full - 1));
-  close_out oc;
-  Alcotest.check_raises "truncation detected" (Trace_format.Corrupt "truncated event")
-    (fun () -> ignore (Trace_reader.read_file path));
+  write_file path (String.sub full 0 (String.length full - 1));
+  let offset, events_read =
+    expect_corrupt ~what:"truncation" path (fun () ->
+        Trace_reader.read_file path)
+  in
+  Alcotest.(check bool) "events decoded before the cut" true (events_read > 0);
+  Alcotest.(check bool) "offset inside file" true
+    (offset > 0 && offset < String.length full);
+  Sys.remove path
+
+(* The generative truncation sweep: cut a valid trace at EVERY byte
+   offset.  Strict reading must end in either success (boundary cut) or
+   a structured error; resync must never raise and must salvage at
+   least every event the strict reader decoded before the cut. *)
+let test_truncate_every_offset () =
+  let path = tmp_file () in
+  let (), _ = Trace_writer.to_file path (fun sink -> List.iter sink sample_events) in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  let len = String.length full in
+  let cut_path = tmp_file () in
+  for cut = 0 to len - 1 do
+    write_file cut_path (String.sub full 0 cut);
+    let strict =
+      match Trace_reader.read_file cut_path with
+      | events -> List.length events
+      | exception Error.E (Error.Corrupt_trace c) -> c.events_read
+      | exception exn ->
+        Alcotest.failf "cut at %d: unstructured exception %s" cut
+          (Printexc.to_string exn)
+    in
+    let salvaged, r =
+      match Trace_reader.read_file_resync cut_path with
+      | res -> res
+      | exception exn ->
+        Alcotest.failf "cut at %d: resync raised %s" cut
+          (Printexc.to_string exn)
+    in
+    if List.length salvaged < strict then
+      Alcotest.failf "cut at %d: resync salvaged %d < strict %d" cut
+        (List.length salvaged) strict;
+    if r.Trace_reader.events <> List.length salvaged then
+      Alcotest.failf "cut at %d: recovery report miscounts events" cut;
+    if r.Trace_reader.gaps = 0 && r.Trace_reader.dropped_bytes <> 0 then
+      Alcotest.failf "cut at %d: dropped bytes without a gap" cut
+  done;
+  Sys.remove cut_path
+
+let test_resync_middle_corruption () =
+  (* corrupt a byte in the middle: resync must report exactly one gap
+     and deliver events from both sides of it *)
+  let path = tmp_file () in
+  let (), total =
+    Trace_writer.to_file path (fun sink ->
+        for _ = 1 to 20 do List.iter sink sample_events done)
+  in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let bytes = Bytes.of_string full in
+  (* an unknown tag in the record stream *)
+  Bytes.set bytes (Bytes.length bytes / 2) '\xee';
+  write_file path (Bytes.to_string bytes);
+  (match Trace_reader.read_file_resync path with
+   | salvaged, r ->
+     Alcotest.(check bool) "has gaps" true (r.Trace_reader.gaps >= 1);
+     Alcotest.(check bool) "salvaged most events" true
+       (List.length salvaged > total / 2);
+     Alcotest.(check bool) "structured errors recorded" true
+       (List.length r.Trace_reader.errors = r.Trace_reader.gaps)
+   | exception exn ->
+     Alcotest.failf "resync raised %s" (Printexc.to_string exn));
   Sys.remove path
 
 let test_empty_trace () =
@@ -132,7 +230,12 @@ let suites : unit Alcotest.test list =
         [
           Alcotest.test_case "varint" `Quick test_varint;
           Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "short header" `Quick test_short_header;
           Alcotest.test_case "truncated event" `Quick test_truncated_event;
+          Alcotest.test_case "truncate at every offset" `Quick
+            test_truncate_every_offset;
+          Alcotest.test_case "resync mid-file corruption" `Quick
+            test_resync_middle_corruption;
         ] );
       ( "trace.roundtrip",
         [
