@@ -23,6 +23,7 @@ let all_tables : (string * (unit -> unit)) list =
     ("table4", Tables.table4);
     ("table5", Tables.table5);
     ("table6", Tables.table6);
+    ("par", Tables.par);
     ("ext", Tables.ext);
     ("related", Tables.related);
     ("threads", Tables.threads);
@@ -132,6 +133,14 @@ let () =
     | "--reps" :: n :: rest ->
       Measure.reps := int_of_string n;
       parse sel rest
+    | "--shards" :: n :: rest ->
+      let k = int_of_string n in
+      if k < 1 then begin
+        Printf.eprintf "--shards must be >= 1\n";
+        exit 1
+      end;
+      Measure.shards := k;
+      parse sel rest
     | "--metrics-out" :: file :: rest ->
       metrics_out := Some file;
       parse sel rest
@@ -144,8 +153,8 @@ let () =
     | name :: rest when List.mem_assoc name all_tables -> parse (name :: sel) rest
     | other :: _ ->
       Printf.eprintf
-        "unknown argument %S; expected: %s, --scale N, --reps N, --bechamel, \
-         --faults, --metrics-out FILE\n"
+        "unknown argument %S; expected: %s, --scale N, --reps N, --shards K, \
+         --bechamel, --faults, --metrics-out FILE\n"
         other
         (String.concat ", " (List.map fst all_tables));
       exit 1
@@ -157,8 +166,9 @@ let () =
     else selected
   in
   Printf.printf
-    "dgrace benchmark harness — scale=%d reps=%d (threads/workload defaults)\n"
-    !Measure.scale !Measure.reps;
+    "dgrace benchmark harness — scale=%d reps=%d shards=%d (threads/workload \
+     defaults)\n"
+    !Measure.scale !Measure.reps !Measure.shards;
   List.iter (fun name -> (List.assoc name all_tables) ()) selected;
   match !metrics_out with
   | None -> ()

@@ -375,3 +375,48 @@ let fig4 () =
   print_endline
     "\nshape check: indexing cost grows ~4x only for the entries that actually";
   print_endline "see byte accesses (the paper's adaptive m/4 -> m expansion)."
+
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  let k = if !Measure.shards > 1 then !Measure.shards else 4 in
+  header
+    (Printf.sprintf
+       "Table P. Sharded replay (dynamic detector): analysis critical path, \
+        %d shards vs 1" k);
+  Printf.printf "%-14s %10s %9s %9s %10s %8s | %7s %7s\n" "program" "events"
+    "T1(ms)" (Printf.sprintf "T%d(ms)" k) "split(ms)" "speedup" "races1"
+    (Printf.sprintf "races%d" k);
+  let speedups = ref [] in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let m1 = Measure.par_get w Spec.dynamic ~shards:1 in
+      let mk = Measure.par_get w Spec.dynamic ~shards:k in
+      let sp =
+        if mk.p_critical_s > 0. then m1.p_critical_s /. mk.p_critical_s
+        else Float.nan
+      in
+      speedups := sp :: !speedups;
+      if m1.p_races <> mk.p_races then incr mismatches;
+      Printf.printf "%-14s %10d %9.2f %9.2f %10.2f %7.2fx | %7d %7d%s\n" w.name
+        m1.p_events
+        (1000. *. m1.p_critical_s)
+        (1000. *. mk.p_critical_s)
+        (1000. *. mk.p_split_s)
+        sp m1.p_races mk.p_races
+        (if m1.p_races <> mk.p_races then "  RACE MISMATCH" else ""))
+    Registry.all;
+  Printf.printf "%-14s %10s %9s %9s %10s %7.2fx | (geomean)\n" "geomean" "" ""
+    "" ""
+    (Measure.geomean !speedups);
+  print_endline
+    "\nT1/TK are per-shard busy times measured uncontended (Sequential mode):";
+  print_endline
+    "the critical path a machine with one core per shard would observe.";
+  print_endline "Split time is paid once per replay and is not in T.";
+  if !mismatches > 0 then begin
+    Printf.eprintf "bench: par: %d race-set mismatch(es) vs 1 shard\n"
+      !mismatches;
+    exit 1
+  end

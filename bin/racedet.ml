@@ -141,6 +141,17 @@ let progress_every_arg =
           "Heartbeat period in events for $(b,--progress) (must be \
            positive; default 100000).")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt pos_int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Shard the analysis K ways by hashed address line and replay one \
+           OCaml domain per shard (doc/parallel.md).  Results — races, \
+           transition counts, exit code — are identical to $(b,--shards 1); \
+           only the timing and the $(b,par.*) metrics change.")
+
 (* Budget flags (doc/resilience.md): exceeding the shadow cap degrades
    the detector and keeps going; exceeding events/deadline stops the
    run with partial results and exit code 3. *)
@@ -194,6 +205,18 @@ let progress_for flag every (d : Dgrace_detectors.Detector.t) =
             (Dgrace_shadow.Accounting.current_bytes d.account / 1024)
             (Unix.gettimeofday () -. t0) )
   end
+
+(* Heartbeat for replays: detector state lives in the replay (or in
+   per-shard domains), so the line reports the event count only.  It
+   goes to stderr, like every other diagnostic, so it can never
+   interleave with the summary on stdout under cram. *)
+let replay_progress flag every =
+  if not flag then None
+  else
+    Some
+      ( every,
+        fun events ->
+          Printf.eprintf "[progress] replayed %d events\n%!" events )
 
 (* Structured-failure boundary: anything the stack declares — corrupt
    trace, deadlocked workload — is printed to stderr and mapped to the
@@ -273,11 +296,28 @@ let run_cmd =
 (* compare *)
 
 let compare_cmd =
-  let action w threads scale seed sched_seed no_suppress metrics_out
+  let action w threads scale seed sched_seed no_suppress shards metrics_out
       sample_every =
     let p = params w threads scale seed in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@.@." w.name
       p.threads p.scale p.seed;
+    if shards > 1 then
+      Format.printf "shards: %d (recorded once, replayed sharded)@.@." shards;
+    (* sharded comparison analyses a recorded stream: capture the
+       workload's events once so every detector replays the identical
+       trace (exactly what `record` + `replay --shards` would do,
+       without the file) *)
+    let recorded =
+      if shards = 1 then [||]
+      else begin
+        let buf = ref [] in
+        ignore
+          (Workload.run ~policy:(policy sched_seed) ~params:p
+             ~sink:(fun ev -> buf := ev :: !buf)
+             w);
+        Array.of_list (List.rev !buf)
+      end
+    in
     Format.printf "%-28s %8s %10s %12s %10s %10s@." "detector" "races"
       "time(ms)" "peak-mem" "peak-VCs" "same-ep";
     let base = ref 0. in
@@ -286,11 +326,16 @@ let compare_cmd =
     List.iter
       (fun spec ->
         let s =
-          Engine.run ~policy:(policy sched_seed)
-            ~suppression:(suppression no_suppress)
-            ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
-            ~spec
-            (w.Workload.program p)
+          if shards > 1 then
+            Engine.replay_sharded ~suppression:(suppression no_suppress)
+              ~shards ~spec
+              (Array.to_seq recorded)
+          else
+            Engine.run ~policy:(policy sched_seed)
+              ~suppression:(suppression no_suppress)
+              ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
+              ~spec
+              (w.Workload.program p)
         in
         summaries := s :: !summaries;
         if spec = Spec.No_detection then base := s.elapsed
@@ -321,7 +366,8 @@ let compare_cmd =
   let term =
     Term.(
       const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
-      $ sched_seed_arg $ no_suppress_arg $ metrics_out_arg $ sample_every_arg)
+      $ sched_seed_arg $ no_suppress_arg $ shards_arg $ metrics_out_arg
+      $ sample_every_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run one workload under every detector.") term
 
@@ -522,8 +568,8 @@ let record_cmd =
     term
 
 let replay_cmd =
-  let action path spec no_suppress verbose resync max_shadow max_events
-      deadline =
+  let action path spec no_suppress verbose resync shards progress
+      progress_every max_shadow max_events deadline =
     or_fail @@ fun () ->
     let events, recovered_gaps =
       if resync then begin
@@ -537,9 +583,16 @@ let replay_cmd =
       end
       else (Dgrace_trace.Trace_reader.read_file path, 0)
     in
+    let budget = budget max_shadow max_events deadline in
+    let suppression = suppression no_suppress in
+    let progress = replay_progress progress progress_every in
     let s =
-      Engine.replay ~budget:(budget max_shadow max_events deadline)
-        ~suppression:(suppression no_suppress) ~spec (List.to_seq events)
+      if shards = 1 then
+        Engine.replay ~budget ~suppression ?progress ~spec
+          (List.to_seq events)
+      else
+        Engine.replay_sharded ~budget ~suppression ?progress ~shards ~spec
+          (List.to_seq events)
     in
     Format.printf "%a@." Engine.pp_summary s;
     if verbose then
@@ -565,7 +618,8 @@ let replay_cmd =
   let term =
     Term.(
       const action $ path_arg $ spec_arg $ no_suppress_arg $ verbose_arg
-      $ resync_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
+      $ resync_arg $ shards_arg $ progress_arg $ progress_every_arg
+      $ max_shadow_arg $ max_events_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Analyse a recorded trace."

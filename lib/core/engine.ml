@@ -196,6 +196,149 @@ let replay ?(budget = Budget.unlimited) ?suppression ?sample_every ?progress
     ~timeseries:sampler
 
 (* ------------------------------------------------------------------ *)
+(* sharded replay (doc/parallel.md): split the trace by address line,
+   replay one detector per shard — one OCaml domain each in [Parallel]
+   mode — and merge the per-shard outcomes into one summary that is
+   bit-identical to the sequential replay on races, transition counts
+   and exit code (test/test_par.ml is the differential proof). *)
+
+module Par = Dgrace_par.Par
+
+let zero_mem =
+  {
+    peak_bytes = 0;
+    peak_hash_bytes = 0;
+    peak_vc_bytes = 0;
+    peak_bitmap_bytes = 0;
+    peak_vcs = 0;
+    total_vcs = 0;
+    avg_sharing = 0.;
+  }
+
+(* Peaks are per-domain observations; their sum is the honest upper
+   bound on what the sharded run held live at once (the shards really
+   do coexist in [Parallel] mode).  [avg_sharing] is weighted by each
+   shard's clock population. *)
+let merge_mem ms =
+  let m =
+    Array.fold_left
+      (fun acc m ->
+        {
+          peak_bytes = acc.peak_bytes + m.peak_bytes;
+          peak_hash_bytes = acc.peak_hash_bytes + m.peak_hash_bytes;
+          peak_vc_bytes = acc.peak_vc_bytes + m.peak_vc_bytes;
+          peak_bitmap_bytes = acc.peak_bitmap_bytes + m.peak_bitmap_bytes;
+          peak_vcs = acc.peak_vcs + m.peak_vcs;
+          total_vcs = acc.total_vcs + m.total_vcs;
+          avg_sharing =
+            acc.avg_sharing +. (m.avg_sharing *. float_of_int m.total_vcs);
+        })
+      zero_mem ms
+  in
+  {
+    m with
+    avg_sharing =
+      (if m.total_vcs = 0 then 0. else m.avg_sharing /. float_of_int m.total_vcs);
+  }
+
+let merge_sharded ~elapsed (r : Par.result) =
+  let outs = r.Par.outcomes in
+  let d0 = outs.(0).Par.detector in
+  let stats = Run_stats.create () in
+  Array.iter
+    (fun (o : Par.shard_outcome) ->
+      let s = o.Par.detector.Detector.stats in
+      stats.Run_stats.accesses <- stats.Run_stats.accesses + s.Run_stats.accesses;
+      stats.Run_stats.reads <- stats.Run_stats.reads + s.Run_stats.reads;
+      stats.Run_stats.writes <- stats.Run_stats.writes + s.Run_stats.writes;
+      stats.Run_stats.same_epoch <-
+        stats.Run_stats.same_epoch + s.Run_stats.same_epoch)
+    outs;
+  (* sync/alloc/free events are broadcast to every shard; summing the
+     per-shard counts would multiply them by the shard count, so the
+     merged stats take the splitter's global counts instead *)
+  stats.Run_stats.sync_ops <- r.Par.plan.Dgrace_trace.Trace_shard.sync_ops;
+  stats.Run_stats.allocs <- r.Par.plan.Dgrace_trace.Trace_shard.allocs;
+  stats.Run_stats.frees <- r.Par.plan.Dgrace_trace.Trace_shard.frees;
+  let metrics = Metrics.create () in
+  Array.iter
+    (fun (o : Par.shard_outcome) ->
+      Metrics.merge_into ~into:metrics o.Par.detector.Detector.metrics)
+    outs;
+  let usec s = int_of_float (s *. 1e6) in
+  Metrics.set (Metrics.gauge metrics "par.shards") (Array.length outs);
+  Metrics.set (Metrics.gauge metrics "par.split_us") (usec r.Par.split_s);
+  Metrics.set
+    (Metrics.gauge metrics "par.critical_path_us")
+    (usec r.Par.critical_path_s);
+  Array.iter
+    (fun (o : Par.shard_outcome) ->
+      let pfx = Printf.sprintf "par.shard%d." o.Par.index in
+      Metrics.set (Metrics.gauge metrics (pfx ^ "events")) o.Par.events;
+      Metrics.set (Metrics.gauge metrics (pfx ^ "busy_us")) (usec o.Par.busy_s))
+    outs;
+  let transitions =
+    match d0.Detector.transitions with
+    | None -> None
+    | Some m0 ->
+      let states =
+        Array.init (State_matrix.n_states m0) (State_matrix.state_name m0)
+      in
+      let acc = State_matrix.create ~states in
+      Array.iter
+        (fun (o : Par.shard_outcome) ->
+          match o.Par.detector.Detector.transitions with
+          | Some m -> State_matrix.merge_into ~into:acc m
+          | None -> ())
+        outs;
+      Some acc
+  in
+  let races = Par.merged_races r in
+  {
+    detector = d0.Detector.name;
+    races;
+    race_count = List.length races;
+    suppressed =
+      Array.fold_left
+        (fun acc (o : Par.shard_outcome) ->
+          acc + Report.Collector.suppressed o.Par.detector.Detector.collector)
+        0 outs;
+    stats;
+    mem =
+      merge_mem
+        (Array.map
+           (fun (o : Par.shard_outcome) ->
+             mem_of_account o.Par.detector.Detector.account)
+           outs);
+    elapsed;
+    sim = None;
+    partial = Option.map snd (Par.merged_stop r);
+    degraded = Par.any_degraded r;
+    metrics;
+    transitions;
+    timeseries = None;
+  }
+
+let replay_sharded ?mode ?budget ?suppression ?progress ~shards ~spec events =
+  if shards < 1 then invalid_arg "Engine.replay_sharded: shards must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  (* materialise first: the splitter needs two passes, and forcing the
+     sequence here surfaces corrupt-trace errors before any domain is
+     spawned *)
+  let events = Array.of_seq events in
+  let make () = Spec.to_detector ?suppression spec in
+  let budget =
+    match budget with
+    | Some b when not (Budget.is_unlimited b) -> Some b
+    | Some _ | None -> None
+  in
+  let r =
+    Par.analyze ?mode ?budget ?progress ~make ~shards
+      ~granule:Dynamic_granularity.share_granule events
+  in
+  merge_sharded ~elapsed:(Unix.gettimeofday () -. t0) r
+
+(* ------------------------------------------------------------------ *)
 (* checked entry points: structured errors instead of exceptions *)
 
 let checked f =
@@ -213,6 +356,11 @@ let run_checked ?policy ?budget ?suppression ?sample_every ?progress ~spec
 let replay_checked ?budget ?suppression ?sample_every ?progress ~spec events =
   checked (fun () ->
       replay ?budget ?suppression ?sample_every ?progress ~spec events)
+
+let replay_sharded_checked ?mode ?budget ?suppression ?progress ~shards ~spec
+    events =
+  checked (fun () ->
+      replay_sharded ?mode ?budget ?suppression ?progress ~shards ~spec events)
 
 let exit_code_of_summary s =
   if s.partial <> None || s.degraded then Error.exit_partial

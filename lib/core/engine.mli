@@ -97,6 +97,32 @@ val replay :
     @raise Dgrace_resilience.Error.E when forcing the sequence hits a
     corrupt record (see {!replay_checked} for the [result] form). *)
 
+val replay_sharded :
+  ?mode:Dgrace_par.Par.mode ->
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?suppression:Suppression.t ->
+  ?progress:int * (int -> unit) ->
+  shards:int ->
+  spec:Spec.t ->
+  Event.t Seq.t ->
+  summary
+(** Sharded parallel replay (doc/parallel.md): the stream is
+    partitioned by hashed {!Dynamic_granularity.share_granule}-sized
+    address line — sync events broadcast — and each shard replays on a
+    fresh detector, one OCaml domain per shard in the default
+    [Parallel] mode.  The merged summary is deterministic and
+    bit-identical to {!replay} on races (stable-sorted by trace
+    offset), transition counts and exit code; [test/test_par.ml]
+    asserts this for every bundled workload.  Differences from
+    {!replay}: [budget] applies {e per shard} (the merged [partial] is
+    the earliest shard stop), [sample_every] is unavailable
+    ([timeseries = None]), memory peaks are summed across shards, and
+    the merged metrics gain [par.*] gauges (shard count, split and
+    critical-path times, per-shard event/busy figures).
+    @raise Dgrace_resilience.Error.E when materialising the sequence
+    hits a corrupt record.
+    @raise Invalid_argument when [shards < 1]. *)
+
 val with_detector :
   ?policy:Scheduler.policy ->
   ?budget:Dgrace_resilience.Budget.t ->
@@ -131,6 +157,16 @@ val replay_checked :
   ?suppression:Suppression.t ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  spec:Spec.t ->
+  Event.t Seq.t ->
+  (summary, Dgrace_resilience.Error.t) result
+
+val replay_sharded_checked :
+  ?mode:Dgrace_par.Par.mode ->
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?suppression:Suppression.t ->
+  ?progress:int * (int -> unit) ->
+  shards:int ->
   spec:Spec.t ->
   Event.t Seq.t ->
   (summary, Dgrace_resilience.Error.t) result

@@ -29,6 +29,25 @@ type cell = {
 (* header + 8 fields + the stored access location pointer *)
 let cell_cost = 8 * 10
 
+(* Clock sharing is confined to aligned [share_granule]-byte lines of
+   the address space: a sharing decision never inspects state across a
+   line, so the detector's verdict for a line depends only on the
+   accesses that touch it (plus the globally-ordered sync events).
+   This is what makes the sharded offline analysis of [Dgrace_par]
+   bit-identical to the sequential run — see doc/parallel.md.  The
+   line is far wider than any neighbour scan ([Shadow_table] looks at
+   most one 128-byte block away), so in practice it only suppresses
+   the rare coalescing attempt that straddles a 4 KiB boundary. *)
+let share_granule_bits = 12
+let share_granule = 1 lsl share_granule_bits
+let same_granule a b = a lsr share_granule_bits = b lsr share_granule_bits
+
+(* Would merging ranges [lo1, hi1) and [lo2, hi2) stay inside one
+   share line?  (A cell created by a single line-straddling access may
+   itself span a line; such a cell never coalesces further.) *)
+let merge_within_granule ~lo1 ~hi1 ~lo2 ~hi2 =
+  same_granule (min lo1 lo2) (max hi1 hi2 - 1)
+
 type state = {
   sharing : bool;  (* false = the paper's byte detector: footprint
                       locations, no clock sharing at all *)
@@ -248,7 +267,9 @@ let absorb st ~write ~into:nc l ~stimulus =
 let first_access st ~write ~ulo ~uhi ~here ~tid ~tvc ~loc =
   let pl = plane st ~write in
   let eligible nc =
-    (if write then Epoch.equal nc.w here else Read_state.same_epoch nc.r here)
+    merge_within_granule ~lo1:nc.lo ~hi1:nc.hi ~lo2:ulo ~hi2:uhi
+    && (if write then Epoch.equal nc.w here
+        else Read_state.same_epoch nc.r here)
     &&
     if st.init_state then Share_state.is_init nc.cstate
     else Share_state.is_settled nc.cstate
@@ -344,6 +365,8 @@ let second_epoch st ~write c ~sub_lo ~sub_hi ~here ~tid ~tvc ~loc ~current =
       match Shadow_table.get pl a with
       | Some nc
         when nc != l
+             && merge_within_granule ~lo1:nc.lo ~hi1:nc.hi ~lo2:sub_lo
+                  ~hi2:sub_hi
              && Share_state.is_settled nc.cstate
              && (hist_equal ~write l nc
                  || (write_guided a && nc.r = Read_state.No_reads)) -> Some nc
@@ -378,7 +401,10 @@ let try_reshare st ~write c =
     let pl = plane st ~write in
     let matching a =
       match Shadow_table.get pl a with
-      | Some nc when nc != c && Share_state.is_settled nc.cstate && hist_equal ~write c nc ->
+      | Some nc
+        when nc != c
+             && merge_within_granule ~lo1:nc.lo ~hi1:nc.hi ~lo2:c.lo ~hi2:c.hi
+             && Share_state.is_settled nc.cstate && hist_equal ~write c nc ->
         Some nc
       | Some _ | None -> None
     in
@@ -461,6 +487,8 @@ let coarsen_plane st ~write =
           match Shadow_table.get pl (c.lo - 1) with
           | Some nc
             when nc != c
+                 && merge_within_granule ~lo1:nc.lo ~hi1:nc.hi ~lo2:c.lo
+                      ~hi2:c.hi
                  && Share_state.is_settled nc.cstate
                  && nc.refs = nc.hi - nc.lo && nc.hi = c.lo
                  && hist_equal ~write c nc ->

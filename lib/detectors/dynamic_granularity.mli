@@ -27,6 +27,18 @@
 
 open Dgrace_events
 
+val share_granule : int
+(** Clock sharing never crosses an aligned [share_granule]-byte line
+    (4096).  Every sharing site — first-access adoption, the firm
+    second-epoch decision, resharing, and forced coarsening under a
+    shadow budget — refuses a merge whose resulting span would straddle
+    a line.  The detector's verdict for a line therefore depends only on
+    the accesses that touch it plus the global sync-event order, which
+    is what lets {!Dgrace_par} shard a trace by address line and replay
+    the shards in parallel bit-identically (doc/parallel.md).  A cell
+    created by a single line-straddling access may span two lines; such
+    a cell simply never coalesces further. *)
+
 val create :
   ?sharing:bool ->
   ?init_state:bool ->

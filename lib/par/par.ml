@@ -1,0 +1,174 @@
+open Dgrace_events
+open Dgrace_detectors
+open Dgrace_shadow
+module Budget = Dgrace_resilience.Budget
+module Trace_shard = Dgrace_trace.Trace_shard
+
+type mode = Parallel | Sequential
+
+type shard_outcome = {
+  index : int;
+  detector : Detector.t;
+  tagged_races : (int * Report.t) list;
+  stop : (int * Budget.stop) option;
+  degraded : bool;
+  events : int;
+  busy_s : float;
+}
+
+type result = {
+  plan : Trace_shard.t;
+  outcomes : shard_outcome array;
+  split_s : float;
+  critical_path_s : float;
+  elapsed_s : float;
+}
+
+(* Raised from the per-shard budget guard; never escapes this module. *)
+exception Stop of Budget.stop
+
+(* Same budget semantics as the sequential engine, applied to one
+   shard's stream: shadow pressure is answered by asking the detector
+   to degrade one step at a time and only stops the shard once nothing
+   more can be shed; event and deadline caps stop the shard outright.
+   The deadline is polled every 256 events to keep [gettimeofday] off
+   the hot path. *)
+let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
+  let events = ref 0 in
+  let over limit = Accounting.current_bytes d.account > limit in
+  let rec shed limit =
+    if over limit then
+      match d.degrade with
+      | Some step when step () ->
+        degraded := true;
+        shed limit
+      | Some _ | None ->
+        raise
+          (Stop
+             (Budget.Shadow_bytes
+                { limit; bytes = Accounting.current_bytes d.account }))
+  in
+  fun () ->
+    incr events;
+    (match b.Budget.max_events with
+     | Some limit when !events >= limit ->
+       raise (Stop (Budget.Max_events { limit }))
+     | Some _ | None -> ());
+    (match b.Budget.max_shadow_bytes with
+     | Some limit -> if over limit then shed limit
+     | None -> ());
+    match b.Budget.deadline_s with
+    | Some limit_s when !events land 255 = 0 ->
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      if elapsed_s > limit_s then
+        raise (Stop (Budget.Deadline { limit_s; elapsed_s }))
+    | Some _ | None -> ()
+
+(* Replay one shard's stream on a fresh detector, tagging every new
+   race report with the global trace offset of the event that produced
+   it.  One event can surface several reports (a race dissolves the
+   whole sharing group), so new reports are taken as the tail of the
+   collector's detection-order list. *)
+let run_shard ~budget ~progress make (stream : (int * Event.t) array) index =
+  let d : Detector.t = make () in
+  let degraded = ref false in
+  let t0 = Unix.gettimeofday () in
+  let guard =
+    match budget with
+    | Some b when not (Budget.is_unlimited b) ->
+      Some (budget_guard d b ~degraded ~t0)
+    | Some _ | None -> None
+  in
+  let tagged = ref [] in
+  let reported = ref 0 in
+  let delivered = ref 0 in
+  let last_off = ref (-1) in
+  let stop = ref None in
+  (try
+     Array.iter
+       (fun (off, ev) ->
+         last_off := off;
+         d.on_event ev;
+         incr delivered;
+         progress ();
+         let n = Report.Collector.count d.collector in
+         if n > !reported then begin
+           List.iteri
+             (fun i r -> if i >= !reported then tagged := (off, r) :: !tagged)
+             (Report.Collector.races d.collector);
+           reported := n
+         end;
+         match guard with Some g -> g () | None -> ())
+       stream
+   with Stop s -> stop := Some (!last_off, s));
+  d.finish ();
+  let busy_s = Unix.gettimeofday () -. t0 in
+  {
+    index;
+    detector = d;
+    tagged_races = List.rev !tagged;
+    stop = !stop;
+    degraded = !degraded;
+    events = !delivered;
+    busy_s;
+  }
+
+let analyze ?(mode = Parallel) ?budget ?progress ~make ~shards ~granule events =
+  let t0 = Unix.gettimeofday () in
+  let plan = Trace_shard.split ~shards ~granule events in
+  let split_s = Unix.gettimeofday () -. t0 in
+  let progress_hook =
+    match progress with
+    | None -> fun () -> ()
+    | Some (every, f) ->
+      (* one global heartbeat across all shards: count every delivered
+         event atomically and let whichever domain crosses a multiple
+         of [every] fire the callback (serialised by a mutex so lines
+         do not interleave) *)
+      let n = Atomic.make 0 in
+      let m = Mutex.create () in
+      fun () ->
+        let v = Atomic.fetch_and_add n 1 + 1 in
+        if v mod every = 0 then begin
+          Mutex.lock m;
+          (try f v with e -> Mutex.unlock m; raise e);
+          Mutex.unlock m
+        end
+  in
+  let run i = run_shard ~budget ~progress:progress_hook make plan.shards.(i) i in
+  let outcomes =
+    match mode with
+    | Sequential -> Array.init shards run
+    | Parallel ->
+      if shards = 1 then [| run 0 |]
+      else begin
+        let doms =
+          Array.init (shards - 1) (fun i ->
+              Domain.spawn (fun () -> run (i + 1)))
+        in
+        let first = run 0 in
+        Array.append [| first |] (Array.map Domain.join doms)
+      end
+  in
+  let critical_path_s =
+    Array.fold_left (fun acc o -> Float.max acc o.busy_s) 0. outcomes
+  in
+  { plan; outcomes; split_s; critical_path_s;
+    elapsed_s = Unix.gettimeofday () -. t0 }
+
+let merged_stop r =
+  Array.fold_left
+    (fun acc o ->
+      match (acc, o.stop) with
+      | None, s | s, None -> s
+      | Some (a, _), Some (b, _) when a <= b -> acc
+      | Some _, s -> s)
+    None r.outcomes
+
+let any_degraded r = Array.exists (fun o -> o.degraded) r.outcomes
+
+let merged_races r =
+  Array.to_list r.outcomes
+  |> List.concat_map (fun o -> o.tagged_races)
+  |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd

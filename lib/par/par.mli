@@ -1,0 +1,87 @@
+(** Offline sharded trace analysis on OCaml 5 domains.
+
+    The trace is split by {!Dgrace_trace.Trace_shard} — accesses
+    partitioned by hashed address line, sync events broadcast — and
+    each shard replays on its own fresh detector in its own domain.
+    Because (a) thread/lock vector clocks advance only on the
+    broadcast sync events and (b) the dynamic detector's sharing
+    decisions never cross an address line
+    ({!Dgrace_detectors.Dynamic_granularity.share_granule}), every
+    shard computes bit-identical happens-before state for the
+    addresses it owns, and the merged race set equals the sequential
+    one — the differential harness in [test/test_par.ml] locks this
+    in.  See [doc/parallel.md].
+
+    This module runs shards and reports raw per-shard outcomes; the
+    deterministic merge into an engine summary lives in
+    [Dgrace_core.Engine.replay_sharded] (the summary type is defined
+    there). *)
+
+open Dgrace_events
+open Dgrace_detectors
+module Budget := Dgrace_resilience.Budget
+
+type mode =
+  | Parallel  (** one domain per shard (the default) *)
+  | Sequential
+      (** shards run one after another on the calling domain — same
+          results, and each shard's [busy_s] is then its uncontended
+          analysis time, which is what the bench harness uses to
+          measure the critical path on machines with fewer cores than
+          shards *)
+
+type shard_outcome = {
+  index : int;
+  detector : Detector.t;  (** the shard's detector, after [finish] *)
+  tagged_races : (int * Report.t) list;
+      (** races in detection order, tagged with the global trace
+          offset of the event that surfaced them *)
+  stop : (int * Budget.stop) option;
+      (** budget stop and the global offset it happened at *)
+  degraded : bool;
+  events : int;  (** events delivered to this shard (incl. broadcasts) *)
+  busy_s : float;  (** wall-clock the shard spent analysing *)
+}
+
+type result = {
+  plan : Dgrace_trace.Trace_shard.t;
+  outcomes : shard_outcome array;  (** indexed by shard *)
+  split_s : float;  (** time spent routing the trace *)
+  critical_path_s : float;
+      (** max per-shard [busy_s]: the analysis time a machine with
+          [shards] free cores would observe *)
+  elapsed_s : float;  (** wall-clock including split and joins *)
+}
+
+val analyze :
+  ?mode:mode ->
+  ?budget:Budget.t ->
+  ?progress:int * (int -> unit) ->
+  make:(unit -> Detector.t) ->
+  shards:int ->
+  granule:int ->
+  Event.t array ->
+  result
+(** [analyze ~make ~shards ~granule events] splits and replays.
+    [make] must build a fresh detector (called once per shard, inside
+    the shard's domain; suppression tables are immutable and safe to
+    share).  [budget] applies {e per shard} with the sequential
+    engine's semantics — shadow pressure degrades before stopping,
+    event/deadline caps stop the shard.  [progress] is a global
+    heartbeat over all delivered events across shards.
+    @raise Invalid_argument if [shards < 1] or [granule] is not a
+    power of two. *)
+
+(** {1 Merge helpers} *)
+
+val merged_races : result -> Report.t list
+(** All shards' races, stable-sorted by global trace offset.  Shards
+    own disjoint address sets, so no two shards report at the same
+    offset and this is exactly the sequential detection order. *)
+
+val merged_stop : result -> (int * Budget.stop) option
+(** The stop with the smallest global offset — the earliest point in
+    the trace where any shard gave up — or [None] if every shard ran
+    to end of stream. *)
+
+val any_degraded : result -> bool

@@ -1,0 +1,140 @@
+open Dgrace_events
+
+type t = {
+  shards : (int * Event.t) array array;
+  events : int;
+  granule : int;
+  sync_ops : int;
+  allocs : int;
+  frees : int;
+  super_granules : int;
+  straddling : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let b = ref 0 and v = ref n in
+  while !v > 1 do
+    v := !v lsr 1;
+    incr b
+  done;
+  !b
+
+(* Union-find over granule ids, grown on demand.  Accesses that
+   straddle a granule boundary weld the granules they touch into one
+   super-granule, which then routes to a single shard; everything the
+   detector can learn about an address stays inside its super-granule
+   (the detector's own [share_granule] gate guarantees no sharing
+   decision crosses a granule line). *)
+let find parent g =
+  let rec root g =
+    match Hashtbl.find_opt parent g with None -> g | Some p -> root p
+  in
+  let r = root g in
+  (* path compression *)
+  let rec compress g =
+    match Hashtbl.find_opt parent g with
+    | None -> ()
+    | Some p ->
+      if p <> r then Hashtbl.replace parent g r;
+      compress p
+  in
+  compress g;
+  r
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then Hashtbl.replace parent (max ra rb) (min ra rb)
+
+let split ~shards:k ~granule events =
+  if k < 1 then invalid_arg "Trace_shard.split: shards must be >= 1";
+  if not (is_pow2 granule) then
+    invalid_arg "Trace_shard.split: granule must be a power of two";
+  let gshift = log2 granule in
+  let parent = Hashtbl.create 256 in
+  let straddling = ref 0 in
+  (* pass 1: weld granules linked by a straddling access *)
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Access { addr; size; _ } ->
+        let g0 = addr lsr gshift in
+        let g1 = (addr + max size 1 - 1) lsr gshift in
+        if g1 > g0 then begin
+          incr straddling;
+          for g = g0 to g1 - 1 do
+            union parent g (g + 1)
+          done
+        end
+      | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Alloc _ | Event.Free _ | Event.Thread_exit _ -> ())
+    events;
+  (* [Hashtbl.hash] on an int is deterministic across runs and
+     processes, so the shard assignment — and therefore every
+     downstream artifact — is reproducible. *)
+  let shard_of_addr addr =
+    if k = 1 then 0 else Hashtbl.hash (find parent (addr lsr gshift)) mod k
+  in
+  let bufs = Array.make k [] in
+  let lens = Array.make k 0 in
+  let push s cell =
+    bufs.(s) <- cell :: bufs.(s);
+    lens.(s) <- lens.(s) + 1
+  in
+  let broadcast cell =
+    for s = 0 to k - 1 do
+      push s cell
+    done
+  in
+  let sync_ops = ref 0 and allocs = ref 0 and frees = ref 0 in
+  (* pass 2: route.  Accesses go to the owner of their super-granule;
+     sync events are broadcast so every shard's [Vc_env] replays the
+     exact sequential clock history; alloc/free are broadcast too —
+     dropping shadow state for a range the shard does not own is a
+     no-op, and the event counts are small. *)
+  Array.iteri
+    (fun off ev ->
+      let cell = (off, ev) in
+      match ev with
+      | Event.Access { addr; _ } -> push (shard_of_addr addr) cell
+      | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Thread_exit _ ->
+        incr sync_ops;
+        broadcast cell
+      | Event.Alloc _ ->
+        incr allocs;
+        broadcast cell
+      | Event.Free _ ->
+        incr frees;
+        broadcast cell)
+    events;
+  let shards =
+    Array.mapi
+      (fun s cells ->
+        let n = lens.(s) in
+        match cells with
+        | [] -> [||]
+        | last :: _ ->
+          let a = Array.make n last in
+          let i = ref (n - 1) in
+          List.iter
+            (fun c ->
+              a.(!i) <- c;
+              decr i)
+            cells;
+          a)
+      bufs
+  in
+  let roots = Hashtbl.create 64 in
+  Hashtbl.iter (fun g _ -> Hashtbl.replace roots (find parent g) ()) parent;
+  {
+    shards;
+    events = Array.length events;
+    granule;
+    sync_ops = !sync_ops;
+    allocs = !allocs;
+    frees = !frees;
+    super_granules = Hashtbl.length roots;
+    straddling = !straddling;
+  }

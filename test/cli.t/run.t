@@ -59,7 +59,22 @@ Record, inspect, and replay a trace; replay finds the same race:
   $ racedet replay trace.bin --detector dynamic | grep 'races:'
   races: 1 (0 suppressed)
 
-  $ rm trace.bin
+Sharded replay (doc/parallel.md) finds the identical race set, and the
+progress heartbeat goes to stderr so stdout stays parseable:
+
+  $ racedet replay trace.bin --detector dynamic --shards 4 | grep 'races:'
+  races: 1 (0 suppressed)
+
+  $ racedet replay trace.bin --shards 4 --progress --progress-every 5000 2>hb.log | grep 'races:'
+  races: 1 (0 suppressed)
+
+  $ grep -c '^\[progress\] replayed' hb.log
+  3
+
+  $ racedet replay trace.bin --shards 0 2>&1 | head -1
+  racedet: option '--shards': must be a positive integer
+
+  $ rm trace.bin hb.log
 
 Schedule exploration reports race stability across interleavings:
 

@@ -1,0 +1,114 @@
+(* Generates the recorded-trace corpus the format tests pin themselves
+   to (dune rule in this directory).  Four traces, all hand-built and
+   fully deterministic so any change to the trace encoding — header,
+   tags, varints, location interning — breaks the consuming tests
+   loudly instead of silently re-recording:
+
+   - clean.trace: fork/join workers whose shared accesses are all
+     lock-ordered — replays race-free;
+   - racy.trace: the same shape with the lock forgotten around one
+     shared counter — replays with exactly one race;
+   - deadlock_adjacent.trace: two workers taking locks A and B in
+     opposite orders, serialised so the recording completed — the
+     hazard is in the lock history, not the replay;
+   - truncated.trace: racy.trace cut mid-record — strict reads fail
+     with a structured error, resync salvages the decodable prefix. *)
+
+open Dgrace_events
+
+let w ~tid addr loc = Event.Access { tid; kind = Write; addr; size = 4; loc }
+let r ~tid addr loc = Event.Access { tid; kind = Read; addr; size = 4; loc }
+let acq tid lock = Event.Acquire { tid; lock; sync = Event.Lock }
+let rel tid lock = Event.Release { tid; lock; sync = Event.Lock }
+
+let shared = 0x1000
+let scratch tid = 0x2000 + (0x100 * tid)
+
+let worker_locked tid =
+  [
+    w ~tid (scratch tid) "worker:private";
+    acq tid 1;
+    r ~tid shared "worker:counter";
+    w ~tid shared "worker:counter";
+    rel tid 1;
+    r ~tid (scratch tid) "worker:private";
+  ]
+
+let clean =
+  List.concat
+    [
+      [ Event.Alloc { tid = 0; addr = shared; size = 4 };
+        w ~tid:0 shared "main:init";
+        Event.Fork { parent = 0; child = 1 };
+        Event.Fork { parent = 0; child = 2 } ];
+      worker_locked 1;
+      worker_locked 2;
+      [ Event.Thread_exit { tid = 1 };
+        Event.Join { parent = 0; child = 1 };
+        Event.Thread_exit { tid = 2 };
+        Event.Join { parent = 0; child = 2 };
+        r ~tid:0 shared "main:report";
+        Event.Free { tid = 0; addr = shared; size = 4 } ];
+    ]
+
+let racy =
+  List.concat
+    [
+      [ Event.Alloc { tid = 0; addr = shared; size = 4 };
+        w ~tid:0 shared "main:init";
+        Event.Fork { parent = 0; child = 1 };
+        Event.Fork { parent = 0; child = 2 } ];
+      worker_locked 1;
+      (* thread 2 forgets the lock: write-write race on the counter *)
+      [ w ~tid:2 (scratch 2) "worker:private";
+        w ~tid:2 shared "worker:unlocked";
+        r ~tid:2 (scratch 2) "worker:private" ];
+      [ Event.Thread_exit { tid = 1 };
+        Event.Join { parent = 0; child = 1 };
+        Event.Thread_exit { tid = 2 };
+        Event.Join { parent = 0; child = 2 };
+        Event.Free { tid = 0; addr = shared; size = 4 } ];
+    ]
+
+let deadlock_adjacent =
+  List.concat
+    [
+      [ Event.Fork { parent = 0; child = 1 };
+        Event.Fork { parent = 0; child = 2 } ];
+      (* t1 takes A then B; t2 takes B then A — serialised here, so the
+         recording completed, but the opposite lock order is the
+         classic deadlock hazard a lock-graph analysis would flag *)
+      [ acq 1 10; acq 1 20; w ~tid:1 shared "t1:both-locks"; rel 1 20;
+        rel 1 10 ];
+      [ acq 2 20; acq 2 10; w ~tid:2 shared "t2:both-locks"; rel 2 10;
+        rel 2 20 ];
+      [ Event.Thread_exit { tid = 1 };
+        Event.Join { parent = 0; child = 1 };
+        Event.Thread_exit { tid = 2 };
+        Event.Join { parent = 0; child = 2 } ];
+    ]
+
+let write_trace path events =
+  let (), n = Dgrace_trace.Trace_writer.to_file path (fun sink ->
+      List.iter sink events)
+  in
+  Printf.printf "%s: %d events\n" path n
+
+let truncate_trace ~src ~dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let keep = (len * 3 / 4) + 1 in
+  (* +1 lands mid-record for this corpus; the consuming test only
+     relies on the strict reader failing before [racy]'s event count *)
+  let buf = really_input_string ic keep in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc buf;
+  close_out oc;
+  Printf.printf "%s: %d of %d bytes\n" dst keep len
+
+let () =
+  write_trace "clean.trace" clean;
+  write_trace "racy.trace" racy;
+  write_trace "deadlock_adjacent.trace" deadlock_adjacent;
+  truncate_trace ~src:"racy.trace" ~dst:"truncated.trace"

@@ -22,4 +22,5 @@ let () =
          Test_workloads.suites;
          Test_engine.suites;
          Test_resilience.suites;
+         Test_par.suites;
        ])

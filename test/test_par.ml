@@ -1,0 +1,242 @@
+(* Differential proof for the sharded parallel replay (doc/parallel.md):
+   for every bundled workload x seed x shard count, the sharded
+   analysis must be bit-identical to the sequential one on everything
+   observable — the race reports themselves (content and order), the
+   per-state transition counts, the stream statistics, and the exit
+   code.  Both the dynamic-granularity and the byte detector run the
+   gauntlet.  If a future change lets any sharing decision leak across
+   an address line, or the merge lose determinism, this is the test
+   that goes red. *)
+
+open Dgrace_core
+open Dgrace_events
+open Dgrace_workloads
+module Trace_shard = Dgrace_trace.Trace_shard
+
+let seeds = [ 1; 2; 3 ]
+let shard_counts = [ 1; 2; 4; 7 ]
+let policy seed = Dgrace_sim.Scheduler.Chunked { seed; chunk = 64 }
+
+(* One recording per (workload, seed), shared by every shard count and
+   spec: the comparison is about the analysis, not the interleaving. *)
+let recordings : (string * int, Event.t array) Hashtbl.t = Hashtbl.create 64
+
+let recorded (w : Workload.t) seed =
+  match Hashtbl.find_opt recordings (w.name, seed) with
+  | Some a -> a
+  | None ->
+    let p = Workload.with_params ~scale:1 ~seed w in
+    let buf = ref [] in
+    ignore
+      (Workload.run ~policy:(policy seed) ~params:p
+         ~sink:(fun ev -> buf := ev :: !buf)
+         w);
+    let a = Array.of_list (List.rev !buf) in
+    Hashtbl.replace recordings (w.name, seed) a;
+    a
+
+let json = Alcotest.testable (Fmt.of_to_string Dgrace_obs.Json.to_string)
+    Dgrace_obs.Json.equal
+
+let report = Alcotest.testable (Fmt.of_to_string Report.to_string) ( = )
+
+let transitions_json (s : Engine.summary) =
+  match s.transitions with
+  | None -> Dgrace_obs.Json.Null
+  | Some m -> Dgrace_obs.State_matrix.to_json m
+
+let check_equivalent ~ctx (seq : Engine.summary) (par : Engine.summary) =
+  Alcotest.(check (list report)) (ctx ^ ": race reports") seq.races par.races;
+  Alcotest.(check int) (ctx ^ ": race count") seq.race_count par.race_count;
+  Alcotest.(check int) (ctx ^ ": suppressed") seq.suppressed par.suppressed;
+  Alcotest.check json (ctx ^ ": transition counts") (transitions_json seq)
+    (transitions_json par);
+  Alcotest.(check int)
+    (ctx ^ ": exit code")
+    (Engine.exit_code_of_summary seq)
+    (Engine.exit_code_of_summary par);
+  let st (s : Engine.summary) =
+    let r = s.stats in
+    Dgrace_detectors.Run_stats.
+      (r.accesses, r.reads, r.writes, r.same_epoch, r.sync_ops, r.allocs,
+       r.frees)
+  in
+  Alcotest.(check (pair (pair int int) (pair (pair int int) (pair int (pair int int)))))
+    (ctx ^ ": stream stats")
+    (let a, b, c, d, e, f, g = st seq in
+     ((a, b), ((c, d), (e, (f, g)))))
+    (let a, b, c, d, e, f, g = st par in
+     ((a, b), ((c, d), (e, (f, g)))))
+
+let diff_workload (w : Workload.t) spec () =
+  List.iter
+    (fun seed ->
+      let events = recorded w seed in
+      let seq = Engine.replay ~spec (Array.to_seq events) in
+      List.iter
+        (fun shards ->
+          let par =
+            Engine.replay_sharded ~shards ~spec (Array.to_seq events)
+          in
+          let ctx = Printf.sprintf "%s seed=%d shards=%d" w.name seed shards in
+          check_equivalent ~ctx seq par)
+        shard_counts)
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* splitter invariants *)
+
+let mk_access addr = Event.Access { tid = 0; kind = Write; addr; size = 4; loc = "t" }
+
+let test_split_identity () =
+  (* one shard is exactly the input stream, offsets 0..n-1 *)
+  let events = recorded (Option.get (Registry.find "ffmpeg")) 1 in
+  let plan = Trace_shard.split ~shards:1 ~granule:4096 events in
+  Alcotest.(check int) "one shard" 1 (Array.length plan.shards);
+  Alcotest.(check int) "all events" (Array.length events)
+    (Array.length plan.shards.(0));
+  Array.iteri
+    (fun i (off, ev) ->
+      assert (off = i);
+      assert (ev == events.(i)))
+    plan.shards.(0)
+
+let test_split_routing () =
+  let events = recorded (Option.get (Registry.find "pbzip2")) 1 in
+  let k = 4 in
+  let plan = Trace_shard.split ~shards:k ~granule:4096 events in
+  (* every access lands on exactly one shard; every sync event on all *)
+  let access_copies = Array.make (Array.length events) 0 in
+  let sync_copies = Array.make (Array.length events) 0 in
+  Array.iter
+    (Array.iter (fun (off, ev) ->
+         match ev with
+         | Event.Access _ -> access_copies.(off) <- access_copies.(off) + 1
+         | _ -> sync_copies.(off) <- sync_copies.(off) + 1))
+    plan.shards;
+  Array.iteri
+    (fun off ev ->
+      match ev with
+      | Event.Access _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "access %d on one shard" off)
+          1 access_copies.(off)
+      | _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "event %d broadcast" off)
+          k sync_copies.(off))
+    events;
+  (* per-shard offsets strictly increase: trace order is preserved *)
+  Array.iter
+    (fun shard ->
+      ignore
+        (Array.fold_left
+           (fun last (off, _) ->
+             assert (off > last);
+             off)
+           (-1) shard))
+    plan.shards
+
+let test_split_straddle () =
+  (* an access straddling a granule line welds the two lines onto one
+     shard: no other shard may then own either line *)
+  let g = 4096 in
+  let events =
+    [|
+      mk_access (g - 2);  (* straddles lines 0 and 1 *)
+      mk_access 16;  (* line 0 *)
+      mk_access (g + 16);  (* line 1 *)
+      mk_access (10 * g);  (* unrelated line *)
+    |]
+  in
+  let plan = Trace_shard.split ~shards:8 ~granule:g events in
+  Alcotest.(check int) "straddling counted" 1 plan.straddling;
+  let owner = ref (-1) in
+  Array.iteri
+    (fun s shard ->
+      Array.iter
+        (fun (off, _) ->
+          if off <= 2 then begin
+            if !owner = -1 then owner := s;
+            Alcotest.(check int)
+              (Printf.sprintf "event %d on welded shard" off)
+              !owner s
+          end)
+        shard)
+    plan.shards
+
+let test_split_rejects () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Trace_shard.split: shards must be >= 1") (fun () ->
+      ignore (Trace_shard.split ~shards:0 ~granule:4096 [||]));
+  Alcotest.check_raises "non-pow2 granule"
+    (Invalid_argument "Trace_shard.split: granule must be a power of two")
+    (fun () -> ignore (Trace_shard.split ~shards:2 ~granule:100 [||]))
+
+(* ------------------------------------------------------------------ *)
+(* budgets apply per shard, and the merged summary keeps the
+   resilience contract: partial/degraded still flag exit 3 and races
+   stay a lower bound *)
+
+let test_budget_partial () =
+  let events = recorded (Option.get (Registry.find "pbzip2")) 1 in
+  let budget = Dgrace_resilience.Budget.make ~max_events:1000 () in
+  let s =
+    Engine.replay_sharded ~budget ~shards:4 ~spec:Spec.dynamic
+      (Array.to_seq events)
+  in
+  Alcotest.(check bool) "partial" true (s.partial <> None);
+  Alcotest.(check int) "exit 3" Dgrace_resilience.Error.exit_partial
+    (Engine.exit_code_of_summary s)
+
+let test_budget_degraded () =
+  let events = recorded (Option.get (Registry.find "raytrace")) 1 in
+  let seq_races =
+    (Engine.replay ~spec:Spec.dynamic (Array.to_seq events)).race_count
+  in
+  let budget = Dgrace_resilience.Budget.make ~max_shadow_bytes:100_000 () in
+  let s =
+    Engine.replay_sharded ~budget ~shards:4 ~spec:Spec.dynamic
+      (Array.to_seq events)
+  in
+  Alcotest.(check bool) "degraded" true s.degraded;
+  Alcotest.(check bool) "races still reported (lower bound)" true
+    (s.race_count <= seq_races);
+  Alcotest.(check int) "exit 3" Dgrace_resilience.Error.exit_partial
+    (Engine.exit_code_of_summary s)
+
+(* ------------------------------------------------------------------ *)
+
+let suites : unit Alcotest.test list =
+  let diff_cases spec spec_name =
+    List.map
+      (fun (w : Workload.t) ->
+        Alcotest.test_case
+          (Printf.sprintf "%s [%s] seeds x shards" w.name spec_name)
+          `Slow (diff_workload w spec))
+      Registry.all
+  in
+  [
+    ( "par.differential.dynamic",
+      diff_cases Spec.dynamic "dynamic" );
+    ( "par.differential.byte",
+      diff_cases Spec.byte "byte" );
+    ( "par.split",
+      [
+        Alcotest.test_case "one shard is the identity" `Quick
+          test_split_identity;
+        Alcotest.test_case "routing: accesses once, sync broadcast" `Quick
+          test_split_routing;
+        Alcotest.test_case "straddling access welds lines" `Quick
+          test_split_straddle;
+        Alcotest.test_case "invalid arguments rejected" `Quick
+          test_split_rejects;
+      ] );
+    ( "par.budget",
+      [
+        Alcotest.test_case "event cap stops shards, merged partial" `Quick
+          test_budget_partial;
+        Alcotest.test_case "shadow cap degrades, races lower bound" `Quick
+          test_budget_degraded;
+      ] );
+  ]

@@ -236,8 +236,122 @@ let test_many_thread_contention_bounded () =
         (Dgrace_shadow.Accounting.peak_vc_bytes d.Detector.account < 10_000_000))
     (hb_detectors ())
 
+(* ------------------------------------------------------------------ *)
+(* Vector_clock laws.  [join] is the lattice operation every
+   happens-before edge goes through; these properties guard both its
+   algebra (idempotent / commutative / monotone least upper bound) and
+   the storage discipline behind the documented exponential-blow-up
+   fix in lib/vclock/vector_clock.ml: joining must never grow a clock
+   beyond the largest tid actually seen. *)
+
+module Vc = Dgrace_vclock.Vector_clock
+module Epoch = Dgrace_vclock.Epoch
+
+(* clocks as sparse (tid, clock) assignment lists; positive clocks
+   only, so [max_tid_set] and "max tid seen" coincide *)
+let gen_vc_entries =
+  QCheck.Gen.(
+    list_size (int_bound 12)
+      (pair (int_bound 40) (map (fun c -> c + 1) (int_bound 1000))))
+
+let vc_of_entries entries =
+  let vc = Vc.create () in
+  List.iter (fun (tid, c) -> Vc.set vc tid c) entries;
+  vc
+
+let pp_entries entries =
+  Vc.to_string (vc_of_entries entries)
+
+let arb_vc = QCheck.make ~print:pp_entries gen_vc_entries
+let arb_vc2 = QCheck.pair arb_vc arb_vc
+
+let joined a b =
+  let j = Vc.copy a in
+  Vc.join j b;
+  j
+
+let max_entry_tid entries =
+  List.fold_left (fun acc (tid, _) -> max acc tid) (-1) entries
+
+let p_join_idempotent =
+  QCheck.Test.make ~name:"vc: join is idempotent" ~count:500 arb_vc
+    (fun entries ->
+      let a = vc_of_entries entries in
+      Vc.equal (joined a a) a)
+
+let p_join_commutative =
+  QCheck.Test.make ~name:"vc: join is commutative" ~count:500 arb_vc2
+    (fun (ea, eb) ->
+      let a = vc_of_entries ea and b = vc_of_entries eb in
+      Vc.equal (joined a b) (joined b a))
+
+let p_join_monotone =
+  QCheck.Test.make ~name:"vc: join is the least upper bound w.r.t. leq"
+    ~count:500 arb_vc2 (fun (ea, eb) ->
+      let a = vc_of_entries ea and b = vc_of_entries eb in
+      let j = joined a b in
+      (* upper bound *)
+      Vc.leq a j && Vc.leq b j
+      (* least: already-ordered operands add nothing *)
+      && ((not (Vc.leq a b)) || Vc.equal (joined b a) b)
+      && ((not (Vc.leq b a)) || Vc.equal (joined a b) a))
+
+let p_assign_equal =
+  QCheck.Test.make ~name:"vc: assign makes clocks equal" ~count:500 arb_vc2
+    (fun (ea, eb) ->
+      let a = vc_of_entries ea and b = vc_of_entries eb in
+      Vc.assign a b;
+      Vc.equal a b && Vc.leq a b && Vc.leq b a)
+
+let p_epoch_leq_agrees =
+  QCheck.Test.make
+    ~name:"vc: epoch_leq e vc <=> leq (of_epoch e) vc" ~count:500
+    (QCheck.pair (QCheck.pair (QCheck.int_bound 40) (QCheck.int_bound 1000))
+       arb_vc)
+    (fun ((tid, clock), entries) ->
+      let e = Epoch.make ~tid ~clock in
+      let vc = vc_of_entries entries in
+      Vc.epoch_leq e vc = Vc.leq (Vc.of_epoch e) vc)
+
+let p_join_capacity_bounded =
+  QCheck.Test.make
+    ~name:"vc: join adds no storage beyond its operands" ~count:500 arb_vc2
+    (fun (ea, eb) ->
+      let a = vc_of_entries ea and b = vc_of_entries eb in
+      let j = joined a b in
+      (* the blow-up fix: join grows dst exactly to src's length, never
+         to an amortised doubled capacity *)
+      Vc.size j <= max (Vc.size a) (Vc.size b)
+      && Vc.max_tid_set j = max (Vc.max_tid_set a) (Vc.max_tid_set b)
+      && Vc.max_tid_set j <= max (max_entry_tid ea) (max_entry_tid eb)
+      (* and under repeated mutual joins — the thread/lock contention
+         pattern — storage reaches a fixed point instead of doubling
+         every round *)
+      &&
+      let cap_a = ref (Vc.size a) and cap_b = ref (Vc.size b) in
+      let stable = ref true in
+      for _ = 1 to 50 do
+        Vc.join a b;
+        Vc.join b a;
+        if Vc.size a > max !cap_a !cap_b || Vc.size b > max !cap_a !cap_b then
+          stable := false;
+        cap_a := Vc.size a;
+        cap_b := Vc.size b
+      done;
+      !stable)
+
 let suites : unit Alcotest.test list =
   [
+    ( "properties.vclock",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          p_join_idempotent;
+          p_join_commutative;
+          p_join_monotone;
+          p_assign_equal;
+          p_epoch_leq_agrees;
+          p_join_capacity_bounded;
+        ] );
     ( "properties.cross-detector",
       List.map QCheck_alcotest.to_alcotest
         [
