@@ -164,14 +164,27 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
       | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
       | Event.Thread_exit _ -> ()
   in
+  let metrics = Dgrace_obs.Metrics.create () in
+  let finish () =
+    let module Metrics = Dgrace_obs.Metrics in
+    let g name v = Metrics.set (Metrics.gauge metrics name) v in
+    let s : Shadow_table.stats = Shadow_table.stats st.shadow in
+    g "shadow.pages_live" s.pages_live;
+    g "shadow.pages_pooled" s.pages_pooled;
+    g "shadow.page_allocs" s.page_allocs;
+    g "shadow.page_recycles" s.page_recycles;
+    g "shadow.index_lookups" s.lookups;
+    g "shadow.mru_hits" s.mru_hits;
+    g "shadow.dir_bytes" s.dir_bytes
+  in
   {
     Detector.name = (if granularity = 1 then "djit-byte" else Printf.sprintf "djit-%dB" granularity);
     on_event;
-    finish = (fun () -> ());
+    finish;
     collector = st.collector;
     account = st.account;
     stats = st.stats;
-    metrics = Dgrace_obs.Metrics.create ();
+    metrics;
     transitions = None;
     degrade = None;
   }

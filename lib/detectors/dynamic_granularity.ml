@@ -603,14 +603,17 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
 
 let on_free st ~addr ~size =
   st.stats.frees <- st.stats.frees + 1;
+  let hi = addr + size in
   List.iter
     (fun pl ->
       Shadow_table.iter_range
         (fun slo shi c ->
-          c.refs <- c.refs - (shi - slo);
+          (* slot bounds may overhang the freed range (word slot cut
+             by the boundary); only the intersection is unbound *)
+          c.refs <- c.refs - (min hi shi - max addr slo);
           if c.refs <= 0 then retire st c)
-        pl ~lo:addr ~hi:(addr + size);
-      Shadow_table.remove_range pl ~lo:addr ~hi:(addr + size))
+        pl ~lo:addr ~hi;
+      Shadow_table.remove_range pl ~lo:addr ~hi)
     [ st.rplane; st.wplane ]
 
 let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
@@ -679,10 +682,36 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
         | true, false -> "ft-dynamic-no-init-sharing"
         | false, _ -> "ft-dynamic-no-init-state")
   in
+  (* Publish the shadow-index internals (page directory + bitmap
+     recycling) as gauges once the run is over. *)
+  let finish () =
+    let g name v = Metrics.set (Metrics.gauge metrics name) v in
+    let s1 : Shadow_table.stats = Shadow_table.stats st.rplane
+    and s2 : Shadow_table.stats = Shadow_table.stats st.wplane in
+    g "shadow.pages_live" (s1.pages_live + s2.pages_live);
+    g "shadow.pages_pooled" (s1.pages_pooled + s2.pages_pooled);
+    g "shadow.page_allocs" (s1.page_allocs + s2.page_allocs);
+    g "shadow.page_recycles" (s1.page_recycles + s2.page_recycles);
+    g "shadow.page_expansions" (s1.expansions + s2.expansions);
+    g "shadow.index_lookups" (s1.lookups + s2.lookups);
+    g "shadow.mru_hits" (s1.mru_hits + s2.mru_hits);
+    g "shadow.dir_bytes" (s1.dir_bytes + s2.dir_bytes);
+    let ca = ref 0 and cr = ref 0 in
+    for i = 0 to Vec.length st.bitmaps - 1 do
+      match Vec.get st.bitmaps i with
+      | Some b ->
+        let s : Epoch_bitmap.stats = Epoch_bitmap.stats b in
+        ca := !ca + s.chunk_allocs;
+        cr := !cr + s.chunk_recycles
+      | None -> ()
+    done;
+    g "shadow.bitmap_chunk_allocs" !ca;
+    g "shadow.bitmap_chunk_recycles" !cr
+  in
   {
     Detector.name;
     on_event;
-    finish = (fun () -> ());
+    finish;
     collector = st.collector;
     account = st.account;
     stats = st.stats;

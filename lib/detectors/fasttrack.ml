@@ -187,13 +187,35 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
       | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
       | Event.Thread_exit _ -> ()
   in
+  let finish () =
+    let g name v = Metrics.set (Metrics.gauge metrics name) v in
+    let s : Shadow_table.stats = Shadow_table.stats st.shadow in
+    g "shadow.pages_live" s.pages_live;
+    g "shadow.pages_pooled" s.pages_pooled;
+    g "shadow.page_allocs" s.page_allocs;
+    g "shadow.page_recycles" s.page_recycles;
+    g "shadow.index_lookups" s.lookups;
+    g "shadow.mru_hits" s.mru_hits;
+    g "shadow.dir_bytes" s.dir_bytes;
+    let ca = ref 0 and cr = ref 0 in
+    for i = 0 to Vec.length st.bitmaps - 1 do
+      match Vec.get st.bitmaps i with
+      | Some b ->
+        let bs : Epoch_bitmap.stats = Epoch_bitmap.stats b in
+        ca := !ca + bs.chunk_allocs;
+        cr := !cr + bs.chunk_recycles
+      | None -> ()
+    done;
+    g "shadow.bitmap_chunk_allocs" !ca;
+    g "shadow.bitmap_chunk_recycles" !cr
+  in
   {
     Detector.name =
       (if granularity = 1 then "ft-byte"
        else if granularity = 4 then "ft-word"
        else Printf.sprintf "ft-%dB" granularity);
     on_event;
-    finish = (fun () -> ());
+    finish;
     collector = st.collector;
     account = st.account;
     stats = st.stats;

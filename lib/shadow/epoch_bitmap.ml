@@ -1,18 +1,87 @@
+(* Same flat two-level directory as Shadow_table, specialised to
+   fixed-size bitmap chunks (2 bits per address: read and write
+   plane).  The directory persists across epochs: [reset] detaches
+   the live chunks, zeroes them into a small pool, and the next epoch
+   re-populates the same rows without re-hashing or re-allocating —
+   the epoch cadence (every release/fork/join) is exactly the churn a
+   free list pays off.
+
+   Accounting counts live chunks only ([chunk_bytes + 16] each, the
+   same charge the old hash-backed version used, so Table 2's bitmap
+   column is unchanged); after [reset] the footprint reads zero.
+   Directory overhead is exposed through [stats]. *)
+
 type t = {
-  block : int;
-  chunks : (int, Bytes.t) Hashtbl.t;  (* block base -> 2 bits per address *)
+  block : int;  (* addresses covered per chunk *)
+  block_bits : int;
   account : Accounting.t option;
   mutable bytes : int;
+  (* two-level directory of chunks *)
+  mutable row_base : int;
+  mutable rows : Bytes.t array array;
+  spill : (int, Bytes.t array) Hashtbl.t;
+  mutable spill_rows : int;
   (* one-chunk cache: accesses cluster heavily *)
   mutable cached_base : int;
   mutable cached_chunk : Bytes.t;
+  (* live chunk indices, for O(live) reset *)
+  mutable live : int list;
+  mutable live_n : int;
+  (* zeroed chunks ready for reuse *)
+  mutable pool : Bytes.t list;
+  mutable pool_n : int;
+  (* stats *)
+  mutable chunk_allocs : int;
+  mutable chunk_recycles : int;
+  mutable resets : int;
+  mutable dir_words : int;
 }
+
+(* 256 chunk pointers per row; with the default 1 KiB chunk coverage a
+   row spans 256 KiB of address space. *)
+let row_bits = 8
+let row_chunks = 1 lsl row_bits
+let max_window_rows = 1 lsl 16
+let pool_cap = 64
+let no_chunk = Bytes.empty
+let no_row : Bytes.t array = [||]
+
+type stats = {
+  chunks_live : int;
+  chunks_pooled : int;
+  chunk_allocs : int;
+  chunk_recycles : int;
+  resets : int;
+  dir_bytes : int;
+}
+
+let log2 n =
+  let rec go i n = if n <= 1 then i else go (i + 1) (n lsr 1) in
+  go 0 n
 
 let create ?(block = 1024) ?account () =
   if block <= 0 || block land (block - 1) <> 0 then
     invalid_arg "Epoch_bitmap.create: block not a power of two";
-  { block; chunks = Hashtbl.create 64; account; bytes = 0;
-    cached_base = min_int; cached_chunk = Bytes.empty }
+  {
+    block;
+    block_bits = log2 block;
+    account;
+    bytes = 0;
+    row_base = 0;
+    rows = [||];
+    spill = Hashtbl.create 8;
+    spill_rows = 0;
+    cached_base = min_int;
+    cached_chunk = no_chunk;
+    live = [];
+    live_n = 0;
+    pool = [];
+    pool_n = 0;
+    chunk_allocs = 0;
+    chunk_recycles = 0;
+    resets = 0;
+    dir_words = 0;
+  }
 
 let account_delta t d =
   t.bytes <- t.bytes + d;
@@ -21,18 +90,86 @@ let account_delta t d =
 (* 2 bits per address: bit 0 = read plane, bit 1 = write plane *)
 let chunk_bytes t = t.block / 4
 
+let row_of t addr = addr asr (t.block_bits + row_bits)
+let row_slot t addr = (addr asr t.block_bits) land (row_chunks - 1)
+
+let row_for t ri =
+  let i = ri - t.row_base in
+  if i >= 0 && i < Array.length t.rows then t.rows.(i)
+  else if t.spill_rows = 0 then no_row
+  else match Hashtbl.find_opt t.spill ri with Some r -> r | None -> no_row
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let ensure_row t ri =
+  let r = row_for t ri in
+  if r != no_row then r
+  else begin
+    let fresh = Array.make row_chunks no_chunk in
+    t.dir_words <- t.dir_words + row_chunks + 1;
+    let len = Array.length t.rows in
+    if len = 0 then begin
+      t.rows <- Array.make 16 no_row;
+      t.dir_words <- t.dir_words + 17;
+      t.row_base <- ri;
+      t.rows.(0) <- fresh
+    end
+    else begin
+      let lo = t.row_base and hi = t.row_base + len in
+      if ri >= lo && ri < hi then t.rows.(ri - lo) <- fresh
+      else begin
+        let new_lo = min lo ri and new_hi = max hi (ri + 1) in
+        let span = new_hi - new_lo in
+        if span > max_window_rows then begin
+          Hashtbl.replace t.spill ri fresh;
+          t.spill_rows <- t.spill_rows + 1;
+          t.dir_words <- t.dir_words + 4
+        end
+        else begin
+          let cap = min max_window_rows (max (next_pow2 span) (2 * len)) in
+          let base' = if ri < lo then max (new_hi - cap) new_lo else new_lo in
+          let base' = max base' (new_hi - cap) in
+          let grown = Array.make cap no_row in
+          Array.blit t.rows 0 grown (lo - base') len;
+          t.dir_words <- t.dir_words + (cap - len);
+          t.rows <- grown;
+          t.row_base <- base';
+          grown.(ri - base') <- fresh
+        end
+      end
+    end;
+    fresh
+  end
+
 let chunk t addr =
   let base = addr land lnot (t.block - 1) in
   if base = t.cached_base then t.cached_chunk
   else begin
+    let r = ensure_row t (row_of t addr) in
+    let s = row_slot t addr in
+    let c = r.(s) in
     let c =
-      match Hashtbl.find_opt t.chunks base with
-      | Some c -> c
-      | None ->
-        let c = Bytes.make (chunk_bytes t) '\000' in
-        Hashtbl.replace t.chunks base c;
+      if c != no_chunk then c
+      else begin
+        let c =
+          match t.pool with
+          | c :: rest ->
+            t.pool <- rest;
+            t.pool_n <- t.pool_n - 1;
+            t.chunk_recycles <- t.chunk_recycles + 1;
+            c
+          | [] ->
+            t.chunk_allocs <- t.chunk_allocs + 1;
+            Bytes.make (chunk_bytes t) '\000'
+        in
+        r.(s) <- c;
+        t.live <- (addr asr t.block_bits) :: t.live;
+        t.live_n <- t.live_n + 1;
         account_delta t (chunk_bytes t + 16);
         c
+      end
     in
     t.cached_base <- base;
     t.cached_chunk <- c;
@@ -75,22 +212,54 @@ let mark t ~write ~lo ~hi =
 let test t ~write addr =
   let base = addr land lnot (t.block - 1) in
   let c =
-    if base = t.cached_base then Some t.cached_chunk
-    else Hashtbl.find_opt t.chunks base
+    if base = t.cached_base then t.cached_chunk
+    else begin
+      let r = row_for t (row_of t addr) in
+      if r == no_row then no_chunk else r.(row_slot t addr)
+    end
   in
-  match c with
-  | None -> false
-  | Some c ->
+  if c == no_chunk then false
+  else begin
     let off = addr land (t.block - 1) in
     let i = off lsr 2 and shift = (off land 3) * 2 in
     let b = Char.code (Bytes.get c i) in
     b land (plane_bit write lsl shift) <> 0
+  end
 
+(* Epoch boundary: detach every live chunk from its row, zero it into
+   the pool, and charge the footprint back down to zero.  The rows
+   themselves stay, so the next epoch's marks pay no directory or
+   allocation cost. *)
 let reset t =
-  let n = Hashtbl.length t.chunks in
-  Hashtbl.reset t.chunks;
+  List.iter
+    (fun ci ->
+      let r = row_for t (ci asr row_bits) in
+      let s = ci land (row_chunks - 1) in
+      let c = r.(s) in
+      if c != no_chunk then begin
+        r.(s) <- no_chunk;
+        if t.pool_n < pool_cap then begin
+          Bytes.fill c 0 (Bytes.length c) '\000';
+          t.pool <- c :: t.pool;
+          t.pool_n <- t.pool_n + 1
+        end
+      end)
+    t.live;
+  account_delta t (-t.live_n * (chunk_bytes t + 16));
+  t.live <- [];
+  t.live_n <- 0;
+  t.resets <- t.resets + 1;
   t.cached_base <- min_int;
-  t.cached_chunk <- Bytes.empty;
-  account_delta t (-n * (chunk_bytes t + 16))
+  t.cached_chunk <- no_chunk
 
 let bytes t = t.bytes
+
+let stats t =
+  {
+    chunks_live = t.live_n;
+    chunks_pooled = t.pool_n;
+    chunk_allocs = t.chunk_allocs;
+    chunk_recycles = t.chunk_recycles;
+    resets = t.resets;
+    dir_bytes = 8 * t.dir_words;
+  }

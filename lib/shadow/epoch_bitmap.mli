@@ -28,7 +28,21 @@ val test : t -> write:bool -> int -> bool
     the current epoch? *)
 
 val reset : t -> unit
-(** Epoch boundary: clear all marks and release chunk storage. *)
+(** Epoch boundary: clear all marks and release chunk storage.  The
+    chunks are detached into a small zeroed pool and the directory is
+    kept, so the next epoch re-marks without re-allocating; the
+    accounted footprint still returns to zero. *)
 
 val bytes : t -> int
-(** Current bitmap footprint in bytes. *)
+(** Current bitmap footprint in bytes (live chunks only). *)
+
+type stats = {
+  chunks_live : int;
+  chunks_pooled : int;  (** zeroed chunks parked for reuse *)
+  chunk_allocs : int;  (** chunks allocated fresh *)
+  chunk_recycles : int;  (** chunks served from the pool *)
+  resets : int;  (** epoch boundaries seen *)
+  dir_bytes : int;  (** directory overhead, not counted in {!bytes} *)
+}
+
+val stats : t -> stats

@@ -1,40 +1,163 @@
+(* Shadow table: the address -> shadow-cell index of every detector.
+
+   Layout (doc/shadow.md has the full story).  The address space is
+   carved into [block]-byte leaf pages reached through a flat
+   two-level directory instead of a hash table:
+
+     row index  = addr asr (block_bits + row_bits)
+     page slot  = (addr asr block_bits) land (row_pages - 1)
+
+   The root is a dense array of rows anchored at the first row ever
+   touched; it grows geometrically toward whichever side a new
+   address falls on, up to [max_window_rows].  Traces are untrusted
+   (the varint decoder admits any 62-bit address), so rows that would
+   stretch the window past that cap land in a spill hash table
+   instead of forcing a multi-gigabyte root.  Directory arrays are
+   bookkeeping, not shadow state: they are *not* counted in [bytes]
+   (Table 2's hash column stays comparable across granularities); the
+   [stats] accessor exposes them separately.
+
+   A leaf page is a plain [Obj.t array] of slots.  An unoccupied slot
+   holds the physically-unique [empty] sentinel, so occupied slots
+   store the caller's value directly — no [Some] box per slot, no
+   per-lookup hashing.  A one-entry MRU cache short-circuits the
+   directory walk for the common same-page access run, and slot
+   arrays released by [remove_range] are recycled through a small
+   free-list pool (malloc/free-heavy workloads like dedup/pbzip2
+   churn pages at a high rate).
+
+   Adaptive granularity (paper Fig. 4): pages start with 4-byte slots
+   and are rebuilt in place with byte slots the first time a sub-word
+   access shows up.  The sub-word test is [size < 4 || addr land 3 <>
+   0] *everywhere* — the previous implementation keyed fresh entries
+   on [addr land 1] and masked even-but-unaligned (offset-2) accesses
+   into word slots. *)
+
 type mode = Fixed_bytes of int | Adaptive
 
-type 'a entry = {
-  base : int;
-  mutable slot_bytes : int;
-  mutable slots : 'a option array;
+(* The unique "no value here" sentinel.  A private heap block, so it
+   can never be physically equal to a value a caller stores.  Slots
+   are [Obj.t array] rather than ['a option array]: one uniform boxed
+   representation, which also side-steps the flat-float-array trap. *)
+let empty : Obj.t = Obj.repr (ref ())
+
+type page = {
+  mutable p_base : int;  (* first address covered, block-aligned *)
+  mutable slot_bytes : int;  (* current granularity of this page *)
+  mutable slots : Obj.t array;  (* block / slot_bytes slots *)
+  mutable used : int;  (* occupied slots; 0 releases the page *)
+}
+
+(* Distinguished absences, compared physically. *)
+let null_page : page =
+  { p_base = min_int; slot_bytes = 1; slots = [||]; used = 0 }
+
+let no_row : page array = [||]
+
+(* Directory geometry: one row holds 2^row_bits page pointers.  With
+   the default 128-byte block a row spans 64 KiB of address space, so
+   the window cap covers 4 GiB before anything spills. *)
+let row_bits = 9
+let row_pages = 1 lsl row_bits
+let max_window_rows = 1 lsl 16
+let pool_cap = 64
+
+type stats = {
+  pages_live : int;
+  pages_pooled : int;
+  page_allocs : int;
+  page_recycles : int;
+  expansions : int;
+  lookups : int;
+  mru_hits : int;
+  dir_bytes : int;
 }
 
 type 'a t = {
   block : int;
+  block_bits : int;
   tmode : mode;
-  table : (int, 'a entry) Hashtbl.t;
   account : Accounting.t option;
   mutable bytes : int;
-  (* one-entry lookup cache: accesses are overwhelmingly sequential *)
-  mutable cached : 'a entry option;
+  (* two-level directory *)
+  mutable row_base : int;  (* row index of rows.(0) *)
+  mutable rows : page array array;
+  spill : (int, page array) Hashtbl.t;
+  mutable spill_rows : int;
+  (* MRU caches: last page and last row that answered a lookup *)
+  mutable mru : page;
+  mutable mru_row_idx : int;
+  mutable mru_row : page array;
+  (* free-list pools of released slot arrays, by length *)
+  mutable pool_init : Obj.t array list;  (* length block / initial width *)
+  mutable pool_byte : Obj.t array list;  (* length block *)
+  mutable pool_init_n : int;
+  mutable pool_byte_n : int;
+  (* stats *)
+  mutable pages_live : int;
+  mutable page_allocs : int;
+  mutable page_recycles : int;
+  mutable expansions : int;
+  mutable lookups : int;
+  mutable mru_hits : int;
+  mutable dir_words : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let initial_slot_bytes = function
+let log2 n =
+  let rec go i n = if n <= 1 then i else go (i + 1) (n lsr 1) in
+  go 0 n
+
+(* Slot width of a page that has not seen a sub-word access. *)
+let initial_width = function Fixed_bytes g -> g | Adaptive -> 4
+
+(* The one sub-word predicate (shared with ensure_granularity): a
+   fresh page keyed by a non-word-aligned address starts at byte
+   slots. *)
+let default_gran t addr =
+  match t.tmode with
   | Fixed_bytes g -> g
-  | Adaptive -> 4
+  | Adaptive -> if addr land 3 <> 0 then 1 else 4
 
 let create ?(block = 128) ~mode ?account () =
-  if not (is_pow2 block) then invalid_arg "Shadow_table.create: block not a power of two";
-  let g = initial_slot_bytes mode in
+  if not (is_pow2 block) then
+    invalid_arg "Shadow_table.create: block not a power of two";
+  let g = initial_width mode in
   if not (is_pow2 g) || g > block then
     invalid_arg "Shadow_table.create: bad slot size";
-  { block; tmode = mode; table = Hashtbl.create 256; account; bytes = 0;
-    cached = None }
+  {
+    block;
+    block_bits = log2 block;
+    tmode = mode;
+    account;
+    bytes = 0;
+    row_base = 0;
+    rows = [||];
+    spill = Hashtbl.create 8;
+    spill_rows = 0;
+    mru = null_page;
+    mru_row_idx = min_int;
+    mru_row = no_row;
+    pool_init = [];
+    pool_byte = [];
+    pool_init_n = 0;
+    pool_byte_n = 0;
+    pages_live = 0;
+    page_allocs = 0;
+    page_recycles = 0;
+    expansions = 0;
+    lookups = 0;
+    mru_hits = 0;
+    dir_words = 0;
+  }
 
 let mode t = t.tmode
 let block t = t.block
 
-(* entry record (4 words) + array header (1 word) + one word per slot *)
-let entry_bytes nslots = 8 * (5 + nslots)
+(* Accounting counts leaf pages only: header words (page record +
+   array header + base/width bookkeeping) plus one word per slot. *)
+let page_bytes nslots = 8 * (6 + nslots)
 
 let account_delta t d =
   t.bytes <- t.bytes + d;
@@ -42,48 +165,183 @@ let account_delta t d =
 
 let base_of t addr = addr land lnot (t.block - 1)
 
-let find_entry t addr =
-  let base = base_of t addr in
-  match t.cached with
-  | Some e when e.base = base -> t.cached
-  | _ ->
-    let r = Hashtbl.find_opt t.table base in
-    (match r with Some _ -> t.cached <- r | None -> ());
+(* [asr], not [lsr]: neighbour probes can step below address zero and
+   the directory must index sign-consistently. *)
+let row_of t addr = addr asr (t.block_bits + row_bits)
+let page_slot t addr = (addr asr t.block_bits) land (row_pages - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Directory                                                          *)
+
+let row_for t ri =
+  if ri = t.mru_row_idx then t.mru_row
+  else begin
+    let i = ri - t.row_base in
+    let r =
+      if i >= 0 && i < Array.length t.rows then t.rows.(i)
+      else if t.spill_rows = 0 then no_row
+      else match Hashtbl.find_opt t.spill ri with Some r -> r | None -> no_row
+    in
+    if r != no_row then begin
+      t.mru_row_idx <- ri;
+      t.mru_row <- r
+    end;
     r
+  end
 
-let make_entry ?gran t addr =
-  let base = base_of t addr in
-  let g =
-    match gran with
-    | Some g -> g
-    | None -> (
-      match t.tmode with
-      | Fixed_bytes g -> g
-      | Adaptive -> if addr land 1 = 1 then 1 else 4)
-  in
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Place row [ri], growing or re-anchoring the root window as needed;
+   rows outside the capped window go to the spill table. *)
+let ensure_row t ri =
+  let r = row_for t ri in
+  if r != no_row then r
+  else begin
+    let fresh = Array.make row_pages null_page in
+    t.dir_words <- t.dir_words + row_pages + 1;
+    let len = Array.length t.rows in
+    if len = 0 then begin
+      t.rows <- Array.make 16 no_row;
+      t.dir_words <- t.dir_words + 17;
+      t.row_base <- ri;
+      t.rows.(0) <- fresh
+    end
+    else begin
+      let lo = t.row_base and hi = t.row_base + len in
+      if ri >= lo && ri < hi then t.rows.(ri - lo) <- fresh
+      else begin
+        let new_lo = min lo ri and new_hi = max hi (ri + 1) in
+        let span = new_hi - new_lo in
+        if span > max_window_rows then begin
+          Hashtbl.replace t.spill ri fresh;
+          t.spill_rows <- t.spill_rows + 1;
+          t.dir_words <- t.dir_words + 4 (* rough per-binding overhead *)
+        end
+        else begin
+          let cap = min max_window_rows (max (next_pow2 span) (2 * len)) in
+          (* leave the slack on the side we are growing toward *)
+          let base' = if ri < lo then max (new_hi - cap) new_lo else new_lo in
+          let base' = max base' (new_hi - cap) in
+          let grown = Array.make cap no_row in
+          Array.blit t.rows 0 grown (lo - base') len;
+          t.dir_words <- t.dir_words + (cap - len);
+          t.rows <- grown;
+          t.row_base <- base';
+          grown.(ri - base') <- fresh
+        end
+      end
+    end;
+    t.mru_row_idx <- ri;
+    t.mru_row <- fresh;
+    fresh
+  end
+
+(* Page lookup; [null_page] when absent. *)
+let find_page t addr =
+  t.lookups <- t.lookups + 1;
+  let base = addr land lnot (t.block - 1) in
+  if t.mru.p_base = base then begin
+    t.mru_hits <- t.mru_hits + 1;
+    t.mru
+  end
+  else begin
+    let r = row_for t (row_of t addr) in
+    if r == no_row then null_page
+    else begin
+      let p = r.(page_slot t addr) in
+      if p != null_page then t.mru <- p;
+      p
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Page lifecycle                                                     *)
+
+let alloc_slots t nslots =
+  if nslots = t.block then (
+    match t.pool_byte with
+    | a :: rest ->
+      t.pool_byte <- rest;
+      t.pool_byte_n <- t.pool_byte_n - 1;
+      t.page_recycles <- t.page_recycles + 1;
+      a
+    | [] ->
+      t.page_allocs <- t.page_allocs + 1;
+      Array.make nslots empty)
+  else
+    match t.pool_init with
+    | a :: rest when Array.length a = nslots ->
+      t.pool_init <- rest;
+      t.pool_init_n <- t.pool_init_n - 1;
+      t.page_recycles <- t.page_recycles + 1;
+      a
+    | _ ->
+      t.page_allocs <- t.page_allocs + 1;
+      Array.make nslots empty
+
+(* Park an all-[empty] slot array in the free list. *)
+let pool_slots t a =
+  if Array.length a = t.block then begin
+    if t.pool_byte_n < pool_cap then begin
+      t.pool_byte <- a :: t.pool_byte;
+      t.pool_byte_n <- t.pool_byte_n + 1
+    end
+  end
+  else if t.pool_init_n < pool_cap then begin
+    t.pool_init <- a :: t.pool_init;
+    t.pool_init_n <- t.pool_init_n + 1
+  end
+
+let make_page ?gran t addr =
+  let g = match gran with Some g -> g | None -> default_gran t addr in
   let nslots = t.block / g in
-  let e = { base; slot_bytes = g; slots = Array.make nslots None } in
-  Hashtbl.replace t.table base e;
-  t.cached <- Some e;
-  account_delta t (entry_bytes nslots);
-  e
+  let p =
+    { p_base = base_of t addr; slot_bytes = g; slots = alloc_slots t nslots;
+      used = 0 }
+  in
+  let r = ensure_row t (row_of t addr) in
+  r.(page_slot t addr) <- p;
+  t.mru <- p;
+  t.pages_live <- t.pages_live + 1;
+  account_delta t (page_bytes nslots);
+  p
 
-let expand e t =
-  (* word slots -> byte slots: every byte inherits its word's pointer *)
-  let old = e.slots in
-  let oldg = e.slot_bytes in
-  let nslots = t.block in
-  let slots = Array.make nslots None in
+let drop_page t p =
+  let r = row_for t (row_of t p.p_base) in
+  r.(page_slot t p.p_base) <- null_page;
+  if t.mru == p then t.mru <- null_page;
+  t.pages_live <- t.pages_live - 1;
+  account_delta t (-page_bytes (Array.length p.slots));
+  (* used = 0 here, so the array is all-empty: safe to recycle *)
+  pool_slots t p.slots;
+  p.slots <- [||]
+
+(* Rebuild a page with byte slots; every byte inherits its word's
+   pointer. *)
+let expand t p =
+  let old = p.slots and oldg = p.slot_bytes in
+  let slots = alloc_slots t t.block in
   Array.iteri
     (fun i v ->
-      if v <> None then
+      if v != empty then
         for j = i * oldg to ((i + 1) * oldg) - 1 do
           slots.(j) <- v
         done)
     old;
-  account_delta t (entry_bytes nslots - entry_bytes (Array.length old));
-  e.slots <- slots;
-  e.slot_bytes <- 1
+  account_delta t (page_bytes t.block - page_bytes (Array.length old));
+  p.slots <- slots;
+  p.used <- p.used * oldg;
+  p.slot_bytes <- 1;
+  t.expansions <- t.expansions + 1;
+  Array.fill old 0 (Array.length old) empty;
+  pool_slots t old
+
+let slot_index p addr = (addr - p.p_base) / p.slot_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Point operations                                                   *)
 
 let ensure_granularity t ~addr ~size =
   match t.tmode with
@@ -94,227 +352,281 @@ let ensure_granularity t ~addr ~size =
       let a = ref addr in
       let hi = addr + size in
       while !a < hi do
-        (match find_entry t !a with
-         | Some e when e.slot_bytes > 1 -> expand e t
-         | Some _ -> ()
-         | None -> ignore (make_entry ~gran:1 t !a : _ entry));
+        (let p = find_page t !a in
+         if p == null_page then ignore (make_page ~gran:1 t !a : page)
+         else if p.slot_bytes > 1 then expand t p);
         a := base_of t !a + t.block
       done
     end
 
 let slot_bounds t addr =
-  let g =
-    match find_entry t addr with
-    | Some e -> e.slot_bytes
-    | None -> (
-      match t.tmode with
-      | Fixed_bytes g -> g
-      | Adaptive -> if addr land 1 = 1 then 1 else 4)
-  in
+  let p = find_page t addr in
+  let g = if p == null_page then default_gran t addr else p.slot_bytes in
   let lo = addr land lnot (g - 1) in
   (lo, lo + g)
 
-let slot_index e addr = (addr - e.base) / e.slot_bytes
-
 let get t addr =
-  match find_entry t addr with
-  | None -> None
-  | Some e -> e.slots.(slot_index e addr)
+  let p = find_page t addr in
+  if p == null_page then None
+  else
+    let v = p.slots.(slot_index p addr) in
+    if v == empty then None else Some (Obj.obj v)
 
 let set t addr v =
-  let e = match find_entry t addr with Some e -> e | None -> make_entry t addr in
+  let p =
+    match find_page t addr with
+    | p when p != null_page -> p
+    | _ -> make_page t addr
+  in
+  (* keep the stored width honest for unaligned addresses — same
+     predicate as ensure_granularity *)
   (match t.tmode with
-   | Adaptive when addr land 1 = 1 && e.slot_bytes > 1 -> expand e t
-   | _ -> ());
-  e.slots.(slot_index e addr) <- Some v
+  | Adaptive when p.slot_bytes > 1 && addr land 3 <> 0 -> expand t p
+  | _ -> ());
+  let i = slot_index p addr in
+  if p.slots.(i) == empty then p.used <- p.used + 1;
+  p.slots.(i) <- Obj.repr v
 
-let drop_if_empty t e =
-  if Array.for_all (fun v -> v = None) e.slots then begin
-    Hashtbl.remove t.table e.base;
-    (match t.cached with
-     | Some c when c == e -> t.cached <- None
-     | Some _ | None -> ());
-    account_delta t (-entry_bytes (Array.length e.slots))
-  end
+(* ------------------------------------------------------------------ *)
+(* Range operations                                                   *)
+
+(* Adaptive contract: ranges are byte-exact.  A boundary that falls
+   inside a word slot refines that page to byte slots first —
+   unconditionally when stamping, and only when the cut slot is
+   occupied when clearing (cutting through an empty slot loses
+   nothing).  Fixed mode keeps slot-cover semantics: the slot is the
+   atomic unit and boundaries widen outward to it, because detectors
+   free whole allocations, which need not be slot multiples. *)
+let refine_boundary t b ~for_set =
+  match t.tmode with
+  | Fixed_bytes _ -> ()
+  | Adaptive ->
+    if b land 3 <> 0 then begin
+      let p = find_page t b in
+      if p == null_page then begin
+        if for_set then ignore (make_page ~gran:1 t b : page)
+      end
+      else if
+        p.slot_bytes > 1 && (for_set || p.slots.(slot_index p b) != empty)
+      then expand t p
+    end
 
 let set_range t ~lo ~hi v =
   if hi > lo then begin
-    let addr = ref lo in
-    while !addr < hi do
-      let e =
-        match find_entry t !addr with Some e -> e | None -> make_entry t !addr
+    refine_boundary t lo ~for_set:true;
+    refine_boundary t hi ~for_set:true;
+    let box = Obj.repr v in
+    let a = ref lo in
+    while !a < hi do
+      let p =
+        match find_page t !a with
+        | p when p != null_page -> p
+        | _ -> make_page t !a
       in
-      let block_hi = e.base + t.block in
-      let upper = min hi block_hi in
-      let i0 = slot_index e !addr in
-      let i1 = slot_index e (upper - 1) in
+      let upper = min hi (p.p_base + t.block) in
+      let i0 = slot_index p !a and i1 = slot_index p (upper - 1) in
       for i = i0 to i1 do
-        e.slots.(i) <- Some v
+        if p.slots.(i) == empty then p.used <- p.used + 1;
+        p.slots.(i) <- box
       done;
-      addr := block_hi
+      a := p.p_base + t.block
     done
   end
 
 let remove_range t ~lo ~hi =
   if hi > lo then begin
-    let addr = ref lo in
-    while !addr < hi do
-      (match find_entry t !addr with
-       | None -> ()
-       | Some e ->
-         let block_hi = e.base + t.block in
-         let upper = min hi block_hi in
-         let i0 = slot_index e !addr in
-         let i1 = slot_index e (upper - 1) in
-         for i = i0 to i1 do
-           e.slots.(i) <- None
-         done;
-         drop_if_empty t e);
-      addr := base_of t !addr + t.block
+    refine_boundary t lo ~for_set:false;
+    refine_boundary t hi ~for_set:false;
+    let a = ref lo in
+    while !a < hi do
+      let p = find_page t !a in
+      if p == null_page then a := base_of t !a + t.block
+      else begin
+        let upper = min hi (p.p_base + t.block) in
+        let i0 = slot_index p !a and i1 = slot_index p (upper - 1) in
+        for i = i0 to i1 do
+          if p.slots.(i) != empty then begin
+            p.slots.(i) <- empty;
+            p.used <- p.used - 1
+          end
+        done;
+        let next = p.p_base + t.block in
+        if p.used = 0 then drop_page t p;
+        a := next
+      end
     done
   end
 
-(* Neighbour searches are bounded: a "neighbouring" location more than
-   [scan_limit] slots away is not worth sharing with, and unbounded
-   scans over sparse entries would dominate the per-access cost. *)
+(* ------------------------------------------------------------------ *)
+(* Bounded neighbour scans                                            *)
+
+(* Both scans examine exactly [scan_limit] slots beyond the slot
+   containing [addr], crossing page boundaries as needed.  An absent
+   page contributes virtual empty slots at the initial width, so a
+   released neighbour and a never-touched one answer identically —
+   the dynamic detector's sharing decisions depend on that. *)
 let scan_limit = 4
 
-(* Rightmost non-empty slot in [e] with index <= [i]; None if all empty. *)
-let scan_left e i =
-  let stop = max 0 (i - scan_limit + 1) in
-  let rec loop i =
-    if i < stop then None
-    else
-      match e.slots.(i) with
-      | Some v ->
-        let lo = e.base + (i * e.slot_bytes) in
-        Some (lo, lo + e.slot_bytes, v)
-      | None -> loop (i - 1)
-  in
-  loop (min i (Array.length e.slots - 1))
-
-let scan_right e i =
-  let n = Array.length e.slots in
-  let stop = min (n - 1) (i + scan_limit - 1) in
-  let rec loop i =
-    if i > stop then None
-    else
-      match e.slots.(i) with
-      | Some v ->
-        let lo = e.base + (i * e.slot_bytes) in
-        Some (lo, lo + e.slot_bytes, v)
-      | None -> loop (i + 1)
-  in
-  loop (max i 0)
-
 let prev_neighbor t addr =
-  let here =
-    match find_entry t addr with
-    | Some e ->
-      let i = slot_index e addr in
-      scan_left e (i - 1)
-    | None -> None
+  let slo, _ = slot_bounds t addr in
+  let w = initial_width t.tmode in
+  let rec back a remaining =
+    if remaining <= 0 || a < 0 then None
+    else
+      let p = find_page t a in
+      if p == null_page then begin
+        let base = base_of t a in
+        let nslots = ((a - base) / w) + 1 in
+        if nslots >= remaining then None
+        else back (base - 1) (remaining - nslots)
+      end
+      else begin
+        let i = slot_index p a in
+        let stop = max 0 (i - remaining + 1) in
+        let rec look i =
+          if i < stop then None
+          else if p.slots.(i) != empty then begin
+            let lo = p.p_base + (i * p.slot_bytes) in
+            Some (lo, lo + p.slot_bytes, Obj.obj p.slots.(i))
+          end
+          else look (i - 1)
+        in
+        match look i with
+        | Some _ as r -> r
+        | None ->
+          if stop = 0 then back (p.p_base - 1) (remaining - (i + 1)) else None
+      end
   in
-  match here with
-  | Some _ as r -> r
-  | None -> (
-    let prev_base = base_of t addr - t.block in
-    match Hashtbl.find_opt t.table prev_base with
-    | None -> None
-    | Some e -> scan_left e (Array.length e.slots - 1))
+  back (slo - 1) scan_limit
 
 let next_neighbor t addr =
-  let here =
-    match find_entry t addr with
-    | Some e ->
-      let i = slot_index e addr in
-      scan_right e (i + 1)
-    | None -> None
-  in
-  match here with
-  | Some _ as r -> r
-  | None -> (
-    let next_base = base_of t addr + t.block in
-    match Hashtbl.find_opt t.table next_base with
-    | None -> None
-    | Some e -> scan_right e 0)
-
-(* Maximal run of consecutive slots starting at [addr]'s slot that all
-   hold the same value (or are all empty), clipped to the first slot
-   boundary at or after [hi].  One entry lookup per block touched. *)
-let group t addr ~hi =
-  let same v w =
-    match (v, w) with
-    | None, None -> true
-    | Some a, Some b -> a == b
-    | (None | Some _), _ -> false
-  in
-  let default_g =
-    match t.tmode with Fixed_bytes g -> g | Adaptive -> 4
-  in
-  let start_entry = find_entry t addr in
-  let g0 =
-    match start_entry with Some e -> e.slot_bytes | None -> default_g
-  in
-  let glo = addr land lnot (g0 - 1) in
-  let v = match start_entry with None -> None | Some e -> e.slots.(slot_index e addr) in
-  let rec walk_entry cur entry =
-    (* cur is slot-aligned within [entry]'s block (or entry is None) *)
-    match entry with
-    | None ->
-      if not (same v None) then cur
-      else begin
-        let block_hi = base_of t cur + t.block in
-        if block_hi >= hi then (hi + default_g - 1) land lnot (default_g - 1)
-        else walk_entry block_hi (find_entry t block_hi)
+  let _, shi = slot_bounds t addr in
+  let w = initial_width t.tmode in
+  let rec fwd a remaining =
+    if remaining <= 0 then None
+    else
+      let p = find_page t a in
+      if p == null_page then begin
+        let base = base_of t a in
+        let nslots = (base + t.block - a) / w in
+        if nslots >= remaining then None
+        else fwd (base + t.block) (remaining - nslots)
       end
-    | Some e ->
-      let block_hi = e.base + t.block in
-      let rec slots cur =
-        if cur >= hi then (cur + e.slot_bytes - 1) land lnot (e.slot_bytes - 1)
-        else if cur >= block_hi then walk_entry cur (find_entry t cur)
-        else if same v e.slots.(slot_index e cur) then slots (cur + e.slot_bytes)
-        else cur
-      in
-      slots cur
+      else begin
+        let i = slot_index p a in
+        let n = Array.length p.slots in
+        let stop = min (n - 1) (i + remaining - 1) in
+        let rec look i =
+          if i > stop then None
+          else if p.slots.(i) != empty then begin
+            let lo = p.p_base + (i * p.slot_bytes) in
+            Some (lo, lo + p.slot_bytes, Obj.obj p.slots.(i))
+          end
+          else look (i + 1)
+        in
+        match look i with
+        | Some _ as r -> r
+        | None ->
+          if stop = n - 1 then
+            fwd (p.p_base + t.block) (remaining - (stop - i + 1))
+          else None
+      end
   in
-  let ghi = walk_entry (glo + g0) start_entry in
-  (glo, max ghi (glo + g0), v)
+  fwd shi scan_limit
+
+(* ------------------------------------------------------------------ *)
+(* Group walk                                                         *)
+
+(* Maximal run of consecutive slots starting at [addr]'s slot that
+   all hold the same value (physical equality; the sentinel groups
+   with itself, so an untouched run groups as [None]), clipped to the
+   first slot boundary at or after [hi]. *)
+let group t addr ~hi =
+  let dflt = initial_width t.tmode in
+  let start = find_page t addr in
+  let g0 = if start == null_page then dflt else start.slot_bytes in
+  let glo = addr land lnot (g0 - 1) in
+  let v =
+    if start == null_page then empty else start.slots.(slot_index start addr)
+  in
+  let round_up a g = (a + g - 1) land lnot (g - 1) in
+  (* one page lookup per block; [cur] is always slot-aligned *)
+  let rec walk cur =
+    if cur >= hi then cur
+    else
+      let p = find_page t cur in
+      if p == null_page then begin
+        if v != empty then cur
+        else
+          let block_hi = base_of t cur + t.block in
+          if block_hi >= hi then round_up hi dflt else walk block_hi
+      end
+      else begin
+        let block_hi = p.p_base + t.block in
+        let rec slots cur =
+          if cur >= hi then round_up cur p.slot_bytes
+          else if cur >= block_hi then walk cur
+          else if p.slots.(slot_index p cur) == v then
+            slots (cur + p.slot_bytes)
+          else cur
+        in
+        slots cur
+      end
+  in
+  let ghi = walk (glo + g0) in
+  let value = if v == empty then None else Some (Obj.obj v) in
+  (glo, max ghi (glo + g0), value)
+
+(* ------------------------------------------------------------------ *)
+(* Iteration and accounting                                           *)
+
+let iter_page f p =
+  let n = Array.length p.slots in
+  for i = 0 to n - 1 do
+    let v = p.slots.(i) in
+    if v != empty then begin
+      let lo = p.p_base + (i * p.slot_bytes) in
+      f lo (lo + p.slot_bytes) (Obj.obj v)
+    end
+  done
 
 let iter f t =
-  Hashtbl.iter
-    (fun _ e ->
-      Array.iteri
-        (fun i v ->
-          match v with
-          | Some v ->
-            let lo = e.base + (i * e.slot_bytes) in
-            f lo (lo + e.slot_bytes) v
-          | None -> ())
-        e.slots)
-    t.table
+  let do_row r = Array.iter (fun p -> if p != null_page then iter_page f p) r in
+  Array.iter (fun r -> if r != no_row then do_row r) t.rows;
+  Hashtbl.iter (fun _ r -> do_row r) t.spill
 
 let iter_range f t ~lo ~hi =
   if hi > lo then begin
-    let addr = ref lo in
-    while !addr < hi do
-      (match find_entry t !addr with
-       | None -> ()
-       | Some e ->
-         let block_hi = e.base + t.block in
-         let upper = min hi block_hi in
-         let i0 = slot_index e !addr in
-         let i1 = slot_index e (upper - 1) in
-         for i = i0 to i1 do
-           match e.slots.(i) with
-           | Some v ->
-             let slot_lo = e.base + (i * e.slot_bytes) in
-             f slot_lo (slot_lo + e.slot_bytes) v
-           | None -> ()
-         done);
-      addr := base_of t !addr + t.block
+    let a = ref lo in
+    while !a < hi do
+      let p = find_page t !a in
+      if p == null_page then a := base_of t !a + t.block
+      else begin
+        let upper = min hi (p.p_base + t.block) in
+        let i0 = slot_index p !a and i1 = slot_index p (upper - 1) in
+        for i = i0 to i1 do
+          let v = p.slots.(i) in
+          if v != empty then begin
+            let slo = p.p_base + (i * p.slot_bytes) in
+            f slo (slo + p.slot_bytes) (Obj.obj v)
+          end
+        done;
+        a := p.p_base + t.block
+      end
     done
   end
 
-let entry_count t = Hashtbl.length t.table
+let entry_count t = t.pages_live
 let bytes t = t.bytes
+
+let stats t =
+  {
+    pages_live = t.pages_live;
+    pages_pooled = t.pool_init_n + t.pool_byte_n;
+    page_allocs = t.page_allocs;
+    page_recycles = t.page_recycles;
+    expansions = t.expansions;
+    lookups = t.lookups;
+    mru_hits = t.mru_hits;
+    dir_bytes = 8 * t.dir_words;
+  }

@@ -1,26 +1,34 @@
 (** The shadow-memory indexing structure of the paper's Figure 4.
 
-    A chained hash table maps the upper bits of an address to an entry
-    covering a [block]-byte aligned region (default m = 128 bytes).
-    Each entry holds an {e indexing array} of pointers to shadow
-    values: it starts with [m/4] slots (word granularity, the common
-    access pattern) and, in adaptive mode, is expanded to [m] slots
-    (byte granularity) the first time a non-half-word-aligned access
-    touches the region.  The same structure serves the byte- and
-    word-granularity detectors with a fixed slot size.
+    A flat two-level page directory maps addresses to leaf pages
+    covering a [block]-byte aligned region (default m = 128 bytes):
+    the root is a dense array of rows anchored at the first address
+    touched, each row an array of page pointers, so the common lookup
+    is two array indexes and no hashing (far-outlier rows fall back
+    to a small spill table).  Each page holds an {e indexing array}
+    of pointers to shadow values: it starts with [m/4] slots (word
+    granularity, the common access pattern) and, in adaptive mode, is
+    expanded to [m] slots (byte granularity) the first time a
+    sub-word access touches the region.  The same structure serves
+    the byte- and word-granularity detectors with a fixed slot size.
+    Unoccupied slots hold a private sentinel, so occupied slots store
+    the value unboxed; released pages are recycled through a free
+    list.  See doc/shadow.md.
 
     Values are arbitrary; the dynamic-granularity detector stores
     shared cell records, so several slots (possibly in different
-    entries) may point to one value.  All index-structure size changes
-    are reported to an {!Accounting} sink. *)
+    pages) may point to one value.  All leaf-page size changes are
+    reported to an {!Accounting} sink; directory overhead is
+    bookkeeping and is reported through {!stats} instead. *)
 
 type mode =
   | Fixed_bytes of int
-      (** every entry uses slots of exactly this many bytes (1 for the
+      (** every page uses slots of exactly this many bytes (1 for the
           byte detector, 4 for the word detector) *)
   | Adaptive
-      (** entries start at word slots and expand to byte slots when an
-          odd address is accessed (paper §IV.B) *)
+      (** pages start at word slots and expand to byte slots when a
+          sub-word access — smaller than a word or not word-aligned —
+          shows up (paper §IV.B) *)
 
 type 'a t
 
@@ -32,39 +40,52 @@ val mode : 'a t -> mode
 val block : 'a t -> int
 
 val ensure_granularity : 'a t -> addr:int -> size:int -> unit
-(** In adaptive mode, switch the entries covering the access to byte
+(** In adaptive mode, switch the pages covering the access to byte
     slots when the access is {e sub-word} — smaller than a word or not
-    word-aligned — creating empty byte-granularity entries on demand.
+    word-aligned — creating empty byte-granularity pages on demand.
     Call at the start of every access so that the slot bounds the
     detector sees are stable for the whole access.  No-op for accesses
     that cover whole aligned words, and in fixed mode. *)
 
 val slot_bounds : 'a t -> int -> int * int
 (** [slot_bounds t addr] is the address range [\[lo, hi)] of the slot
-    that contains [addr], under the entry's current granularity (or the
-    granularity a fresh entry would get). *)
+    that contains [addr], under the page's current granularity (or the
+    granularity a fresh page would get — byte slots for any
+    non-word-aligned address, the same predicate
+    {!ensure_granularity} uses). *)
 
 val get : 'a t -> int -> 'a option
 (** Value of the slot containing the address, if any. *)
 
 val set : 'a t -> int -> 'a -> unit
 (** Point the slot containing the address at the value, creating the
-    entry on demand. *)
+    page on demand. *)
 
 val set_range : 'a t -> lo:int -> hi:int -> 'a -> unit
-(** Point every slot intersecting [\[lo, hi)] at the value — how a
-    vector clock is shared across a neighbourhood. *)
+(** Point the slots of [\[lo, hi)] at the value — how a vector clock
+    is shared across a neighbourhood.  In adaptive mode the stamp is
+    {e byte-exact}: a boundary falling inside a word slot refines
+    that page to byte slots first, so no byte outside the range is
+    touched.  In fixed mode the slot is the atomic unit and the stamp
+    covers every slot intersecting the range (boundaries widen
+    outward). *)
 
 val remove_range : 'a t -> lo:int -> hi:int -> unit
-(** Clear every slot intersecting the range (used on [free]); entries
-    left empty are dropped and their index bytes released. *)
+(** Clear the range (used on [free]); pages left empty are dropped,
+    their index bytes released and their arrays recycled.  Boundary
+    handling follows the {!set_range} contract: byte-exact in
+    adaptive mode (an occupied word slot cut by a boundary is refined
+    first; bytes outside the range keep their value), widening to
+    whole slots in fixed mode. *)
 
 val prev_neighbor : 'a t -> int -> (int * int * 'a) option
 (** [prev_neighbor t addr] is the nearest non-empty slot strictly
-    before the slot of [addr] — [(lo, hi, v)] — looking through the
-    entry of [addr] and the immediately preceding block (the "nearest
-    predecessor that has a valid vector clock" of §III.A, bounded to
-    the indexing neighbourhood). *)
+    before the slot of [addr] — [(lo, hi, v)] — looking through
+    exactly [scan_limit = 4] slots, crossing page boundaries as
+    needed (the "nearest predecessor that has a valid vector clock"
+    of §III.A, bounded to the indexing neighbourhood).  Absent pages
+    count as empty slots at the initial width, so a freed neighbour
+    and a never-touched one answer identically. *)
 
 val next_neighbor : 'a t -> int -> (int * int * 'a) option
 (** Symmetric successor search. *)
@@ -74,12 +95,16 @@ val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
 
 val iter_range : (int -> int -> 'a -> unit) -> 'a t -> lo:int -> hi:int -> unit
 (** [iter_range f t ~lo ~hi] applies [f slot_lo slot_hi v] to every
-    non-empty slot intersecting [\[lo, hi)], in address order. *)
+    non-empty slot intersecting [\[lo, hi)], in address order.  Slot
+    bounds are the full slot, which may extend beyond the range. *)
 
 val entry_count : 'a t -> int
+(** Number of live leaf pages. *)
+
 val bytes : 'a t -> int
-(** Current index-structure footprint in bytes (as reported to the
-    accounting sink). *)
+(** Current index-structure footprint in bytes: live leaf pages only,
+    as reported to the accounting sink.  Directory and free-list
+    overhead is in {!stats}. *)
 
 val group : 'a t -> int -> hi:int -> int * int * 'a option
 (** [group t addr ~hi] is [(glo, ghi, v)]: the maximal run of
@@ -87,4 +112,18 @@ val group : 'a t -> int -> hi:int -> int * int * 'a option
     same value [v] (physical equality) or are all empty ([None]),
     clipped to the first slot boundary at or after [hi].  This is the
     access-walk primitive of the dynamic-granularity detector: one
-    entry lookup per block instead of one per slot. *)
+    page lookup per block instead of one per slot. *)
+
+type stats = {
+  pages_live : int;  (** live leaf pages (= {!entry_count}) *)
+  pages_pooled : int;  (** slot arrays parked in the free list *)
+  page_allocs : int;  (** slot arrays allocated fresh *)
+  page_recycles : int;  (** slot arrays served from the free list *)
+  expansions : int;  (** word-slot pages rebuilt at byte slots *)
+  lookups : int;  (** page lookups *)
+  mru_hits : int;  (** lookups answered by the one-entry MRU cache *)
+  dir_bytes : int;
+      (** root + row + spill overhead, not counted in {!bytes} *)
+}
+
+val stats : 'a t -> stats

@@ -130,6 +130,30 @@ let test_unaligned_races () =
   let dw = feed_events (Fasttrack.create ~granularity:4 ()) evs in
   Alcotest.(check int) "word masks to one" 1 (race_count dw)
 
+(* the x264 packed-field scenario at offset 2: even but not
+   word-aligned, the case the shadow table's old addr-land-1 default
+   granularity masked into a word slot *)
+let test_offset2_byte_race () =
+  let base = 0x9000 in
+  check "offset-2 byte race reported"
+    [ fork 0 1; wr ~size:1 0 (base + 2); wr ~size:1 1 (base + 2) ]
+    1;
+  (* distinct bytes at offsets 2 and 3, each with its own lock: a word
+     slot would collapse them into one location and false-alarm *)
+  check "offset-2/3 under distinct locks stay apart"
+    [
+      fork 0 1;
+      acq 0; wr ~size:1 0 (base + 2); rel 0;
+      Dgrace_events.Event.Acquire { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+      wr ~size:1 1 (base + 3);
+      Dgrace_events.Event.Release { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+      acq 0; wr ~size:1 0 (base + 2); rel 0;
+      Dgrace_events.Event.Acquire { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+      wr ~size:1 1 (base + 3);
+      Dgrace_events.Event.Release { tid = 1; lock = 2; sync = Dgrace_events.Event.Lock };
+    ]
+    0
+
 (* splitting: after init together, one element accessed separately gets
    its own clock; its sibling keeps the shared one *)
 let test_second_epoch_split () =
@@ -260,6 +284,7 @@ let suites : unit Alcotest.test list =
         Alcotest.test_case "race state absorbing" `Quick test_race_state_absorbing;
         Alcotest.test_case "packed fields stay separate" `Quick test_packed_fields_separate;
         Alcotest.test_case "unaligned races found" `Quick test_unaligned_races;
+        Alcotest.test_case "offset-2 packed bytes" `Quick test_offset2_byte_race;
         Alcotest.test_case "free and recycle" `Quick test_free_and_recycle;
       ] );
     ( "dynamic.sharing",

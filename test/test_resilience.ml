@@ -69,7 +69,7 @@ let test_deadline_stops () =
    sampling detector (literace) finds on the same schedule. *)
 let test_degraded_run_superset_of_literace () =
   let s =
-    Engine.run ~policy ~budget:(Budget.make ~max_shadow_bytes:300_000 ())
+    Engine.run ~policy ~budget:(Budget.make ~max_shadow_bytes:320_000 ())
       ~spec:Spec.dynamic (program "raytrace")
   in
   Alcotest.(check bool) "degraded" true s.degraded;

@@ -71,6 +71,36 @@ let test_adaptive_precreates_byte_entry () =
   Alcotest.(check (pair int int)) "fresh entry at byte slots" (0x3001, 0x3002)
     (Shadow_table.slot_bounds t 0x3001)
 
+(* Regression for the x264-style packed-field scenario at offset 2:
+   even but not word-aligned.  The old default-granularity predicate
+   keyed on [addr land 1], so a byte access at base+2 reaching [set]
+   without a prior [ensure_granularity] landed in a word slot and was
+   masked into its neighbours.  The predicate is now the same
+   [addr land 3] test everywhere. *)
+let test_offset2_set_without_ensure () =
+  let t = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+  Alcotest.(check (pair int int)) "fresh offset-2 slot is byte-wide"
+    (0x5002, 0x5003)
+    (Shadow_table.slot_bounds t 0x5002);
+  Shadow_table.set t 0x5002 7;
+  Alcotest.(check (pair int int)) "slot stays byte-wide" (0x5002, 0x5003)
+    (Shadow_table.slot_bounds t 0x5002);
+  Alcotest.(check (option int)) "word base not claimed" None
+    (Shadow_table.get t 0x5000);
+  Alcotest.(check (option int)) "neighbouring byte not claimed" None
+    (Shadow_table.get t 0x5003);
+  Alcotest.(check (option int)) "value stored" (Some 7)
+    (Shadow_table.get t 0x5002);
+  (* same access against an existing word page expands it in place *)
+  Shadow_table.set t 0x5100 1;
+  Shadow_table.set t 0x5102 9;
+  Alcotest.(check (pair int int)) "existing page refined" (0x5102, 0x5103)
+    (Shadow_table.slot_bounds t 0x5102);
+  Alcotest.(check (option int)) "word value inherited" (Some 1)
+    (Shadow_table.get t 0x5101);
+  Alcotest.(check (option int)) "offset-2 byte overwritten" (Some 9)
+    (Shadow_table.get t 0x5102)
+
 (* ------------------------------------------------------------------ *)
 (* Neighbours and group *)
 
@@ -107,6 +137,68 @@ let test_neighbor_crosses_block () =
     check_int "v" 5 v
   | None -> Alcotest.fail "expected neighbor across block boundary"
 
+(* The documented radius is exactly [scan_limit = 4] slots, crossing
+   block boundaries: a value 4 slots away is found, 5 slots away is
+   not, regardless of where the block boundary falls. *)
+let test_neighbor_exact_radius () =
+  let probe = 0x1084 in
+  let within = [ 0x1080; 0x107c; 0x1078; 0x1074 ] in
+  List.iter
+    (fun a ->
+      let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+      Shadow_table.set t a 1;
+      match Shadow_table.prev_neighbor t probe with
+      | Some (lo, _, _) ->
+        check_int (Printf.sprintf "found at 0x%x" a) a lo
+      | None -> Alcotest.fail (Printf.sprintf "0x%x is within the radius" a))
+    within;
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x1070 1;
+  check_bool "5 slots back is out of radius" true
+    (Shadow_table.prev_neighbor t probe = None);
+  (* and forward, 4 slots into the next block *)
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x108c 2;
+  (match Shadow_table.next_neighbor t 0x107c with
+   | Some (lo, _, _) -> check_int "4 slots forward across block" 0x108c lo
+   | None -> Alcotest.fail "4th slot forward is within the radius");
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set t 0x1090 2;
+  check_bool "5 slots forward is out of radius" true
+    (Shadow_table.next_neighbor t 0x107c = None)
+
+(* A fully-released neighbouring block must answer exactly like a
+   never-touched one — sharing decisions in the dynamic detector
+   would otherwise depend on allocation history. *)
+let test_dropped_equals_untouched () =
+  let mk populate =
+    let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+    Shadow_table.set t 0x2000 1;
+    Shadow_table.set t 0x207c 3;
+    if populate then begin
+      Shadow_table.set_range t ~lo:0x2080 ~hi:0x2100 2;
+      Shadow_table.remove_range t ~lo:0x2080 ~hi:0x2100
+    end;
+    t
+  in
+  let dropped = mk true and untouched = mk false in
+  check_int "released block is gone"
+    (Shadow_table.entry_count untouched)
+    (Shadow_table.entry_count dropped);
+  List.iter
+    (fun probe ->
+      check_bool
+        (Printf.sprintf "prev at 0x%x" probe)
+        true
+        (Shadow_table.prev_neighbor dropped probe
+        = Shadow_table.prev_neighbor untouched probe);
+      check_bool
+        (Printf.sprintf "next at 0x%x" probe)
+        true
+        (Shadow_table.next_neighbor dropped probe
+        = Shadow_table.next_neighbor untouched probe))
+    [ 0x2000; 0x2004; 0x2078; 0x2084; 0x2090; 0x2100; 0x2104 ]
+
 let test_group () =
   let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
   Shadow_table.set_range t ~lo:0x1000 ~hi:0x1010 1;
@@ -133,6 +225,54 @@ let test_group_crosses_blocks () =
   let _, ghi, v = Shadow_table.group t 0x1000 ~hi:0x1200 in
   check_int "crosses two blocks" 0x1200 ghi;
   check_bool "same value" true (v = Some 3)
+
+(* ------------------------------------------------------------------ *)
+(* Range-boundary contracts (documented in shadow_table.mli) *)
+
+(* Fixed mode: the slot is the atomic unit, boundaries widen outward. *)
+let test_fixed_range_boundaries_widen () =
+  let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
+  Shadow_table.set_range t ~lo:0x1002 ~hi:0x1006 1;
+  Alcotest.(check (option int)) "lo widened to slot" (Some 1)
+    (Shadow_table.get t 0x1000);
+  Alcotest.(check (option int)) "hi widened to slot" (Some 1)
+    (Shadow_table.get t 0x1007);
+  Alcotest.(check (option int)) "next slot untouched" None
+    (Shadow_table.get t 0x1008);
+  Shadow_table.remove_range t ~lo:0x1002 ~hi:0x1006;
+  Alcotest.(check (option int)) "remove widens too" None
+    (Shadow_table.get t 0x1000);
+  check_int "no entries left" 0 (Shadow_table.entry_count t)
+
+(* Adaptive mode: ranges are byte-exact in both directions. *)
+let test_adaptive_range_boundaries_exact () =
+  let t = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+  (* unaligned lo: the stamp starts exactly at lo *)
+  Shadow_table.set_range t ~lo:0x6002 ~hi:0x6010 1;
+  Alcotest.(check (option int)) "byte below lo untouched" None
+    (Shadow_table.get t 0x6001);
+  Alcotest.(check (option int)) "lo stamped" (Some 1) (Shadow_table.get t 0x6002);
+  (* unaligned hi: the stamp ends exactly at hi *)
+  Shadow_table.set_range t ~lo:0x6010 ~hi:0x6016 2;
+  Alcotest.(check (option int)) "hi-1 stamped" (Some 2) (Shadow_table.get t 0x6015);
+  Alcotest.(check (option int)) "hi untouched" None (Shadow_table.get t 0x6016);
+  (* removal cuts an occupied word slot exactly, in both directions *)
+  let t2 = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+  Shadow_table.set_range t2 ~lo:0x7000 ~hi:0x7010 9;
+  Shadow_table.remove_range t2 ~lo:0x7000 ~hi:0x7006;
+  Alcotest.(check (option int)) "cleared below unaligned hi" None
+    (Shadow_table.get t2 0x7005);
+  Alcotest.(check (option int)) "kept at unaligned hi" (Some 9)
+    (Shadow_table.get t2 0x7006);
+  Shadow_table.remove_range t2 ~lo:0x700a ~hi:0x7010;
+  Alcotest.(check (option int)) "kept below unaligned lo" (Some 9)
+    (Shadow_table.get t2 0x7009);
+  Alcotest.(check (option int)) "cleared at unaligned lo" None
+    (Shadow_table.get t2 0x700a);
+  (* full removal still releases the page *)
+  Shadow_table.remove_range t2 ~lo:0x7006 ~hi:0x700a;
+  check_int "page released after exact clears" 0
+    (Shadow_table.entry_count t2)
 
 let test_iter_range () =
   let t = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 4) () in
@@ -166,11 +306,10 @@ let model_test =
             Shadow_table.set_range t ~lo:lo2 ~hi:hi2 off;
             for a = lo2 to hi2 - 1 do Hashtbl.replace model a off done
           | 1 ->
+            (* adaptive removal is byte-exact: the model drops exactly
+               the requested bytes *)
             Shadow_table.remove_range t ~lo:addr ~hi:(addr + size);
-            (* removal is slot-aligned: the model must drop whole slots *)
-            let slo, _ = Shadow_table.slot_bounds t addr in
-            let _, shi = Shadow_table.slot_bounds t (addr + size - 1) in
-            for a = slo to shi - 1 do Hashtbl.remove model a done
+            for a = addr to addr + size - 1 do Hashtbl.remove model a done
           | _ ->
             let got = Shadow_table.get t addr in
             let expect = Hashtbl.find_opt model addr in
@@ -180,6 +319,77 @@ let model_test =
                 (match expect with Some v -> string_of_int v | None -> "-"))
         ops;
       true)
+
+(* Differential property: the Adaptive table against a [Fixed_bytes 1]
+   reference driven through the same access/free sequence must make
+   identical per-byte observations — same [get], compatible [group]
+   claims, and the adaptive index never outgrows the byte index. *)
+let differential_test =
+  let open QCheck in
+  Test.make ~name:"adaptive agrees with Fixed_bytes 1 reference" ~count:200
+    (small_list (triple (int_bound 4) (int_bound 700) (int_bound 3)))
+    (fun ops ->
+      let adaptive = Shadow_table.create ~mode:Shadow_table.Adaptive () in
+      let byte = Shadow_table.create ~mode:(Shadow_table.Fixed_bytes 1) () in
+      let base = 0x8000 in
+      let limit = base + 704 + 8 in
+      List.iter
+        (fun (op, off, szi) ->
+          let addr = base + off in
+          let size = [| 1; 2; 4; 8 |].(szi) in
+          (match op with
+          | 0 ->
+            (* detector protocol: refine, then stamp the exact range *)
+            Shadow_table.ensure_granularity adaptive ~addr ~size;
+            Shadow_table.set_range adaptive ~lo:addr ~hi:(addr + size) off;
+            Shadow_table.set_range byte ~lo:addr ~hi:(addr + size) off
+          | 1 ->
+            (* range op without a prior ensure: self-refining *)
+            Shadow_table.set_range adaptive ~lo:addr ~hi:(addr + size) off;
+            Shadow_table.set_range byte ~lo:addr ~hi:(addr + size) off
+          | 2 ->
+            Shadow_table.remove_range adaptive ~lo:addr ~hi:(addr + size);
+            Shadow_table.remove_range byte ~lo:addr ~hi:(addr + size)
+          | 3 ->
+            (* point set: mirror the slot the adaptive table stamps *)
+            Shadow_table.set adaptive addr off;
+            let slo, shi = Shadow_table.slot_bounds adaptive addr in
+            Shadow_table.set_range byte ~lo:slo ~hi:shi off
+          | _ ->
+            let got = Shadow_table.get adaptive addr in
+            let expect = Shadow_table.get byte addr in
+            if got <> expect then
+              Test.fail_reportf "get 0x%x: adaptive %s, reference %s" addr
+                (match got with Some v -> string_of_int v | None -> "-")
+                (match expect with Some v -> string_of_int v | None -> "-"));
+          (* group's claim must hold byte-for-byte in the reference *)
+          let glo, ghi, v = Shadow_table.group adaptive addr ~hi:limit in
+          if not (glo <= addr && addr < ghi) then
+            Test.fail_reportf "group 0x%x: [0x%x,0x%x) misses the address"
+              addr glo ghi;
+          for a = glo to min ghi limit - 1 do
+            if Shadow_table.get byte a <> v then
+              Test.fail_reportf
+                "group 0x%x claims [0x%x,0x%x)=%s but reference differs at \
+                 0x%x"
+                addr glo ghi
+                (match v with Some v -> string_of_int v | None -> "-")
+                a
+          done;
+          (* index accounting: non-negative and never above per-byte *)
+          if Shadow_table.bytes adaptive < 0 then
+            Test.fail_reportf "negative adaptive bytes";
+          if Shadow_table.bytes adaptive > Shadow_table.bytes byte then
+            Test.fail_reportf "adaptive index (%d B) outgrew byte index (%d B)"
+              (Shadow_table.bytes adaptive)
+              (Shadow_table.bytes byte))
+        ops;
+      (* full teardown converges both to the empty table *)
+      Shadow_table.remove_range adaptive ~lo:base ~hi:limit;
+      Shadow_table.remove_range byte ~lo:base ~hi:limit;
+      Shadow_table.entry_count adaptive = 0
+      && Shadow_table.bytes adaptive = 0
+      && Shadow_table.entry_count byte = 0)
 
 (* ------------------------------------------------------------------ *)
 (* Epoch bitmap *)
@@ -196,6 +406,25 @@ let test_bitmap_planes () =
   Epoch_bitmap.reset b;
   check_bool "reset clears" false (Epoch_bitmap.test b ~write:false 102);
   check_int "reset releases storage" 0 (Epoch_bitmap.bytes b)
+
+(* The epoch cadence reuses chunk storage through the pool instead of
+   re-allocating: directory and chunks persist across resets. *)
+let test_bitmap_reset_recycles () =
+  let b = Epoch_bitmap.create () in
+  Epoch_bitmap.mark b ~write:true ~lo:100 ~hi:2100;
+  let first = Epoch_bitmap.bytes b in
+  check_bool "chunks allocated" true (first > 0);
+  Epoch_bitmap.reset b;
+  check_int "footprint zero after reset" 0 (Epoch_bitmap.bytes b);
+  Epoch_bitmap.mark b ~write:true ~lo:100 ~hi:2100;
+  check_int "same footprint next epoch" first (Epoch_bitmap.bytes b);
+  check_bool "second epoch marks visible" true
+    (Epoch_bitmap.test b ~write:true 1500);
+  let s = Epoch_bitmap.stats b in
+  check_bool "chunks were recycled, not re-allocated" true
+    (s.Epoch_bitmap.chunk_recycles > 0);
+  check_int "no extra allocations for the second epoch"
+    s.Epoch_bitmap.chunks_live s.Epoch_bitmap.chunk_recycles
 
 let bitmap_model =
   let open QCheck in
@@ -253,21 +482,31 @@ let suites : unit Alcotest.test list =
           Alcotest.test_case "sub-word access expands" `Quick test_adaptive_expansion;
           Alcotest.test_case "word access stays" `Quick test_adaptive_word_access_no_expansion;
           Alcotest.test_case "pre-creates byte entry" `Quick test_adaptive_precreates_byte_entry;
+          Alcotest.test_case "offset-2 set without ensure" `Quick test_offset2_set_without_ensure;
+        ] );
+      ( "shadow.ranges",
+        [
+          Alcotest.test_case "fixed boundaries widen" `Quick test_fixed_range_boundaries_widen;
+          Alcotest.test_case "adaptive boundaries exact" `Quick test_adaptive_range_boundaries_exact;
         ] );
       ( "shadow.navigation",
         [
           Alcotest.test_case "neighbors" `Quick test_neighbors;
           Alcotest.test_case "bounded scan" `Quick test_neighbor_scan_is_bounded;
           Alcotest.test_case "cross-block neighbor" `Quick test_neighbor_crosses_block;
+          Alcotest.test_case "exact scan radius" `Quick test_neighbor_exact_radius;
+          Alcotest.test_case "dropped equals untouched" `Quick test_dropped_equals_untouched;
           Alcotest.test_case "group runs" `Quick test_group;
           Alcotest.test_case "group slot clipping" `Quick test_group_clips_to_slot_boundary;
           Alcotest.test_case "group across blocks" `Quick test_group_crosses_blocks;
           Alcotest.test_case "iter_range" `Quick test_iter_range;
           QCheck_alcotest.to_alcotest model_test;
+          QCheck_alcotest.to_alcotest differential_test;
         ] );
       ( "shadow.bitmap",
         [
           Alcotest.test_case "planes and reset" `Quick test_bitmap_planes;
+          Alcotest.test_case "reset recycles chunks" `Quick test_bitmap_reset_recycles;
           QCheck_alcotest.to_alcotest bitmap_model;
         ] );
       ( "shadow.accounting",
