@@ -119,6 +119,17 @@ let get (w : Workload.t) spec =
     Hashtbl.replace cache key m;
     m
 
+(* full summary of the cached best run, for readers that need the
+   detector's own instruments (the vclock table reads vclock.* gauges) *)
+let summary (w : Workload.t) spec =
+  ignore (get w spec : m);
+  Hashtbl.find summaries (w.name, Spec.name spec)
+
+let gauge w spec name =
+  match List.assoc_opt name (Dgrace_obs.Metrics.gauges (summary w spec).metrics) with
+  | Some v -> v
+  | None -> 0
+
 let slowdown w spec =
   let base = (get w Spec.No_detection).elapsed in
   let t = (get w spec).elapsed in

@@ -76,7 +76,24 @@ let table1 () =
   in
   Printf.printf
     "detector-time-only (trace replay): dynamic is %.2fx faster than byte.\n"
-    det_only
+    det_only;
+  (* interned-VC memory (PR 5): how much of the dynamic detector's
+     clock storage is deduplicated snapshots, and how hard they share *)
+  let interned_kb =
+    List.fold_left
+      (fun acc w -> acc + Measure.kb (Measure.get w dynamic).mem.peak_interned_bytes)
+      0 Registry.all
+  in
+  let dedup =
+    avg (fun w ->
+        let interns = Measure.gauge w dynamic "vclock.interns" in
+        let stored = max 1 (interns - Measure.gauge w dynamic "vclock.intern_hits") in
+        float_of_int (max 1 interns) /. float_of_int stored)
+  in
+  Printf.printf
+    "interned VC snapshots (dynamic): %d KB peak across the suite, %.1fx \
+     dedup (intern calls per stored snapshot).\n"
+    interned_kb dedup
 
 (* ------------------------------------------------------------------ *)
 

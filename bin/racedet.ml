@@ -106,6 +106,15 @@ let no_suppress_arg =
     & info [ "no-suppressions" ]
         ~doc:"Disable the default runtime suppression rules (libc/ld/pthread).")
 
+let no_vc_intern_arg =
+  Arg.(
+    value & flag
+    & info [ "no-vc-intern" ]
+        ~doc:
+          "Disable hash-consing of vector-clock snapshots (fall back to \
+           per-capture deep copies).  Escape hatch for one release; races are \
+           identical either way.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race report.")
 
@@ -248,12 +257,15 @@ let write_metrics path json =
 (* run *)
 
 let run_cmd =
-  let action w spec threads scale seed sched_seed no_suppress verbose
-      metrics_out sample_every progress progress_every max_shadow max_events
-      deadline =
+  let action w spec threads scale seed sched_seed no_suppress no_vc_intern
+      verbose metrics_out sample_every progress progress_every max_shadow
+      max_events deadline =
     or_fail @@ fun () ->
     let p = params w threads scale seed in
-    let d = Spec.to_detector ~suppression:(suppression no_suppress) spec in
+    let d =
+      Spec.to_detector ~suppression:(suppression no_suppress)
+        ~vc_intern:(not no_vc_intern) spec
+    in
     let s =
       Engine.with_detector ~policy:(policy sched_seed)
         ~budget:(budget max_shadow max_events deadline)
@@ -278,9 +290,9 @@ let run_cmd =
   let term =
     Term.(
       const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
-      $ seed_arg $ sched_seed_arg $ no_suppress_arg $ verbose_arg
-      $ metrics_out_arg $ sample_every_arg $ progress_arg $ progress_every_arg
-      $ max_shadow_arg $ max_events_arg $ deadline_arg)
+      $ seed_arg $ sched_seed_arg $ no_suppress_arg $ no_vc_intern_arg
+      $ verbose_arg $ metrics_out_arg $ sample_every_arg $ progress_arg
+      $ progress_every_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one detector."
@@ -296,8 +308,8 @@ let run_cmd =
 (* compare *)
 
 let compare_cmd =
-  let action w threads scale seed sched_seed no_suppress shards metrics_out
-      sample_every =
+  let action w threads scale seed sched_seed no_suppress no_vc_intern shards
+      metrics_out sample_every =
     let p = params w threads scale seed in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@.@." w.name
       p.threads p.scale p.seed;
@@ -328,11 +340,12 @@ let compare_cmd =
         let s =
           if shards > 1 then
             Engine.replay_sharded ~suppression:(suppression no_suppress)
-              ~shards ~spec
+              ~vc_intern:(not no_vc_intern) ~shards ~spec
               (Array.to_seq recorded)
           else
             Engine.run ~policy:(policy sched_seed)
               ~suppression:(suppression no_suppress)
+              ~vc_intern:(not no_vc_intern)
               ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
               ~spec
               (w.Workload.program p)
@@ -366,8 +379,8 @@ let compare_cmd =
   let term =
     Term.(
       const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
-      $ sched_seed_arg $ no_suppress_arg $ shards_arg $ metrics_out_arg
-      $ sample_every_arg)
+      $ sched_seed_arg $ no_suppress_arg $ no_vc_intern_arg $ shards_arg
+      $ metrics_out_arg $ sample_every_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run one workload under every detector.") term
 
@@ -568,7 +581,7 @@ let record_cmd =
     term
 
 let replay_cmd =
-  let action path spec no_suppress verbose resync shards progress
+  let action path spec no_suppress no_vc_intern verbose resync shards progress
       progress_every max_shadow max_events deadline =
     or_fail @@ fun () ->
     let events, recovered_gaps =
@@ -586,12 +599,14 @@ let replay_cmd =
     let budget = budget max_shadow max_events deadline in
     let suppression = suppression no_suppress in
     let progress = replay_progress progress progress_every in
+    let vc_intern = not no_vc_intern in
     let s =
       if shards = 1 then
-        Engine.replay ~budget ~suppression ?progress ~spec
+        Engine.replay ~budget ~suppression ~vc_intern ?progress ~spec
           (List.to_seq events)
       else
-        Engine.replay_sharded ~budget ~suppression ?progress ~shards ~spec
+        Engine.replay_sharded ~budget ~suppression ~vc_intern ?progress ~shards
+          ~spec
           (List.to_seq events)
     in
     Format.printf "%a@." Engine.pp_summary s;
@@ -617,9 +632,9 @@ let replay_cmd =
   in
   let term =
     Term.(
-      const action $ path_arg $ spec_arg $ no_suppress_arg $ verbose_arg
-      $ resync_arg $ shards_arg $ progress_arg $ progress_every_arg
-      $ max_shadow_arg $ max_events_arg $ deadline_arg)
+      const action $ path_arg $ spec_arg $ no_suppress_arg $ no_vc_intern_arg
+      $ verbose_arg $ resync_arg $ shards_arg $ progress_arg
+      $ progress_every_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Analyse a recorded trace."

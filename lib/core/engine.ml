@@ -31,6 +31,7 @@ and mem_summary = {
   peak_hash_bytes : int;
   peak_vc_bytes : int;
   peak_bitmap_bytes : int;
+  peak_interned_bytes : int;
   peak_vcs : int;
   total_vcs : int;
   avg_sharing : float;
@@ -42,6 +43,7 @@ let mem_of_account a =
     peak_hash_bytes = Accounting.peak_hash_bytes a;
     peak_vc_bytes = Accounting.peak_vc_bytes a;
     peak_bitmap_bytes = Accounting.peak_bitmap_bytes a;
+    peak_interned_bytes = Accounting.peak_interned_bytes a;
     peak_vcs = Accounting.peak_vcs a;
     total_vcs = Accounting.total_vcs_created a;
     avg_sharing = Accounting.avg_sharing a;
@@ -168,14 +170,15 @@ let with_detector ?policy ?(budget = Budget.unlimited) ?sample_every ?progress
   let elapsed = Unix.gettimeofday () -. t0 in
   summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries:sampler
 
-let run ?policy ?budget ?suppression ?sample_every ?progress ~spec program =
+let run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress ~spec
+    program =
   with_detector ?policy ?budget ?sample_every ?progress
-    (Spec.to_detector ?suppression spec)
+    (Spec.to_detector ?suppression ?vc_intern spec)
     program
 
-let replay ?(budget = Budget.unlimited) ?suppression ?sample_every ?progress
-    ~spec events =
-  let d = Spec.to_detector ?suppression spec in
+let replay ?(budget = Budget.unlimited) ?suppression ?vc_intern ?sample_every
+    ?progress ~spec events =
+  let d = Spec.to_detector ?suppression ?vc_intern spec in
   let sampler =
     Option.map
       (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
@@ -210,6 +213,7 @@ let zero_mem =
     peak_hash_bytes = 0;
     peak_vc_bytes = 0;
     peak_bitmap_bytes = 0;
+    peak_interned_bytes = 0;
     peak_vcs = 0;
     total_vcs = 0;
     avg_sharing = 0.;
@@ -228,6 +232,7 @@ let merge_mem ms =
           peak_hash_bytes = acc.peak_hash_bytes + m.peak_hash_bytes;
           peak_vc_bytes = acc.peak_vc_bytes + m.peak_vc_bytes;
           peak_bitmap_bytes = acc.peak_bitmap_bytes + m.peak_bitmap_bytes;
+          peak_interned_bytes = acc.peak_interned_bytes + m.peak_interned_bytes;
           peak_vcs = acc.peak_vcs + m.peak_vcs;
           total_vcs = acc.total_vcs + m.total_vcs;
           avg_sharing =
@@ -319,14 +324,15 @@ let merge_sharded ~elapsed (r : Par.result) =
     timeseries = None;
   }
 
-let replay_sharded ?mode ?budget ?suppression ?progress ~shards ~spec events =
+let replay_sharded ?mode ?budget ?suppression ?vc_intern ?progress ~shards
+    ~spec events =
   if shards < 1 then invalid_arg "Engine.replay_sharded: shards must be >= 1";
   let t0 = Unix.gettimeofday () in
   (* materialise first: the splitter needs two passes, and forcing the
      sequence here surfaces corrupt-trace errors before any domain is
      spawned *)
   let events = Array.of_seq events in
-  let make () = Spec.to_detector ?suppression spec in
+  let make () = Spec.to_detector ?suppression ?vc_intern spec in
   let budget =
     match budget with
     | Some b when not (Budget.is_unlimited b) -> Some b
@@ -348,19 +354,23 @@ let checked f =
   | exception Sim.Deadlock { Sim.blocked; held } ->
     Error (Error.Deadlock { blocked; held })
 
-let run_checked ?policy ?budget ?suppression ?sample_every ?progress ~spec
-    program =
+let run_checked ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress
+    ~spec program =
   checked (fun () ->
-      run ?policy ?budget ?suppression ?sample_every ?progress ~spec program)
+      run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress ~spec
+        program)
 
-let replay_checked ?budget ?suppression ?sample_every ?progress ~spec events =
+let replay_checked ?budget ?suppression ?vc_intern ?sample_every ?progress
+    ~spec events =
   checked (fun () ->
-      replay ?budget ?suppression ?sample_every ?progress ~spec events)
+      replay ?budget ?suppression ?vc_intern ?sample_every ?progress ~spec
+        events)
 
-let replay_sharded_checked ?mode ?budget ?suppression ?progress ~shards ~spec
-    events =
+let replay_sharded_checked ?mode ?budget ?suppression ?vc_intern ?progress
+    ~shards ~spec events =
   checked (fun () ->
-      replay_sharded ?mode ?budget ?suppression ?progress ~shards ~spec events)
+      replay_sharded ?mode ?budget ?suppression ?vc_intern ?progress ~shards
+        ~spec events)
 
 let exit_code_of_summary s =
   if s.partial <> None || s.degraded then Error.exit_partial
@@ -406,6 +416,7 @@ let mem_to_json m =
       ("peak_hash_bytes", Json.Int m.peak_hash_bytes);
       ("peak_vc_bytes", Json.Int m.peak_vc_bytes);
       ("peak_bitmap_bytes", Json.Int m.peak_bitmap_bytes);
+      ("peak_interned_bytes", Json.Int m.peak_interned_bytes);
       ("peak_vcs", Json.Int m.peak_vcs);
       ("total_vcs", Json.Int m.total_vcs);
       ("avg_sharing", Json.Float m.avg_sharing);

@@ -56,6 +56,10 @@ and mem_summary = {
   peak_hash_bytes : int;
   peak_vc_bytes : int;
   peak_bitmap_bytes : int;
+  peak_interned_bytes : int;
+      (** the deduplicated (hash-consed snapshot) portion of
+          [peak_vc_bytes] — an annotation, not a fourth factor of
+          [peak_bytes] *)
   peak_vcs : int;  (** max vector clocks simultaneously live *)
   total_vcs : int;  (** vector clocks ever created *)
   avg_sharing : float;  (** average bytes sharing one vector clock *)
@@ -65,6 +69,7 @@ val run :
   ?policy:Scheduler.policy ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   spec:Spec.t ->
@@ -88,6 +93,7 @@ val run :
 val replay :
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   spec:Spec.t ->
@@ -101,6 +107,7 @@ val replay_sharded :
   ?mode:Dgrace_par.Par.mode ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   ?progress:int * (int -> unit) ->
   shards:int ->
   spec:Spec.t ->
@@ -146,6 +153,7 @@ val run_checked :
   ?policy:Scheduler.policy ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   spec:Spec.t ->
@@ -155,6 +163,7 @@ val run_checked :
 val replay_checked :
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   spec:Spec.t ->
@@ -165,6 +174,7 @@ val replay_sharded_checked :
   ?mode:Dgrace_par.Par.mode ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   ?progress:int * (int -> unit) ->
   shards:int ->
   spec:Spec.t ->

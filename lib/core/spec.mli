@@ -45,5 +45,8 @@ val of_string : string -> (t, string) result
 val all_names : string list
 (** Accepted [of_string] inputs, for CLI help. *)
 
-val to_detector : ?suppression:Suppression.t -> t -> Detector.t
-(** Instantiate a fresh detector. *)
+val to_detector : ?suppression:Suppression.t -> ?vc_intern:bool -> t -> Detector.t
+(** Instantiate a fresh detector.  [~vc_intern:false] disables
+    hash-consing of vector-clock snapshots in the detectors that keep
+    them (the FastTrack family, DRD, Inspector, RaceTrack) — the
+    [--no-vc-intern] escape hatch. *)

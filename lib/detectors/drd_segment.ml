@@ -73,7 +73,7 @@ end
 type segment = {
   sid : int;
   stid : int;
-  svc : Vector_clock.t;  (* clock snapshot at segment start *)
+  svc : Vc_intern.snap;  (* interned clock snapshot at segment start *)
   reads : Gset.t;
   writes : Gset.t;
   chunkset : (int, unit) Hashtbl.t;  (* address chunks this segment touches *)
@@ -88,6 +88,7 @@ let seg_base_bytes = 8 * 14
 
 type state = {
   granularity : int;
+  intern : Vc_intern.t;
   env : Vc_env.t;
   mutable next_sid : int;
   current : segment option Vec.t;  (* per thread *)
@@ -117,7 +118,10 @@ let current_of st tid =
       {
         sid = st.next_sid;
         stid = tid;
-        svc = Vector_clock.copy (Vc_env.clock_of st.env tid);
+        (* segments of different threads with equal start clocks — and
+           successive segments of one thread between syncs — share one
+           snapshot; the arena accounts the bytes *)
+        svc = Vc_intern.intern st.intern (Vc_env.clock_of st.env tid);
         reads = Gset.create st.granularity;
         writes = Gset.create st.granularity;
         chunkset = Hashtbl.create 8;
@@ -128,7 +132,6 @@ let current_of st tid =
     in
     st.next_sid <- st.next_sid + 1;
     Accounting.vc_created st.account;
-    Accounting.add_vc st.account (8 * Vector_clock.heap_words s.svc);
     Accounting.add_hash st.account seg_base_bytes;
     Vec.set st.current tid (Some s);
     s
@@ -168,7 +171,7 @@ let rebuild_index st =
 
 let retire_segment st s =
   Accounting.vc_freed st.account;
-  Accounting.add_vc st.account (-(8 * Vector_clock.heap_words s.svc));
+  Vc_intern.release s.svc;
   Accounting.add_hash st.account (-(seg_base_bytes + seg_set_bytes s))
 
 (* Drop finished segments that are ordered before every live thread:
@@ -181,7 +184,7 @@ let sweep st =
   done;
   let keep s =
     List.exists
-      (fun (tid, vc) -> tid <> s.stid && not (Vector_clock.leq s.svc vc))
+      (fun (tid, vc) -> tid <> s.stid && not (Vc_intern.leq_clock s.svc vc))
       !live
   in
   let kept, dropped = List.partition keep st.finished in
@@ -207,8 +210,8 @@ let concurrent_with cur other =
   if other.cache_sid = cur.sid then other.cache_concurrent
   else begin
     let c =
-      (not (Vector_clock.leq other.svc cur.svc))
-      && not (Vector_clock.leq cur.svc other.svc)
+      (not (Vc_intern.leq other.svc cur.svc))
+      && not (Vc_intern.leq cur.svc other.svc)
     in
     other.cache_sid <- cur.sid;
     other.cache_concurrent <- c;
@@ -250,7 +253,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
           then begin
             Hashtbl.replace st.racy granule ();
             let current : Report.endpoint =
-              { tid; kind; clock = Vector_clock.get seg.svc tid; loc }
+              { tid; kind; clock = Vc_intern.get seg.svc tid; loc }
             in
             let previous : Report.endpoint =
               {
@@ -258,7 +261,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
                 kind =
                   (if Gset.mem other.writes granule then Event.Write
                    else Event.Read);
-                clock = Vector_clock.get other.svc other.stid;
+                clock = Vc_intern.get other.svc other.stid;
                 loc = other.last_loc;
               }
             in
@@ -290,13 +293,22 @@ let on_free st ~addr ~size =
   Vec.iter (function Some s -> purge s | None -> ()) st.current;
   List.iter purge st.finished
 
-let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
+let create ?(granularity = 4) ?(suppression = Suppression.empty)
+    ?(vc_intern = true) () =
   if granularity <= 0 || granularity land (granularity - 1) <> 0 then
     invalid_arg "Drd_segment.create: granularity must be a power of two";
   let account = Accounting.create () in
+  let intern =
+    Vc_intern.create ~hash_consing:vc_intern
+      ~on_bytes:(fun d ->
+        Accounting.add_vc account d;
+        Accounting.add_interned account d)
+      ()
+  in
   let st =
     {
       granularity;
+      intern;
       env = Vc_env.create ();
       next_sid = 0;
       current = Vec.create ();
@@ -338,14 +350,18 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
     | Event.Alloc _ -> st.stats.allocs <- st.stats.allocs + 1
     | Event.Free { addr; size; _ } -> on_free st ~addr ~size
   in
+  let metrics = Dgrace_obs.Metrics.create () in
   {
     Detector.name = "drd-segment";
     on_event;
-    finish = (fun () -> sweep st);
+    finish =
+      (fun () ->
+        sweep st;
+        Vclock_obs.publish metrics st.intern);
     collector = st.collector;
     account = st.account;
     stats = st.stats;
-    metrics = Dgrace_obs.Metrics.create ();
+    metrics;
     transitions = None;
     degrade = None;
   }

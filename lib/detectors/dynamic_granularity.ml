@@ -60,6 +60,7 @@ type state = {
   write_guided_reads : bool;
       (* §VII extension: a read location with no read history of its
          own may join a neighbour whose write clocks it already shares *)
+  intern : Vc_intern.t;  (* read-shared clock snapshots live here *)
   env : Vc_env.t;
   rplane : cell Shadow_table.t;
   wplane : cell Shadow_table.t;
@@ -139,7 +140,12 @@ let fresh_cell st ~lo ~hi ~born ~state =
 
 let retire st c =
   Accounting.vc_freed st.account;
-  Accounting.add_vc st.account (-(cell_cost + Read_state.bytes c.r))
+  Accounting.add_vc st.account (-cell_cost);
+  (* snapshot bytes are accounted by the arena on the last release;
+     clearing [c.r] keeps a double retire (possible when a free handler
+     drops the refcount below zero twice) from double-releasing *)
+  Read_state.release c.r;
+  c.r <- Read_state.No_reads
 
 let hist_equal ~write a b =
   if write then Epoch.equal a.w b.w else Read_state.equal a.r b.r
@@ -147,13 +153,10 @@ let hist_equal ~write a b =
 let update_hist st ~write c ~tid ~tvc ~here ~loc =
   if write then c.w <- here
   else begin
-    let before = Read_state.bytes c.r in
-    c.r <- Read_state.update c.r ~tid ~tvc;
-    (match c.r with
-     | Read_state.Vc _ -> Metrics.incr st.m_vc_op
-     | Read_state.No_reads | Read_state.Ep _ -> Metrics.incr st.m_epoch_cmp);
-    let after = Read_state.bytes c.r in
-    if after <> before then Accounting.add_vc st.account (after - before)
+    c.r <- Read_state.update ~intern:st.intern c.r ~tid ~tvc;
+    match c.r with
+    | Read_state.Vc _ -> Metrics.incr st.m_vc_op
+    | Read_state.No_reads | Read_state.Ep _ -> Metrics.incr st.m_epoch_cmp
   end;
   c.loc <- loc
 
@@ -199,10 +202,7 @@ let reset_contained_reads st ~sub_lo ~sub_hi =
        | Some rc
          when rc.cstate <> Share_state.Race && rc.lo >= sub_lo && rc.hi <= sub_hi
          ->
-         (match rc.r with
-          | Read_state.Vc _ ->
-            Accounting.add_vc st.account (-Read_state.bytes rc.r)
-          | Read_state.No_reads | Read_state.Ep _ -> ());
+         Read_state.release rc.r;
          rc.r <- Read_state.No_reads
        | Some _ | None -> ());
       walk ghi
@@ -326,11 +326,12 @@ let split_off st ~write c ~sub_lo ~sub_hi =
     l.w <- c.w;
     l.r <-
       (match c.r with
-       | Read_state.Vc v -> Read_state.Vc (Vector_clock.copy v)
+       | Read_state.Vc s ->
+         (* O(1) share of the read-shared snapshot instead of a deep
+            copy — both halves keep observing the same clock value *)
+         Vc_intern.retain s;
+         Read_state.Vc s
        | (Read_state.No_reads | Read_state.Ep _) as r -> r);
-    (match l.r with
-     | Read_state.Vc _ -> Accounting.add_vc st.account (Read_state.bytes l.r)
-     | Read_state.No_reads | Read_state.Ep _ -> ());
     l.loc <- c.loc;
     Shadow_table.set_range (plane st ~write) ~lo:sub_lo ~hi:sub_hi l;
     c.refs <- c.refs - (sub_hi - sub_lo);
@@ -510,7 +511,7 @@ let shed_read_vcs st =
     (fun _ _ c ->
       match c.r with
       | Read_state.Vc _ ->
-        Accounting.add_vc st.account (-(Read_state.bytes c.r));
+        Read_state.release c.r;
         c.r <- Read_state.No_reads;
         incr dropped
       | Read_state.No_reads | Read_state.Ep _ -> ())
@@ -618,9 +619,17 @@ let on_free st ~addr ~size =
 
 let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
     ?(reshare_after = 0) ?(write_guided_reads = false)
-    ?(index = Shadow_table.Adaptive) ?name ?(suppression = Suppression.empty) () =
+    ?(index = Shadow_table.Adaptive) ?name ?(suppression = Suppression.empty)
+    ?(vc_intern = true) () =
   let account = Accounting.create () in
   let metrics = Metrics.create () in
+  let intern =
+    Vc_intern.create ~hash_consing:vc_intern
+      ~on_bytes:(fun d ->
+        Accounting.add_vc account d;
+        Accounting.add_interned account d)
+      ()
+  in
   let st =
     {
       sharing;
@@ -628,6 +637,7 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
       init_sharing;
       reshare_after;
       write_guided_reads;
+      intern;
       env = Vc_env.create ();
       rplane = Shadow_table.create ~mode:index ~account ();
       wplane = Shadow_table.create ~mode:index ~account ();
@@ -706,7 +716,8 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
       | None -> ()
     done;
     g "shadow.bitmap_chunk_allocs" !ca;
-    g "shadow.bitmap_chunk_recycles" !cr
+    g "shadow.bitmap_chunk_recycles" !cr;
+    Vclock_obs.publish metrics st.intern
   in
   {
     Detector.name;

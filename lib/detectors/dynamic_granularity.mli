@@ -48,6 +48,7 @@ val create :
   ?index:Dgrace_shadow.Shadow_table.mode ->
   ?name:string ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   unit ->
   Detector.t
 (** The paper's tool is one implementation serving all three
@@ -70,4 +71,9 @@ val create :
     whose clock matched a settled neighbour's (granularity keeps
     adapting after the second epoch), and [~write_guided_reads:true]
     lets a read location with no read history of its own join a
-    neighbour when their {e write} clocks are already shared. *)
+    neighbour when their {e write} clocks are already shared.
+
+    [~vc_intern:false] disables hash-consing in the read-shared
+    snapshot arena (the [--no-vc-intern] escape hatch): every capture
+    materialises a private snapshot, reproducing the legacy deep-copy
+    memory behaviour with identical race verdicts. *)

@@ -18,6 +18,7 @@ let cell_cost = 8 * (6 + 2)
 
 type state = {
   granularity : int;
+  intern : Vc_intern.t;
   env : Vc_env.t;
   shadow : cell Shadow_table.t;
   bitmaps : Epoch_bitmap.t option Vec.t;  (* per thread *)
@@ -49,7 +50,9 @@ let fresh_cell st =
 
 let retire_cell st c =
   Accounting.vc_freed st.account;
-  Accounting.add_vc st.account (-(cell_cost + Read_state.bytes c.r))
+  Accounting.add_vc st.account (-cell_cost);
+  Read_state.release c.r;
+  c.r <- Read_state.No_reads
 
 let cell_at st a =
   match Shadow_table.get st.shadow a with
@@ -59,17 +62,14 @@ let cell_at st a =
     Shadow_table.set st.shadow a c;
     c
 
-(* Update [c.r] for a read, keeping the vector-clock byte accounting in
-   step with inflation to the read-shared representation. *)
+(* Update [c.r] for a read; snapshot bytes for the read-shared
+   representation are accounted by the arena. *)
 let record_read st c ~tid ~tvc ~loc =
-  let before = Read_state.bytes c.r in
-  c.r <- Read_state.update c.r ~tid ~tvc;
+  c.r <- Read_state.update ~intern:st.intern c.r ~tid ~tvc;
   (match c.r with
    | Read_state.Vc _ -> Metrics.incr st.m_vc_op
    | Read_state.No_reads | Read_state.Ep _ -> Metrics.incr st.m_epoch_cmp);
-  c.r_loc <- loc;
-  let after = Read_state.bytes c.r in
-  if after <> before then Accounting.add_vc st.account (after - before)
+  c.r_loc <- loc
 
 let report_race st ~slot_lo ~current ~previous =
   let r =
@@ -128,7 +128,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
                  collapse back to the cheap representation *)
               match c.r with
               | Read_state.Vc _ ->
-                Accounting.add_vc st.account (-Read_state.bytes c.r);
+                Read_state.release c.r;
                 c.r <- Read_state.No_reads
               | Read_state.No_reads | Read_state.Ep _ -> ()
             end
@@ -153,14 +153,23 @@ let on_free st ~addr ~size =
     st.shadow ~lo:addr ~hi:(addr + size);
   Shadow_table.remove_range st.shadow ~lo:addr ~hi:(addr + size)
 
-let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
+let create ?(granularity = 1) ?(suppression = Suppression.empty)
+    ?(vc_intern = true) () =
   if granularity <= 0 || granularity land (granularity - 1) <> 0 then
     invalid_arg "Fasttrack.create: granularity must be a power of two";
   let account = Accounting.create () in
   let metrics = Metrics.create () in
+  let intern =
+    Vc_intern.create ~hash_consing:vc_intern
+      ~on_bytes:(fun d ->
+        Accounting.add_vc account d;
+        Accounting.add_interned account d)
+      ()
+  in
   let st =
     {
       granularity;
+      intern;
       env = Vc_env.create ();
       shadow =
         Shadow_table.create ~mode:(Shadow_table.Fixed_bytes granularity) ~account ();
@@ -207,7 +216,8 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
       | None -> ()
     done;
     g "shadow.bitmap_chunk_allocs" !ca;
-    g "shadow.bitmap_chunk_recycles" !cr
+    g "shadow.bitmap_chunk_recycles" !cr;
+    Vclock_obs.publish metrics st.intern
   in
   {
     Detector.name =

@@ -13,7 +13,9 @@ open Dgrace_events
 val create :
   ?granularity:int ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   unit ->
   Detector.t
 (** [create ~granularity ()] — granularity defaults to 1 (byte).  Must
-    be a power of two. *)
+    be a power of two.  [~vc_intern:false] disables hash-consing of
+    read-shared snapshots (legacy deep-copy memory behaviour). *)

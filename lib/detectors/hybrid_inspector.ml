@@ -7,12 +7,15 @@ type entry = {
   etid : int;
   write : bool;
   clock : int;
-  evc : Vector_clock.t;  (* full snapshot — the memory cost *)
+  evc : Vc_intern.snap;  (* interned full snapshot — the memory cost *)
   locks : Iset.t;
   eloc : string;
 }
 
-let entry_bytes e = 8 * (8 + Vector_clock.heap_words e.evc + (3 * Iset.cardinal e.locks))
+(* the snapshot's own bytes are accounted by the arena (entries between
+   two syncs all share one snapshot), so only the entry record and the
+   lock set are charged here *)
+let entry_bytes e = 8 * (8 + (3 * Iset.cardinal e.locks))
 
 type cell = { mutable entries : entry list; mutable racy : bool }
 (* newest first, bounded length *)
@@ -22,6 +25,7 @@ let cell_base_bytes = 8 * 4
 type state = {
   granularity : int;
   history : int;
+  intern : Vc_intern.t;
   env : Vc_env.t;
   locks : Lock_tracker.t;
   shadow : cell Shadow_table.t;
@@ -45,7 +49,7 @@ let cell_at st a =
 let races_with ~tid ~write ~tvc ~held e =
   e.etid <> tid
   && (write || e.write)
-  && (not (Vector_clock.leq e.evc tvc))
+  && (not (Vc_intern.leq_clock e.evc tvc))
   && Iset.is_empty (Iset.inter e.locks held)
 
 let on_access st ~tid ~kind ~addr ~size ~loc =
@@ -95,7 +99,14 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
         | None -> ()
       end;
       let e =
-        { etid = tid; write; clock; evc = Vector_clock.copy tvc; locks = held; eloc = loc }
+        {
+          etid = tid;
+          write;
+          clock;
+          evc = Vc_intern.intern st.intern tvc;
+          locks = held;
+          eloc = loc;
+        }
       in
       Accounting.add_vc st.account (entry_bytes e);
       let entries = e :: c.entries in
@@ -105,7 +116,11 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
         | x :: tl ->
           if n = 1 then begin
             (* evicting the tail *)
-            List.iter (fun d -> Accounting.add_vc st.account (-entry_bytes d)) tl;
+            List.iter
+              (fun d ->
+                Vc_intern.release d.evc;
+                Accounting.add_vc st.account (-entry_bytes d))
+              tl;
             [ x ]
           end
           else x :: take (n - 1) tl
@@ -120,21 +135,32 @@ let on_free st ~addr ~size =
   Shadow_table.iter_range
     (fun _ _ c ->
       Accounting.vc_freed st.account;
+      List.iter (fun e -> Vc_intern.release e.evc) c.entries;
       Accounting.add_vc st.account
         (-(cell_base_bytes
-           + List.fold_left (fun acc e -> acc + entry_bytes e) 0 c.entries)))
+           + List.fold_left (fun acc e -> acc + entry_bytes e) 0 c.entries));
+      c.entries <- [])
     st.shadow ~lo:addr ~hi:(addr + size);
   Shadow_table.remove_range st.shadow ~lo:addr ~hi:(addr + size)
 
-let create ?(granularity = 4) ?(history = 2) ?(suppression = Suppression.empty) () =
+let create ?(granularity = 4) ?(history = 2) ?(suppression = Suppression.empty)
+    ?(vc_intern = true) () =
   if granularity <= 0 || granularity land (granularity - 1) <> 0 then
     invalid_arg "Hybrid_inspector.create: granularity must be a power of two";
   if history < 1 then invalid_arg "Hybrid_inspector.create: empty history";
   let account = Accounting.create () in
+  let intern =
+    Vc_intern.create ~hash_consing:vc_intern
+      ~on_bytes:(fun d ->
+        Accounting.add_vc account d;
+        Accounting.add_interned account d)
+      ()
+  in
   let st =
     {
       granularity;
       history;
+      intern;
       env = Vc_env.create ();
       locks = Lock_tracker.create ();
       shadow =
@@ -159,14 +185,15 @@ let create ?(granularity = 4) ?(history = 2) ?(suppression = Suppression.empty) 
       | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
       | Event.Thread_exit _ -> ()
   in
+  let metrics = Dgrace_obs.Metrics.create () in
   {
     Detector.name = "inspector-hybrid";
     on_event;
-    finish = (fun () -> ());
+    finish = (fun () -> Vclock_obs.publish metrics st.intern);
     collector = st.collector;
     account = st.account;
     stats = st.stats;
-    metrics = Dgrace_obs.Metrics.create ();
+    metrics;
     transitions = None;
     degrade = None;
   }

@@ -14,12 +14,20 @@ let conflicting_tid v ~against =
       else found)
     v (-1)
 
+let snap_conflicting_tid s ~against =
+  Vc_intern.fold
+    (fun tid clock found ->
+      if found >= 0 then found
+      else if clock > Vector_clock.get against tid then tid
+      else found)
+    s (-1)
+
 let of_read_state r ~against ~loc : Report.endpoint =
   match r with
   | Read_state.No_reads -> { tid = -1; kind = Event.Read; clock = 0; loc }
   | Read_state.Ep e ->
     { tid = Epoch.tid e; kind = Event.Read; clock = Epoch.clock e; loc }
-  | Read_state.Vc v ->
-    let tid = conflicting_tid v ~against in
-    let tid = if tid >= 0 then tid else Vector_clock.max_tid_set v in
-    { tid; kind = Event.Read; clock = Vector_clock.get v (max tid 0); loc }
+  | Read_state.Vc s ->
+    let tid = snap_conflicting_tid s ~against in
+    let tid = if tid >= 0 then tid else Vc_intern.max_tid_set s in
+    { tid; kind = Event.Read; clock = Vc_intern.get s (max tid 0); loc }

@@ -15,6 +15,7 @@ let cell_cost = 8 * 8
 
 type state = {
   region : int;
+  intern : Vc_intern.t;
   env : Vc_env.t;
   coarse : (int, cell) Hashtbl.t;  (* region base -> one clock *)
   refined : (int, unit) Hashtbl.t;  (* regions switched to fine mode *)
@@ -44,7 +45,9 @@ let fresh_cell st n_locs =
 
 let retire_cell st c =
   Accounting.vc_freed st.account;
-  Accounting.add_vc st.account (-(cell_cost + Read_state.bytes c.r))
+  Accounting.add_vc st.account (-cell_cost);
+  Read_state.release c.r;
+  c.r <- Read_state.No_reads
 
 (* FastTrack rules on one cell; [previous] reports the conflicting
    access when the result is [true]. *)
@@ -60,7 +63,7 @@ let ft_check_and_update st c ~write ~tid ~tvc ~here ~loc ~on_race =
         c.w_loc <- loc;
         match c.r with
         | Read_state.Vc _ ->
-          Accounting.add_vc st.account (-Read_state.bytes c.r);
+          Read_state.release c.r;
           c.r <- Read_state.No_reads
         | Read_state.No_reads | Read_state.Ep _ -> ()
       end
@@ -69,11 +72,8 @@ let ft_check_and_update st c ~write ~tid ~tvc ~here ~loc ~on_race =
     if not (Vector_clock.epoch_leq c.w tvc) then
       on_race (Race_info.of_write ~w:c.w ~loc:c.w_loc)
     else begin
-      let before = Read_state.bytes c.r in
-      c.r <- Read_state.update c.r ~tid ~tvc;
-      c.r_loc <- loc;
-      let after = Read_state.bytes c.r in
-      if after <> before then Accounting.add_vc st.account (after - before)
+      c.r <- Read_state.update ~intern:st.intern c.r ~tid ~tvc;
+      c.r_loc <- loc
     end
   end
 
@@ -173,13 +173,22 @@ let on_free st ~addr ~size =
     st.fine ~lo:addr ~hi:(addr + size);
   Shadow_table.remove_range st.fine ~lo:addr ~hi:(addr + size)
 
-let create ?(region = 64) ?(suppression = Suppression.empty) () =
+let create ?(region = 64) ?(suppression = Suppression.empty)
+    ?(vc_intern = true) () =
   if region < 4 || region land (region - 1) <> 0 then
     invalid_arg "Racetrack_adaptive.create: region must be a power of two >= 4";
   let account = Accounting.create () in
+  let intern =
+    Vc_intern.create ~hash_consing:vc_intern
+      ~on_bytes:(fun d ->
+        Accounting.add_vc account d;
+        Accounting.add_interned account d)
+      ()
+  in
   let st =
     {
       region;
+      intern;
       env = Vc_env.create ();
       coarse = Hashtbl.create 256;
       refined = Hashtbl.create 64;
@@ -203,14 +212,15 @@ let create ?(region = 64) ?(suppression = Suppression.empty) () =
       | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
       | Event.Thread_exit _ -> ()
   in
+  let metrics = Dgrace_obs.Metrics.create () in
   {
     Detector.name = "racetrack-adaptive";
     on_event;
-    finish = (fun () -> ());
+    finish = (fun () -> Vclock_obs.publish metrics st.intern);
     collector = st.collector;
     account = st.account;
     stats = st.stats;
-    metrics = Dgrace_obs.Metrics.create ();
+    metrics;
     transitions = None;
     degrade = None;
   }

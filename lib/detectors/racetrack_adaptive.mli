@@ -25,7 +25,8 @@ open Dgrace_events
 val create :
   ?region:int ->
   ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
   unit ->
   Detector.t
 (** [region] is the coarse detection unit in bytes (default 64; power
-    of two). *)
+    of two).  [~vc_intern:false] disables snapshot hash-consing. *)

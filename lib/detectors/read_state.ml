@@ -1,44 +1,53 @@
 open Dgrace_vclock
 
-type t = No_reads | Ep of Epoch.t | Vc of Vector_clock.t
+type t = No_reads | Ep of Epoch.t | Vc of Vc_intern.snap
 
 let equal a b =
   match (a, b) with
   | No_reads, No_reads -> true
   | Ep e1, Ep e2 -> Epoch.equal e1 e2
-  | Vc v1, Vc v2 -> Vector_clock.equal v1 v2
+  | Vc s1, Vc s2 -> Vc_intern.equal s1 s2
   | (No_reads | Ep _ | Vc _), _ -> false
 
 let leq r tvc =
   match r with
   | No_reads -> true
   | Ep e -> Vector_clock.epoch_leq e tvc
-  | Vc v -> Vector_clock.leq v tvc
+  | Vc s -> Vc_intern.leq_clock s tvc
 
 let same_epoch r e =
   match r with Ep e' -> Epoch.equal e e' | No_reads | Vc _ -> false
 
-let update r ~tid ~tvc =
+let update ~intern r ~tid ~tvc =
   let here = Epoch.make ~tid ~clock:(Vector_clock.get tvc tid) in
   match r with
   | No_reads -> Ep here
   | Ep e ->
     if Vector_clock.epoch_leq e tvc then Ep here
     else begin
-      (* read-shared: inflate to a vector clock holding both reads *)
-      let v = Vector_clock.of_epoch e in
+      (* read-shared: inflate to a snapshot holding both reads, staged
+         through the arena's pooled scratch clock — no allocation on
+         the hot path *)
+      let v = Vc_intern.scratch intern in
+      Vector_clock.reset v;
+      Vector_clock.set v (Epoch.tid e) (Epoch.clock e);
       Vector_clock.set v tid (Epoch.clock here);
-      Vc v
+      Vc (Vc_intern.intern intern v)
     end
-  | Vc v ->
-    Vector_clock.set v tid (Epoch.clock here);
-    Vc v
+  | Vc s ->
+    let s' = Vc_intern.with_component s ~tid ~clock:(Epoch.clock here) in
+    Vc_intern.release s;
+    Vc s'
+
+let release = function
+  | No_reads | Ep _ -> ()
+  | Vc s -> Vc_intern.release s
 
 let bytes = function
   | No_reads | Ep _ -> 0
-  | Vc v -> 8 * Vector_clock.heap_words v
+  | Vc s -> Vc_intern.snap_bytes s
 
 let pp ppf = function
   | No_reads -> Format.pp_print_string ppf "r:-"
   | Ep e -> Format.fprintf ppf "r:%a" Epoch.pp e
-  | Vc v -> Format.fprintf ppf "r:%a" Vector_clock.pp v
+  | Vc s -> Format.fprintf ppf "r:%a" Vector_clock.pp (Vc_intern.to_clock s)

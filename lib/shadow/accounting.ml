@@ -10,6 +10,8 @@ type t = {
   mutable peak_vcs : int;
   mutable created_vcs : int;
   mutable bound_locations : int;
+  mutable interned : int;
+  mutable peak_interned : int;
 }
 
 let create () =
@@ -25,6 +27,8 @@ let create () =
     peak_vcs = 0;
     created_vcs = 0;
     bound_locations = 0;
+    interned = 0;
+    peak_interned = 0;
   }
 
 let update_peaks t =
@@ -37,6 +41,12 @@ let update_peaks t =
 let add_hash t d = t.hash <- t.hash + d; update_peaks t
 let add_vc t d = t.vc <- t.vc + d; update_peaks t
 let add_bitmap t d = t.bitmap <- t.bitmap + d; update_peaks t
+
+(* the interned axis annotates how much of [vc] is deduplicated
+   snapshot storage; it is not a fourth factor of [current_bytes] *)
+let add_interned t d =
+  t.interned <- t.interned + d;
+  if t.interned > t.peak_interned then t.peak_interned <- t.interned
 
 let vc_created t =
   t.live_vcs <- t.live_vcs + 1;
@@ -54,6 +64,8 @@ let peak_bytes t = t.peak_total
 let peak_hash_bytes t = t.peak_hash
 let peak_vc_bytes t = t.peak_vc
 let peak_bitmap_bytes t = t.peak_bitmap
+let interned_bytes t = t.interned
+let peak_interned_bytes t = t.peak_interned
 let live_vcs t = t.live_vcs
 let peak_vcs t = t.peak_vcs
 let total_vcs_created t = t.created_vcs
@@ -73,4 +85,6 @@ let reset t =
   t.live_vcs <- 0;
   t.peak_vcs <- 0;
   t.created_vcs <- 0;
-  t.bound_locations <- 0
+  t.bound_locations <- 0;
+  t.interned <- 0;
+  t.peak_interned <- 0

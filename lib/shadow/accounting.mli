@@ -23,6 +23,12 @@ val add_vc : t -> int -> unit
 val add_bitmap : t -> int -> unit
 (** Same-epoch bitmap bytes (Table 2 "Bitmap" column). *)
 
+val add_interned : t -> int -> unit
+(** Interned vector-clock snapshot bytes (the {!Dgrace_vclock.Vc_intern}
+    arena).  This is an annotation of the vector-clock factor — callers
+    feeding an arena's byte deltas here are expected to also feed them
+    to {!add_vc} — so it is {e not} part of {!current_bytes}. *)
+
 (** {1 Vector-clock population (Table 3)} *)
 
 val vc_created : t -> unit
@@ -50,6 +56,11 @@ val peak_vc_bytes : t -> int
 val peak_bitmap_bytes : t -> int
 (** Per-factor peaks (each factor's own maximum; they need not occur
     simultaneously, mirroring the paper's per-column maxima). *)
+
+val interned_bytes : t -> int
+val peak_interned_bytes : t -> int
+(** Live/peak bytes of deduplicated clock snapshots (subset of the
+    vector-clock factor). *)
 
 val live_vcs : t -> int
 val peak_vcs : t -> int

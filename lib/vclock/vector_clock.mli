@@ -5,8 +5,15 @@
     growable array; entries beyond the stored length are implicitly 0,
     so clocks for executions with few threads stay small.
 
+    The clock tracks its highest non-zero component, so {!leq},
+    {!join}, {!equal} and {!fold} walk only the live prefix and
+    {!max_tid_set} is O(1).  It also carries a generation counter that
+    is bumped on every content change; {!Vc_intern} uses it to memoise
+    interning of unchanged clocks.
+
     All mutating operations update the clock in place — detectors own
-    their clocks and copy explicitly where sharing would be unsound. *)
+    their clocks and copy or intern explicitly where sharing would be
+    unsound. *)
 
 type t
 (** A mutable vector clock. *)
@@ -20,6 +27,8 @@ val get : t -> int -> int
 
 val set : t -> int -> int -> unit
 (** [set vc tid c] assigns component [tid], growing storage as needed.
+    Writing the value a component already holds is a no-op (the
+    generation counter is not bumped).
     @raise Invalid_argument on negative [tid] or [c]. *)
 
 val tick : t -> int -> unit
@@ -30,19 +39,34 @@ val size : t -> int
     storage; all components at and beyond [size] are 0). *)
 
 val copy : t -> t
-(** An independent copy. *)
+(** An independent copy (with a fresh generation history). *)
+
+val reset : t -> unit
+(** [reset vc] zeroes every component without shrinking storage. *)
 
 val assign : t -> t -> unit
-(** [assign dst src] makes [dst] equal to [src] component-wise. *)
+(** [assign dst src] makes [dst] equal to [src] component-wise.  The
+    destination's array is reused whenever [src]'s live prefix fits its
+    capacity — regardless of the two arrays' exact lengths — so
+    assigning into a pooled scratch clock allocates nothing in steady
+    state. *)
+
+val load : t -> int array -> int -> unit
+(** [load dst payload len] makes [dst] equal to the clock whose
+    components [0 .. len-1] are [payload.(0 .. len-1)] and 0 beyond —
+    the inverse of snapshot interning.
+    @raise Invalid_argument if [len > Array.length payload]. *)
 
 val join : t -> t -> unit
 (** [join dst src] sets [dst] to the element-wise maximum of [dst] and
     [src] — the vector-clock update performed by lock acquire/release
-    and fork/join edges. *)
+    and fork/join edges.  Only [src]'s live prefix is walked, and the
+    generation counter is bumped only if [dst] actually changed. *)
 
 val leq : t -> t -> bool
 (** [leq a b] is the happens-before partial order: every component of
-    [a] is [<=] the corresponding component of [b]. *)
+    [a] is [<=] the corresponding component of [b].  O(1) rejection
+    when [a] has a non-zero component above [b]'s live prefix. *)
 
 val equal : t -> t -> bool
 (** Component-wise equality (trailing zeros ignored, so clocks of
@@ -57,14 +81,45 @@ val of_epoch : Epoch.t -> t
 (** A vector clock that is 0 everywhere except the epoch's component. *)
 
 val max_tid_set : t -> int
-(** Largest tid with a non-zero component, or -1 if the clock is 0. *)
+(** Largest tid with a non-zero component, or -1 if the clock is 0.
+    O(1). *)
 
 val heap_words : t -> int
 (** Approximate heap footprint in machine words (array + record
-    headers), used by the shadow-memory accounting of Table 2. *)
+    headers), used by the shadow-memory accounting of Table 2.  The
+    generation/memo instrumentation fields are excluded: the figure
+    models the flat C layout the paper costs. *)
 
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
-(** [fold f vc acc] folds [f tid clock] over non-zero components. *)
+(** [fold f vc acc] folds [f tid clock] over non-zero components in
+    increasing tid order. *)
+
+(** {2 Interning protocol}
+
+    The remaining accessors exist for {!Vc_intern} and are not part of
+    the clock's public semantics. *)
+
+val raw : t -> int array
+(** The backing array (indices above {!max_tid_set} are 0).  Callers
+    must not mutate it; exposed so the interning arena can hash and
+    compare the live prefix without copying. *)
+
+val generation : t -> int
+(** Content generation: bumped on every mutation that changed a
+    component. *)
+
+val memo_arena : t -> int
+(** Arena uid of the last {!memo_store} (0 = none). *)
+
+val memo_gen : t -> int
+(** Generation at the time of the last {!memo_store}. *)
+
+val memo_snap : t -> Obj.t
+(** Snapshot stored by the last {!memo_store}; only meaningful when
+    [memo_arena] and [memo_gen] both match. *)
+
+val memo_store : t -> arena:int -> Obj.t -> unit
+(** Record that this exact clock state was interned in [arena]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints [<c0, c1, ...>] up to the last non-zero component. *)

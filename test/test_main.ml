@@ -5,6 +5,7 @@ let () =
     (List.concat
        [
          Test_vclock.suites;
+         Test_vc_intern.suites;
          Test_units.suites;
          Test_util.suites;
          Test_shadow.suites;

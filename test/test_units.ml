@@ -57,12 +57,13 @@ let vc_of l =
   vc
 
 let test_read_state_exclusive_stays_epoch () =
+  let intern = Vc_intern.create () in
   let tvc1 = vc_of [ (0, 3) ] in
-  let r = Read_state.update Read_state.No_reads ~tid:0 ~tvc:tvc1 in
+  let r = Read_state.update ~intern Read_state.No_reads ~tid:0 ~tvc:tvc1 in
   check_bool "epoch repr" true (match r with Read_state.Ep _ -> true | _ -> false);
   (* a later ordered read by another thread stays an epoch *)
   let tvc2 = vc_of [ (0, 4); (1, 2) ] in
-  let r = Read_state.update r ~tid:1 ~tvc:tvc2 in
+  let r = Read_state.update ~intern r ~tid:1 ~tvc:tvc2 in
   (match r with
    | Read_state.Ep e ->
      check_int "latest reader" 1 (Epoch.tid e);
@@ -71,13 +72,16 @@ let test_read_state_exclusive_stays_epoch () =
   check_int "no extra bytes" 0 (Read_state.bytes r)
 
 let test_read_state_inflates_on_concurrent_reads () =
-  let r = Read_state.update Read_state.No_reads ~tid:0 ~tvc:(vc_of [ (0, 3) ]) in
+  let intern = Vc_intern.create () in
+  let r =
+    Read_state.update ~intern Read_state.No_reads ~tid:0 ~tvc:(vc_of [ (0, 3) ])
+  in
   (* t1 did not see t0's read: unordered -> vector clock *)
-  let r = Read_state.update r ~tid:1 ~tvc:(vc_of [ (1, 5) ]) in
+  let r = Read_state.update ~intern r ~tid:1 ~tvc:(vc_of [ (1, 5) ]) in
   (match r with
-   | Read_state.Vc v ->
-     check_int "keeps t0" 3 (Vector_clock.get v 0);
-     check_int "keeps t1" 5 (Vector_clock.get v 1)
+   | Read_state.Vc s ->
+     check_int "keeps t0" 3 (Vc_intern.get s 0);
+     check_int "keeps t1" 5 (Vc_intern.get s 1)
    | _ -> Alcotest.fail "expected vector clock");
   check_bool "vc costs bytes" true (Read_state.bytes r > 0);
   (* leq against a clock that saw both *)

@@ -106,6 +106,53 @@ let test_mutual_join_capacity_stable () =
   check "a stays small" true (Vector_clock.heap_words a < 64);
   check "b stays small" true (Vector_clock.heap_words b < 64)
 
+(* PR 5 regression: assign must reuse the destination's array when the
+   source fits its capacity, and the join/assign fast paths must be
+   allocation-free in steady state.  Minor-word deltas, not timings —
+   stable on any machine. *)
+let minor_words_of f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_assign_reuses_array () =
+  let src = Vector_clock.create () in
+  Vector_clock.set src 5 9;
+  let dst = Vector_clock.create ~capacity:8 () in
+  Vector_clock.set dst 7 3;
+  let arr_before = Vector_clock.raw dst in
+  Vector_clock.assign dst src;
+  check "content assigned" true (Vector_clock.equal dst src);
+  check "array reused" true (Vector_clock.raw dst == arr_before);
+  (* a wider source must still grow the destination correctly *)
+  Vector_clock.set src 20 1;
+  Vector_clock.assign dst src;
+  check "grown content" true (Vector_clock.equal dst src)
+
+let test_steady_state_allocation_free () =
+  let a = Vector_clock.create () and b = Vector_clock.create () in
+  for t = 0 to 7 do
+    Vector_clock.set a t (t + 1);
+    Vector_clock.set b t (8 - t)
+  done;
+  (* warm up: after the first round every capacity is settled *)
+  Vector_clock.assign b a;
+  Vector_clock.join b a;
+  let iters = 1000 in
+  let words =
+    minor_words_of (fun () ->
+        for i = 1 to iters do
+          Vector_clock.set a 3 i;
+          Vector_clock.assign b a;
+          Vector_clock.join b a;
+          ignore (Vector_clock.leq a b : bool)
+        done)
+  in
+  (* zero in practice; the slack absorbs instrumentation noise *)
+  if words >= 256. then
+    Alcotest.failf "assign/join/leq allocated %.0f minor words / %d iters"
+      words iters
+
 let test_fold_pp () =
   let vc = Vector_clock.create () in
   Vector_clock.set vc 0 1;
@@ -189,6 +236,8 @@ let suites : unit Alcotest.test list =
           Alcotest.test_case "of_epoch" `Quick test_of_epoch;
           Alcotest.test_case "assign/copy" `Quick test_assign_copy;
           Alcotest.test_case "mutual join capacity stable" `Quick test_mutual_join_capacity_stable;
+          Alcotest.test_case "assign reuses destination array" `Quick test_assign_reuses_array;
+          Alcotest.test_case "steady-state paths allocation-free" `Quick test_steady_state_allocation_free;
           Alcotest.test_case "fold and pp" `Quick test_fold_pp;
         ] );
       ( "vclock.laws",
