@@ -24,6 +24,7 @@ let all_tables : (string * (unit -> unit)) list =
     ("table5", Tables.table5);
     ("table6", Tables.table6);
     ("par", Tables.par);
+    ("trace", Tables.trace);
     ("vclock", Vclock_bench.run);
     ("ext", Tables.ext);
     ("related", Tables.related);

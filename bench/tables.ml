@@ -406,6 +406,135 @@ let fig4 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The flight recorder's acceptance gate (doc/observability.md): replay
+   the identical recorded trace with the tracer off and on, min over
+   reps on both sides.  The traced run carries everything `racedet
+   replay --trace-out` would — engine spans, the sampled
+   detector.on_event dispatch timer, the gated per-phase timers — so
+   the ratio is the full cost a profiling user pays.  Race reports
+   must be bit-identical and the exported document must pass the
+   Chrome_trace validator; either failing, or the geomean ratio
+   exceeding the 1.05 budget, exits 1.
+
+   Minimum-over-reps still jitters by several percent on loaded
+   machines (CI runners included) while the real overhead sits around
+   1-3%, so the gate is made noise-robust: workloads over budget after
+   the first pass are re-measured with fresh reps (mins only improve),
+   up to three extra rounds.  Noise spikes converge; a real regression
+   keeps every round over budget and still fails. *)
+let trace () =
+  header
+    "Table T. Flight-recorder overhead: trace replay with the tracer off vs \
+     on (dynamic detector)";
+  let supp = Measure.suppression_for Spec.dynamic in
+  let best_off : (string, Engine.summary) Hashtbl.t = Hashtbl.create 16 in
+  let best_on : (string, Engine.summary * Dgrace_obs.Span.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* off and on alternate inside one rep loop, each behind a full
+     major collection: an off-vs-on diff must not be a diff in
+     inherited GC debt or warm-up, only in the traced event loop *)
+  let measure (w : Workload.t) =
+    let events, _ = Measure.recorded w in
+    for _ = 1 to max 1 !Measure.reps do
+      Gc.full_major ();
+      let s =
+        Engine.replay ~suppression:supp ~spec:Spec.dynamic
+          (Array.to_seq events)
+      in
+      (match Hashtbl.find_opt best_off w.name with
+       | Some p when p.Engine.elapsed <= s.elapsed -> ()
+       | _ -> Hashtbl.replace best_off w.name s);
+      Gc.full_major ();
+      (* a fresh tracer per rep: rings must not accumulate across reps *)
+      let t = Dgrace_obs.Span.create () in
+      let s =
+        Engine.replay ~suppression:supp ~spec:Spec.dynamic ~tracer:t
+          (Array.to_seq events)
+      in
+      match Hashtbl.find_opt best_on w.name with
+      | Some (p, _) when p.Engine.elapsed <= s.elapsed -> ()
+      | _ -> Hashtbl.replace best_on w.name (s, t)
+    done
+  in
+  let ratio (w : Workload.t) =
+    let off = Hashtbl.find best_off w.name in
+    let on, _ = Hashtbl.find best_on w.name in
+    if off.Engine.elapsed > 0. then on.Engine.elapsed /. off.Engine.elapsed
+    else Float.nan
+  in
+  let geomean_ratio () =
+    Measure.geomean
+      (List.filter_map
+         (fun w ->
+           let r = ratio w in
+           if Float.is_nan r then None else Some r)
+         Registry.all)
+  in
+  List.iter measure Registry.all;
+  let rounds = ref 0 in
+  while geomean_ratio () > 1.05 && !rounds < 3 do
+    incr rounds;
+    List.iter (fun w -> if ratio w > 1.02 then measure w) Registry.all
+  done;
+  if !rounds > 0 then
+    Printf.printf
+      "(%d extra measurement round(s) for workloads over budget)\n" !rounds;
+  Printf.printf "%-14s %10s %9s %9s %7s %8s %6s | %6s %6s\n" "program" "events"
+    "off(ms)" "on(ms)" "ratio" "spans" "drop" "r-off" "r-on";
+  let mismatches = ref 0 in
+  let invalid = ref 0 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let events, _ = Measure.recorded w in
+      let off = Hashtbl.find best_off w.name in
+      let on, tracer = Hashtbl.find best_on w.name in
+      let span_events =
+        match
+          Dgrace_obs.Chrome_trace.phases (Dgrace_obs.Chrome_trace.to_json tracer)
+        with
+        | Ok r -> r.Dgrace_obs.Chrome_trace.events
+        | Error e ->
+          incr invalid;
+          Printf.eprintf "bench: trace: %s: invalid trace: %s\n" w.name e;
+          -1
+      in
+      let same =
+        off.race_count = on.race_count
+        && List.map Dgrace_events.Report.to_string off.races
+           = List.map Dgrace_events.Report.to_string on.races
+      in
+      if not same then incr mismatches;
+      Printf.printf "%-14s %10d %9.2f %9.2f %7.2f %8d %6d | %6d %6d%s\n" w.name
+        (Array.length events)
+        (1000. *. off.elapsed)
+        (1000. *. on.elapsed)
+        (ratio w) span_events
+        (Dgrace_obs.Span.dropped tracer)
+        off.race_count on.race_count
+        (if same then "" else "  RACE MISMATCH"))
+    Registry.all;
+  let g = geomean_ratio () in
+  Printf.printf "%-14s %10s %9s %9s %7.2f  (geomean; budget 1.05)\n" "geomean"
+    "" "" "" g;
+  print_endline
+    "\noff/on replay the identical recorded stream; on pays for engine spans,";
+  print_endline
+    "the sampled dispatch timer and the gated phase timers — the full cost of";
+  print_endline "`racedet replay --trace-out` minus the file write.";
+  if !mismatches > 0 || !invalid > 0 then begin
+    Printf.eprintf "bench: trace: %d race mismatch(es), %d invalid trace(s)\n"
+      !mismatches !invalid;
+    exit 1
+  end;
+  if g > 1.05 then begin
+    Printf.eprintf
+      "bench: trace: tracing overhead geomean %.3f exceeds the 1.05 budget\n" g;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let par () =
   let k = if !Measure.shards > 1 then !Measure.shards else 4 in
   header

@@ -8,6 +8,7 @@
      replay       analyse a recorded trace
      inject       fault-injection harness (corrupt traces, stuck threads)
      metrics-info validate and summarise a --metrics-out document
+     timings      validate and summarise a --trace-out timeline
      list         list workloads and detectors
 
    Exit codes (doc/resilience.md):
@@ -23,6 +24,8 @@ open Dgrace_events
 module Json = Dgrace_obs.Json
 module Metrics = Dgrace_obs.Metrics
 module Sampler = Dgrace_obs.Sampler
+module Span = Dgrace_obs.Span
+module Chrome_trace = Dgrace_obs.Chrome_trace
 module State_matrix = Dgrace_obs.State_matrix
 module Export = Dgrace_obs.Export
 module Rerr = Dgrace_resilience.Error
@@ -199,7 +202,9 @@ let suppression no_suppress =
 let policy sched_seed = Dgrace_sim.Scheduler.Chunked { seed = sched_seed; chunk = 64 }
 
 (* Heartbeat for long runs: reads the live detector state so the line
-   shows real progress, not just an event count. *)
+   shows real progress, not just an event count.  Lines go through the
+   shared {!Stderr_line} emitter so they stay whole even when other
+   domains print. *)
 let progress_for flag every (d : Dgrace_detectors.Detector.t) =
   if not flag then None
   else begin
@@ -207,8 +212,8 @@ let progress_for flag every (d : Dgrace_detectors.Detector.t) =
     Some
       ( every,
         fun events ->
-          Printf.eprintf
-            "[progress] %s: events=%d accesses=%d races=%d shadow=%dKB (%.1fs)\n%!"
+          Stderr_line.line
+            "[progress] %s: events=%d accesses=%d races=%d shadow=%dKB (%.1fs)"
             d.name events d.stats.Dgrace_detectors.Run_stats.accesses
             (Dgrace_detectors.Detector.race_count d)
             (Dgrace_shadow.Accounting.current_bytes d.account / 1024)
@@ -222,10 +227,7 @@ let progress_for flag every (d : Dgrace_detectors.Detector.t) =
 let replay_progress flag every =
   if not flag then None
   else
-    Some
-      ( every,
-        fun events ->
-          Printf.eprintf "[progress] replayed %d events\n%!" events )
+    Some (every, fun events -> Stderr_line.line "[progress] replayed %d events" events)
 
 (* Structured-failure boundary: anything the stack declares — corrupt
    trace, deadlocked workload — is printed to stderr and mapped to the
@@ -233,11 +235,11 @@ let replay_progress flag every =
 let or_fail f =
   try f () with
   | Rerr.E e ->
-    Format.eprintf "racedet: %a@." Rerr.pp e;
+    Stderr_line.linef "racedet: %a" Rerr.pp e;
     exit (Rerr.exit_code e)
   | Dgrace_sim.Sim.Deadlock { Dgrace_sim.Sim.blocked; held } ->
     let e = Rerr.Deadlock { blocked; held } in
-    Format.eprintf "racedet: %a@." Rerr.pp e;
+    Stderr_line.linef "racedet: %a" Rerr.pp e;
     exit (Rerr.exit_code e)
 
 let workload_json (w : Workload.t) (p : Workload.params) =
@@ -251,27 +253,53 @@ let workload_json (w : Workload.t) (p : Workload.params) =
 
 let write_metrics path json =
   Json.to_file path json;
-  Format.eprintf "metrics written to %s@." path
+  Stderr_line.line "metrics written to %s" path
+
+(* --trace-out plumbing: a tracer exists only when asked for, so the
+   traced-off paths stay the exact pre-tracing code. *)
+let tracer_for trace_out = Option.map (fun _ -> Span.create ()) trace_out
+
+let write_trace tracer trace_out =
+  match (tracer, trace_out) with
+  | Some t, Some path ->
+    Json.to_file path (Chrome_trace.to_json t);
+    Stderr_line.line "trace written to %s" path
+  | (Some _ | None), _ -> ()
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span timeline as Chrome trace_event JSON to \
+           $(docv): one lane per shard plus the main lane, sampled \
+           per-phase detector timers, and counter tracks.  Load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing, or summarise \
+           it with $(b,racedet timings).")
 
 (* ------------------------------------------------------------------ *)
 (* run *)
 
 let run_cmd =
   let action w spec threads scale seed sched_seed no_suppress no_vc_intern
-      verbose metrics_out sample_every progress progress_every max_shadow
-      max_events deadline =
+      verbose metrics_out sample_every trace_out progress progress_every
+      max_shadow max_events deadline =
     or_fail @@ fun () ->
     let p = params w threads scale seed in
+    let tracer = tracer_for trace_out in
     let d =
       Spec.to_detector ~suppression:(suppression no_suppress)
-        ~vc_intern:(not no_vc_intern) spec
+        ~vc_intern:(not no_vc_intern)
+        ?tracer:(Option.map Span.main tracer)
+        spec
     in
     let s =
       Engine.with_detector ~policy:(policy sched_seed)
         ~budget:(budget max_shadow max_events deadline)
         ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
         ?progress:(progress_for progress progress_every d)
-        d
+        ?tracer d
         (w.Workload.program p)
     in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@." w.name p.threads
@@ -284,6 +312,7 @@ let run_cmd =
         write_metrics path
           (Engine.summary_to_json ~workload:(workload_json w p) s))
       metrics_out;
+    write_trace tracer trace_out;
     let code = Engine.exit_code_of_summary s in
     if code <> 0 then exit code
   in
@@ -291,8 +320,9 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
       $ seed_arg $ sched_seed_arg $ no_suppress_arg $ no_vc_intern_arg
-      $ verbose_arg $ metrics_out_arg $ sample_every_arg $ progress_arg
-      $ progress_every_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
+      $ verbose_arg $ metrics_out_arg $ sample_every_arg $ trace_out_arg
+      $ progress_arg $ progress_every_arg $ max_shadow_arg $ max_events_arg
+      $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one detector."
@@ -309,8 +339,10 @@ let run_cmd =
 
 let compare_cmd =
   let action w threads scale seed sched_seed no_suppress no_vc_intern shards
-      metrics_out sample_every =
+      metrics_out sample_every trace_out =
     let p = params w threads scale seed in
+    let t0 = Unix.gettimeofday () in
+    let tracer = tracer_for trace_out in
     Format.printf "workload: %s (threads=%d scale=%d seed=%d)@.@." w.name
       p.threads p.scale p.seed;
     if shards > 1 then
@@ -340,14 +372,14 @@ let compare_cmd =
         let s =
           if shards > 1 then
             Engine.replay_sharded ~suppression:(suppression no_suppress)
-              ~vc_intern:(not no_vc_intern) ~shards ~spec
+              ~vc_intern:(not no_vc_intern) ?tracer ~shards ~spec
               (Array.to_seq recorded)
           else
             Engine.run ~policy:(policy sched_seed)
               ~suppression:(suppression no_suppress)
               ~vc_intern:(not no_vc_intern)
               ?sample_every:(Option.map (fun _ -> sample_every) metrics_out)
-              ~spec
+              ?tracer ~spec
               (w.Workload.program p)
         in
         summaries := s :: !summaries;
@@ -373,14 +405,16 @@ let compare_cmd =
       (fun path ->
         write_metrics path
           (Engine.summaries_to_json ~workload:(workload_json w p)
+             ~elapsed_s:(Unix.gettimeofday () -. t0)
              (List.rev !summaries)))
-      metrics_out
+      metrics_out;
+    write_trace tracer trace_out
   in
   let term =
     Term.(
       const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
       $ sched_seed_arg $ no_suppress_arg $ no_vc_intern_arg $ shards_arg
-      $ metrics_out_arg $ sample_every_arg)
+      $ metrics_out_arg $ sample_every_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run one workload under every detector.") term
 
@@ -581,37 +615,50 @@ let record_cmd =
     term
 
 let replay_cmd =
-  let action path spec no_suppress no_vc_intern verbose resync shards progress
-      progress_every max_shadow max_events deadline =
+  let action path spec no_suppress no_vc_intern verbose resync shards
+      metrics_out sample_every trace_out progress progress_every max_shadow
+      max_events deadline =
     or_fail @@ fun () ->
+    let tracer = tracer_for trace_out in
+    let lane = Option.map Span.main tracer in
+    (* decode vs dispatch: the trace shows file reading as its own
+       span, before the engine's replay span starts *)
+    (match lane with Some b -> Span.begin_span b "replay.decode" | None -> ());
     let events, recovered_gaps =
       if resync then begin
         let events, r = Dgrace_trace.Trace_reader.read_file_resync path in
         if r.Dgrace_trace.Trace_reader.gaps > 0 then
-          Format.eprintf
+          Stderr_line.line
             "racedet: resync: dropped %d byte(s) in %d gap(s), %d event(s) \
-             salvaged@."
+             salvaged"
             r.dropped_bytes r.gaps r.events;
         (events, r.gaps)
       end
       else (Dgrace_trace.Trace_reader.read_file path, 0)
     in
+    (match lane with Some b -> Span.end_span b "replay.decode" | None -> ());
     let budget = budget max_shadow max_events deadline in
     let suppression = suppression no_suppress in
     let progress = replay_progress progress progress_every in
     let vc_intern = not no_vc_intern in
+    let sample_every = Option.map (fun _ -> sample_every) metrics_out in
     let s =
       if shards = 1 then
-        Engine.replay ~budget ~suppression ~vc_intern ?progress ~spec
+        Engine.replay ~budget ~suppression ~vc_intern ?sample_every ?progress
+          ?tracer ~spec
           (List.to_seq events)
       else
-        Engine.replay_sharded ~budget ~suppression ~vc_intern ?progress ~shards
-          ~spec
+        Engine.replay_sharded ~budget ~suppression ~vc_intern ?sample_every
+          ?progress ?tracer ~shards ~spec
           (List.to_seq events)
     in
     Format.printf "%a@." Engine.pp_summary s;
     if verbose then
       List.iter (fun r -> Format.printf "%s@." (Report.to_string r)) s.races;
+    Option.iter
+      (fun out -> write_metrics out (Engine.summary_to_json s))
+      metrics_out;
+    write_trace tracer trace_out;
     let code = Engine.exit_code_of_summary s in
     (* a resynced trace is partial evidence even when the run itself
        completed: races are a lower bound *)
@@ -633,8 +680,9 @@ let replay_cmd =
   let term =
     Term.(
       const action $ path_arg $ spec_arg $ no_suppress_arg $ no_vc_intern_arg
-      $ verbose_arg $ resync_arg $ shards_arg $ progress_arg
-      $ progress_every_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
+      $ verbose_arg $ resync_arg $ shards_arg $ metrics_out_arg
+      $ sample_every_arg $ trace_out_arg $ progress_arg $ progress_every_arg
+      $ max_shadow_arg $ max_events_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Analyse a recorded trace."
@@ -859,6 +907,55 @@ let trace_dump_cmd =
     Term.(const action $ trace_path_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
+(* timings: validate a --trace-out document and print per-phase totals *)
+
+let timings_cmd =
+  let action path =
+    match Json.parse_file path with
+    | Error msg ->
+      Stderr_line.line "timings: %s: invalid JSON: %s" path msg;
+      exit Rerr.exit_input_error
+    | Ok doc -> (
+      match Chrome_trace.phases doc with
+      | Error msg ->
+        Stderr_line.line "timings: %s: invalid trace: %s" path msg;
+        exit Rerr.exit_input_error
+      | Ok r ->
+        Format.printf "trace: %d event(s), %d lane(s), %d us wall@."
+          r.Chrome_trace.events r.Chrome_trace.lanes r.Chrome_trace.wall_us;
+        Format.printf "%-14s %-24s %10s %12s@." "lane" "phase" "count"
+          "total(us)";
+        List.iter
+          (fun (p : Chrome_trace.phase) ->
+            Format.printf "%-14s %-24s %10d %11d%s@." p.Chrome_trace.phase_lane
+              p.Chrome_trace.phase_name p.Chrome_trace.count
+              p.Chrome_trace.total_us
+              (if p.Chrome_trace.estimated then "~" else ""))
+          r.Chrome_trace.phases)
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A --trace-out document.")
+  in
+  Cmd.v
+    (Cmd.info "timings"
+       ~doc:
+         "Validate a --trace-out Chrome trace and print the per-lane, \
+          per-phase time table."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Checks the trace is loadable (balanced begin/end pairs, \
+              monotone per-lane timestamps, well-formed counters), then \
+              aggregates spans and sampled timers into one row per (lane, \
+              phase).  A trailing $(b,~) marks totals estimated from \
+              sampled timers rather than measured span pairs.  Exit 4 on \
+              an invalid document." ])
+    Term.(const action $ path_arg)
+
+(* ------------------------------------------------------------------ *)
 (* list *)
 
 let list_cmd =
@@ -884,4 +981,4 @@ let () =
        (Cmd.group info
           [ run_cmd; compare_cmd; profile_cmd; explore_cmd; record_cmd;
             replay_cmd; inject_cmd; trace_info_cmd; trace_dump_cmd;
-            metrics_info_cmd; list_cmd ]))
+            metrics_info_cmd; timings_cmd; list_cmd ]))

@@ -1,0 +1,28 @@
+(* One process-wide emitter for diagnostic lines.
+
+   Everything racedet says on stderr — progress heartbeats, structured
+   errors, resync reports, "written to" notices — goes through [line],
+   which writes the whole line (newline included) as a single buffered
+   write followed by one flush, under one mutex.  Sharded replay runs
+   detectors on several domains; without this, a heartbeat fired from
+   one domain could interleave mid-line with an error printed from
+   another.  [Printf.eprintf] buffers per call site and flushes
+   independently, which is exactly the interleaving hazard. *)
+
+let mu = Mutex.create ()
+
+let emit s =
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '\n' then s
+    else s ^ "\n"
+  in
+  Mutex.lock mu;
+  output_string stderr s;
+  flush stderr;
+  Mutex.unlock mu
+
+let line fmt = Printf.ksprintf emit fmt
+
+(* For callers holding a [Format] pretty-printer (structured errors):
+   render to a string first, then emit atomically. *)
+let linef fmt = Format.kasprintf emit fmt

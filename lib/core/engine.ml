@@ -5,6 +5,8 @@ open Dgrace_sim
 module Json = Dgrace_obs.Json
 module Metrics = Dgrace_obs.Metrics
 module Sampler = Dgrace_obs.Sampler
+module Recorder = Dgrace_obs.Recorder
+module Span = Dgrace_obs.Span
 module State_matrix = Dgrace_obs.State_matrix
 module Export = Dgrace_obs.Export
 module Budget = Dgrace_resilience.Budget
@@ -23,7 +25,7 @@ type summary = {
   degraded : bool;
   metrics : Metrics.t;
   transitions : State_matrix.t option;
-  timeseries : Sampler.t option;
+  timeseries : Recorder.t option;
 }
 
 and mem_summary = {
@@ -89,8 +91,10 @@ exception Stop of Budget.stop
    answered by asking the detector to degrade — one shedding step at a
    time — and only stops the run once the detector can shed nothing
    more and the accounting is still over the cap.  The deadline is
-   polled every 256 events to keep [gettimeofday] off the hot path. *)
-let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
+   polled every 256 events to keep [gettimeofday] off the hot path.
+   [note] marks each shedding pass on the trace timeline. *)
+let budget_guard ?(note = fun () -> ()) (d : Detector.t) (b : Budget.t)
+    ~degraded ~t0 =
   let events = ref 0 in
   let over limit = Accounting.current_bytes d.account > limit in
   let rec shed limit =
@@ -98,6 +102,7 @@ let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
       match d.degrade with
       | Some step when step () ->
         degraded := true;
+        note ();
         shed limit
       | Some _ | None ->
         raise
@@ -121,22 +126,62 @@ let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
         raise (Stop (Budget.Deadline { limit_s; elapsed_s }))
     | Some _ | None -> ()
 
-(* Compose the detector sink with budget checks, sampler ticks and the
-   progress heartbeat; when none are requested the sink is the
-   detector's own handler and the event loop pays nothing.  The
-   progress period is validated by the CLI (its [--progress-every]
-   parser rejects non-positive values), so it is taken as given
-   here. *)
-let make_sink (d : Detector.t) ~budget ~sampler ~progress =
+(* Compose the detector sink with budget checks, recorder ticks, the
+   progress heartbeat and the tracing timer; when none are requested
+   the sink is the detector's own handler and the event loop pays
+   nothing.  The progress period is validated by the CLI (its
+   [--progress-every] parser rejects non-positive values), so it is
+   taken as given here.
+
+   A traced sink samples one event in [dispatch_stride]: only that
+   event is dispatched with the lane armed (timing the dispatch and
+   letting the detector's gated phase timers run), so the other
+   [dispatch_stride - 1] events pay one counter and one branch — the
+   mechanism behind the bench's tracing-overhead budget.  [exact]
+   states whether the recorder's samples are observable output
+   ([sample_every] was given): an exact recorder is ticked once per
+   event; a recorder that exists only to feed counter tracks is
+   batch-ticked on sampled events. *)
+let dispatch_stride = 64
+
+let make_sink (d : Detector.t) ~budget ~recorder ~exact ~progress ~lane =
   let guard =
     match budget with
     | Some (b, degraded, t0) when not (Budget.is_unlimited b) ->
-      Some (budget_guard d b ~degraded ~t0)
+      let note =
+        match lane with
+        | Some buf -> fun () -> Span.instant buf "budget.degrade"
+        | None -> fun () -> ()
+      in
+      Some (budget_guard ~note d b ~degraded ~t0)
     | Some _ | None -> None
   in
-  match (guard, sampler, progress) with
-  | None, None, None -> d.on_event
+  match (guard, recorder, progress, lane) with
+  | None, None, None, None -> d.on_event
+  | None, _, None, Some buf when not exact ->
+    (* the [--trace-out]-only shape (no budget, no heartbeat, no
+       [--metrics-out]): the whole traced loop is the dispatch
+       wrapper, with the counter-track recorder batch-ticked on
+       sampled events *)
+    let on_sample =
+      match recorder with
+      | Some r -> fun () -> Recorder.tick_n r dispatch_stride
+      | None -> fun () -> ()
+    in
+    Span.wrap_dispatch buf ~name:"detector.on_event" ~stride:dispatch_stride
+      ~on_sample d.on_event
   | _ ->
+    let on_event =
+      match lane with
+      | None -> d.on_event
+      | Some buf ->
+        (* per-event attribution cheap enough for the hot loop: the
+           sampled dispatch wrapper, not a span per event *)
+        Span.wrap_dispatch buf ~name:"detector.on_event"
+          ~stride:dispatch_stride
+          ~on_sample:(fun () -> ())
+          d.on_event
+    in
     let events = ref 0 in
     let progress_tick =
       match progress with
@@ -144,59 +189,96 @@ let make_sink (d : Detector.t) ~budget ~sampler ~progress =
       | Some (every, f) -> fun n -> if n mod every = 0 then f n
     in
     fun ev ->
-      d.on_event ev;
+      on_event ev;
       (match guard with Some g -> g () | None -> ());
-      (match sampler with Some s -> Sampler.tick s | None -> ());
+      (match recorder with Some r -> Recorder.tick r | None -> ());
       incr events;
       progress_tick !events
 
+(* The flight recorder exists when the caller wants a sampled
+   time-series ([sample_every], i.e. [--metrics-out]) or a trace
+   (counter tracks need wall-clock-stamped samples); it only reaches
+   the summary in the first case, keeping [timeseries]'s presence
+   keyed to [sample_every] as it always was. *)
+let make_recorder (d : Detector.t) ~sample_every ~tracer =
+  match (sample_every, tracer) with
+  | Some every, _ ->
+    Some (Recorder.create ~every ~sources:(sampler_sources d) ())
+  | None, Some _ ->
+    Some (Recorder.create ~every:1024 ~sources:(sampler_sources d) ())
+  | None, None -> None
+
+let feed_counter_tracks ~tracer ~prefix recorder =
+  match (tracer, recorder) with
+  | Some t, Some r ->
+    List.iter
+      (fun (nm, series) -> Span.add_counter_series t ~name:(prefix ^ "." ^ nm) series)
+      (Recorder.counter_series r)
+  | (Some _ | None), _ -> ()
+
 let with_detector ?policy ?(budget = Budget.unlimited) ?sample_every ?progress
-    (d : Detector.t) program =
-  let sampler =
-    Option.map
-      (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
-      sample_every
-  in
+    ?tracer (d : Detector.t) program =
+  let lane = Option.map Span.main tracer in
+  let recorder = make_recorder d ~sample_every ~tracer in
   let t0 = Unix.gettimeofday () in
   let degraded = ref false in
-  let sink = make_sink d ~budget:(Some (budget, degraded, t0)) ~sampler ~progress in
+  let sink =
+    make_sink d ~budget:(Some (budget, degraded, t0)) ~recorder
+      ~exact:(sample_every <> None) ~progress ~lane
+  in
+  (match lane with Some b -> Span.begin_span b "engine.run" | None -> ());
   let sim, partial =
     match Sim.run ?policy ~sink program with
     | sim -> (Some sim, None)
-    | exception Stop stop -> (None, Some stop)
+    | exception Stop stop ->
+      (match lane with Some b -> Span.instant b "budget.stop" | None -> ());
+      (None, Some stop)
   in
-  d.finish ();
-  Option.iter Sampler.flush sampler;
+  (match lane with Some b -> Span.end_span b "engine.run" | None -> ());
+  (match lane with
+   | Some b -> Span.span b "engine.finish" d.finish
+   | None -> d.finish ());
+  Option.iter Recorder.flush recorder;
+  feed_counter_tracks ~tracer ~prefix:d.name recorder;
   let elapsed = Unix.gettimeofday () -. t0 in
-  summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries:sampler
+  let timeseries = match sample_every with Some _ -> recorder | None -> None in
+  summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries
 
-let run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress ~spec
-    program =
-  with_detector ?policy ?budget ?sample_every ?progress
-    (Spec.to_detector ?suppression ?vc_intern spec)
+let run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress ?tracer
+    ~spec program =
+  with_detector ?policy ?budget ?sample_every ?progress ?tracer
+    (Spec.to_detector ?suppression ?vc_intern
+       ?tracer:(Option.map Span.main tracer) spec)
     program
 
 let replay ?(budget = Budget.unlimited) ?suppression ?vc_intern ?sample_every
-    ?progress ~spec events =
-  let d = Spec.to_detector ?suppression ?vc_intern spec in
-  let sampler =
-    Option.map
-      (fun every -> Sampler.create ~every ~sources:(sampler_sources d))
-      sample_every
-  in
+    ?progress ?tracer ~spec events =
+  let lane = Option.map Span.main tracer in
+  let d = Spec.to_detector ?suppression ?vc_intern ?tracer:lane spec in
+  let recorder = make_recorder d ~sample_every ~tracer in
   let t0 = Unix.gettimeofday () in
   let degraded = ref false in
-  let sink = make_sink d ~budget:(Some (budget, degraded, t0)) ~sampler ~progress in
+  let sink =
+    make_sink d ~budget:(Some (budget, degraded, t0)) ~recorder
+      ~exact:(sample_every <> None) ~progress ~lane
+  in
+  (match lane with Some b -> Span.begin_span b "engine.replay" | None -> ());
   let partial =
     match Seq.iter sink events with
     | () -> None
-    | exception Stop stop -> Some stop
+    | exception Stop stop ->
+      (match lane with Some b -> Span.instant b "budget.stop" | None -> ());
+      Some stop
   in
-  d.finish ();
-  Option.iter Sampler.flush sampler;
+  (match lane with Some b -> Span.end_span b "engine.replay" | None -> ());
+  (match lane with
+   | Some b -> Span.span b "engine.finish" d.finish
+   | None -> d.finish ());
+  Option.iter Recorder.flush recorder;
+  feed_counter_tracks ~tracer ~prefix:d.name recorder;
   let elapsed = Unix.gettimeofday () -. t0 in
-  summarize d ~elapsed ~sim:None ~partial ~degraded:!degraded
-    ~timeseries:sampler
+  let timeseries = match sample_every with Some _ -> recorder | None -> None in
+  summarize d ~elapsed ~sim:None ~partial ~degraded:!degraded ~timeseries
 
 (* ------------------------------------------------------------------ *)
 (* sharded replay (doc/parallel.md): split the trace by address line,
@@ -246,7 +328,7 @@ let merge_mem ms =
       (if m.total_vcs = 0 then 0. else m.avg_sharing /. float_of_int m.total_vcs);
   }
 
-let merge_sharded ~elapsed (r : Par.result) =
+let merge_sharded ~elapsed ~timeseries (r : Par.result) =
   let outs = r.Par.outcomes in
   let d0 = outs.(0).Par.detector in
   let stats = Run_stats.create () in
@@ -321,28 +403,73 @@ let merge_sharded ~elapsed (r : Par.result) =
     degraded = Par.any_degraded r;
     metrics;
     transitions;
-    timeseries = None;
+    timeseries;
   }
 
-let replay_sharded ?mode ?budget ?suppression ?vc_intern ?progress ~shards
-    ~spec events =
+let replay_sharded ?mode ?budget ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~shards ~spec events =
   if shards < 1 then invalid_arg "Engine.replay_sharded: shards must be >= 1";
   let t0 = Unix.gettimeofday () in
   (* materialise first: the splitter needs two passes, and forcing the
      sequence here surfaces corrupt-trace errors before any domain is
      spawned *)
   let events = Array.of_seq events in
-  let make () = Spec.to_detector ?suppression ?vc_intern spec in
+  (* shard [i]'s detector traces onto the same lane the shard's own
+     spans land on (the [Par.shard_lane] convention) *)
+  let make i =
+    Spec.to_detector ?suppression ?vc_intern
+      ?tracer:(Option.map (fun t -> Span.lane t (Par.shard_lane i)) tracer)
+      spec
+  in
+  let recorder_for =
+    match
+      (match (sample_every, tracer) with
+       | Some every, _ -> Some every
+       | None, Some _ -> Some 1024
+       | None, None -> None)
+    with
+    | None -> None
+    | Some every ->
+      Some
+        (fun (_ : int) (d : Detector.t) ->
+          Some (Recorder.create ~every ~sources:(sampler_sources d) ()))
+  in
   let budget =
     match budget with
     | Some b when not (Budget.is_unlimited b) -> Some b
     | Some _ | None -> None
   in
   let r =
-    Par.analyze ?mode ?budget ?progress ~make ~shards
+    Par.analyze ?mode ?budget ?progress ?tracer ?recorder_for ~make ~shards
       ~granule:Dynamic_granularity.share_granule events
   in
-  merge_sharded ~elapsed:(Unix.gettimeofday () -. t0) r
+  let recorders =
+    Array.to_list r.Par.outcomes
+    |> List.filter_map (fun (o : Par.shard_outcome) -> o.Par.recorder)
+  in
+  (match tracer with
+   | Some t ->
+     Array.iter
+       (fun (o : Par.shard_outcome) ->
+         match o.Par.recorder with
+         | Some rc ->
+           List.iter
+             (fun (nm, series) ->
+               Span.add_counter_series t
+                 ~name:(Printf.sprintf "%s.%s" (Par.shard_lane o.Par.index) nm)
+                 series)
+             (Recorder.counter_series rc)
+         | None -> ())
+       r.Par.outcomes
+   | None -> ());
+  (* same rule as the sequential entry points: the merged time-series
+     reaches the summary only when the caller asked for one *)
+  let timeseries =
+    match sample_every with
+    | Some _ -> Recorder.merged_final recorders
+    | None -> None
+  in
+  merge_sharded ~elapsed:(Unix.gettimeofday () -. t0) ~timeseries r
 
 (* ------------------------------------------------------------------ *)
 (* checked entry points: structured errors instead of exceptions *)
@@ -355,22 +482,22 @@ let checked f =
     Error (Error.Deadlock { blocked; held })
 
 let run_checked ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress
-    ~spec program =
+    ?tracer ~spec program =
   checked (fun () ->
-      run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress ~spec
-        program)
+      run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress
+        ?tracer ~spec program)
 
 let replay_checked ?budget ?suppression ?vc_intern ?sample_every ?progress
-    ~spec events =
+    ?tracer ~spec events =
   checked (fun () ->
-      replay ?budget ?suppression ?vc_intern ?sample_every ?progress ~spec
-        events)
-
-let replay_sharded_checked ?mode ?budget ?suppression ?vc_intern ?progress
-    ~shards ~spec events =
-  checked (fun () ->
-      replay_sharded ?mode ?budget ?suppression ?vc_intern ?progress ~shards
+      replay ?budget ?suppression ?vc_intern ?sample_every ?progress ?tracer
         ~spec events)
+
+let replay_sharded_checked ?mode ?budget ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~shards ~spec events =
+  checked (fun () ->
+      replay_sharded ?mode ?budget ?suppression ?vc_intern ?sample_every
+        ?progress ?tracer ~shards ~spec events)
 
 let exit_code_of_summary s =
   if s.partial <> None || s.degraded then Error.exit_partial
@@ -422,13 +549,16 @@ let mem_to_json m =
       ("avg_sharing", Json.Float m.avg_sharing);
     ]
 
-let summary_body ?workload s =
+(* [with_elapsed:false] is for the top-level "run" document, where v3
+   moved the wall clock onto the envelope itself; nested run objects
+   (compare's [runs] list) keep it in the body. *)
+let summary_body ?workload ?(with_elapsed = true) s =
   List.concat
     [
       [ ("detector", Json.String s.detector) ];
       (match workload with Some w -> [ ("workload", w) ] | None -> []);
+      (if with_elapsed then [ ("elapsed_s", Json.Float s.elapsed) ] else []);
       [
-        ("elapsed_s", Json.Float s.elapsed);
         ("races", Json.Int s.race_count);
         ("suppressed", Json.Int s.suppressed);
         ("partial", Json.Bool (s.partial <> None));
@@ -446,7 +576,7 @@ let summary_body ?workload s =
        | Some m -> [ ("transitions", State_matrix.to_json m) ]
        | None -> []);
       (match s.timeseries with
-       | Some ts -> [ ("timeseries", Sampler.to_json ts) ]
+       | Some ts -> [ ("timeseries", Recorder.to_json ts) ]
        | None -> []);
       (match s.sim with
        | Some sim ->
@@ -464,10 +594,11 @@ let summary_body ?workload s =
     ]
 
 let summary_to_json ?workload s =
-  Export.envelope ~kind:"run" (summary_body ?workload s)
+  Export.envelope ~kind:"run" ~elapsed_s:s.elapsed
+    (summary_body ?workload ~with_elapsed:false s)
 
-let summaries_to_json ?workload ss =
-  Export.envelope ~kind:"compare"
+let summaries_to_json ?workload ?elapsed_s ss =
+  Export.envelope ~kind:"compare" ?elapsed_s
     [
       (match workload with Some w -> ("workload", w) | None -> ("workload", Json.Null));
       ("runs", Json.List (List.map (fun s -> Json.Obj (summary_body s)) ss));

@@ -47,8 +47,9 @@ type summary = {
   metrics : Dgrace_obs.Metrics.t;  (** the detector's instruments *)
   transitions : Dgrace_obs.State_matrix.t option;
       (** sharing-state transition counts (dynamic detectors) *)
-  timeseries : Dgrace_obs.Sampler.t option;
-      (** memory/stream samples, present iff [sample_every] was given *)
+  timeseries : Dgrace_obs.Recorder.t option;
+      (** wall-clock-stamped memory/stream samples, present iff
+          [sample_every] was given *)
 }
 
 and mem_summary = {
@@ -72,6 +73,7 @@ val run :
   ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   spec:Spec.t ->
   (unit -> unit) ->
   summary
@@ -83,6 +85,15 @@ val run :
     is always taken at end of stream).  [progress] is [(every, f)]:
     [f events] is called every [every] events — the CLI heartbeat;
     [every] must be positive (the CLI argument parser enforces this).
+
+    [tracer] turns on the flight recorder (doc/observability.md): the
+    run phase becomes an ["engine.run"] span on the ["main"] lane,
+    [d.finish] an ["engine.finish"] span, budget shedding and stops
+    ["budget.degrade"]/["budget.stop"] instants; the detector's
+    per-phase sampled timers and a ["detector.on_event"] timer land on
+    the same lane, and the recorder's series are attached as counter
+    tracks — export with {!Dgrace_obs.Chrome_trace.to_json}.
+
     When nothing is given the event loop is exactly the detector's own
     handler: observability and governance cost nothing unless asked
     for.
@@ -96,10 +107,13 @@ val replay :
   ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   spec:Spec.t ->
   Event.t Seq.t ->
   summary
 (** Analyse a pre-recorded event stream (see {!Dgrace_trace}).
+    [tracer] works as in {!run}, with the dispatch phase recorded as
+    an ["engine.replay"] span.
     @raise Dgrace_resilience.Error.E when forcing the sequence hits a
     corrupt record (see {!replay_checked} for the [result] form). *)
 
@@ -108,7 +122,9 @@ val replay_sharded :
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   shards:int ->
   spec:Spec.t ->
   Event.t Seq.t ->
@@ -122,10 +138,15 @@ val replay_sharded :
     offset), transition counts and exit code; [test/test_par.ml]
     asserts this for every bundled workload.  Differences from
     {!replay}: [budget] applies {e per shard} (the merged [partial] is
-    the earliest shard stop), [sample_every] is unavailable
-    ([timeseries = None]), memory peaks are summed across shards, and
-    the merged metrics gain [par.*] gauges (shard count, split and
-    critical-path times, per-shard event/busy figures).
+    the earliest shard stop), [sample_every] attaches one flight
+    recorder per shard and merges their {e final} samples into the
+    summary time-series (element-wise sum — intermediate samples do
+    not line up across shards), memory peaks are summed across shards,
+    and the merged metrics gain [par.*] gauges (shard count, split and
+    critical-path times, per-shard event/busy figures).  [tracer] adds
+    one timeline lane per shard plus the main lane's split/join
+    markers (see {!Dgrace_par.Par.analyze}) and per-shard counter
+    tracks.
     @raise Dgrace_resilience.Error.E when materialising the sequence
     hits a corrupt record.
     @raise Invalid_argument when [shards < 1]. *)
@@ -135,10 +156,14 @@ val with_detector :
   ?budget:Dgrace_resilience.Budget.t ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   Detector.t ->
   (unit -> unit) ->
   summary
-(** Like {!run} for an externally constructed detector. *)
+(** Like {!run} for an externally constructed detector.  (The
+    detector's own phase timers are wired at construction — see
+    {!Spec.to_detector}; [tracer] here records the engine-level spans
+    and counter tracks.) *)
 
 (** {1 Checked entry points}
 
@@ -156,6 +181,7 @@ val run_checked :
   ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   spec:Spec.t ->
   (unit -> unit) ->
   (summary, Dgrace_resilience.Error.t) result
@@ -166,6 +192,7 @@ val replay_checked :
   ?vc_intern:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   spec:Spec.t ->
   Event.t Seq.t ->
   (summary, Dgrace_resilience.Error.t) result
@@ -175,7 +202,9 @@ val replay_sharded_checked :
   ?budget:Dgrace_resilience.Budget.t ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?sample_every:int ->
   ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
   shards:int ->
   spec:Spec.t ->
   Event.t Seq.t ->
@@ -199,10 +228,16 @@ val pp_summary : Format.formatter -> summary -> unit
 val summary_to_json : ?workload:Dgrace_obs.Json.t -> summary -> Dgrace_obs.Json.t
 (** One run as a [kind = "run"] envelope: summary, stats, memory
     peaks, metrics, partial/degraded flags (plus [stop_reason] when
-    partial), and — when present — transition matrix and
-    time-series. *)
+    partial), and — when present — transition matrix and time-series.
+    Since schema v3 the wall clock is the envelope's own ["elapsed_s"]
+    field. *)
 
 val summaries_to_json :
-  ?workload:Dgrace_obs.Json.t -> summary list -> Dgrace_obs.Json.t
+  ?workload:Dgrace_obs.Json.t ->
+  ?elapsed_s:float ->
+  summary list ->
+  Dgrace_obs.Json.t
 (** Several runs of the same workload as a [kind = "compare"]
-    envelope. *)
+    envelope; [elapsed_s] (total wall clock for the whole comparison)
+    goes on the envelope, while each nested run object keeps its own
+    ["elapsed_s"]. *)

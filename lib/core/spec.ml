@@ -78,29 +78,29 @@ let all_names =
     "eraser"; "multirace"; "racetrack"; "racetrack:<n>"; "literace";
   ]
 
-let to_detector ?suppression ?vc_intern spec =
+let to_detector ?suppression ?vc_intern ?tracer spec =
   match spec with
   | No_detection -> Detector.null ()
   | Fasttrack { granularity = 1 } ->
     (* the paper's byte detector: access-footprint locations with
        byte-resolution indexing (see Dynamic_granularity) *)
     Dynamic_granularity.create ~sharing:false ~name:"ft-byte" ?suppression
-      ?vc_intern ()
+      ?vc_intern ?tracer ()
   | Fasttrack { granularity = 4 } ->
     (* the paper's word detector: the same machinery, addresses masked
        to word granules *)
     Dynamic_granularity.create ~sharing:false
       ~index:(Dgrace_shadow.Shadow_table.Fixed_bytes 4) ~name:"ft-word"
-      ?suppression ?vc_intern ()
+      ?suppression ?vc_intern ?tracer ()
   | Fasttrack { granularity } ->
-    Fasttrack.create ~granularity ?suppression ?vc_intern ()
+    Fasttrack.create ~granularity ?suppression ?vc_intern ?tracer ()
   | Djit { granularity } -> Djit.create ~granularity ?suppression ()
   | Dynamic { init_state; init_sharing } ->
     Dynamic_granularity.create ~init_state ~init_sharing ?suppression
-      ?vc_intern ()
+      ?vc_intern ?tracer ()
   | Dynamic_ext ->
     Dynamic_granularity.create ~reshare_after:4 ~write_guided_reads:true
-      ?suppression ?vc_intern ()
+      ?suppression ?vc_intern ?tracer ()
   | Drd -> Drd_segment.create ?suppression ?vc_intern ()
   | Inspector -> Hybrid_inspector.create ?suppression ?vc_intern ()
   | Eraser -> Lockset.create ?suppression ()

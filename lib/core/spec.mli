@@ -45,8 +45,16 @@ val of_string : string -> (t, string) result
 val all_names : string list
 (** Accepted [of_string] inputs, for CLI help. *)
 
-val to_detector : ?suppression:Suppression.t -> ?vc_intern:bool -> t -> Detector.t
+val to_detector :
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?tracer:Dgrace_obs.Span.buf ->
+  t ->
+  Detector.t
 (** Instantiate a fresh detector.  [~vc_intern:false] disables
     hash-consing of vector-clock snapshots in the detectors that keep
     them (the FastTrack family, DRD, Inspector, RaceTrack) — the
-    [--no-vc-intern] escape hatch. *)
+    [--no-vc-intern] escape hatch.  [~tracer:lane] registers sampled
+    per-phase timers on the given tracing lane in the detectors that
+    support them (the FastTrack family — see
+    {!Dynamic_granularity.create}); other detectors ignore it. *)

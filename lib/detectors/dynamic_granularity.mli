@@ -49,6 +49,7 @@ val create :
   ?name:string ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?tracer:Dgrace_obs.Span.buf ->
   unit ->
   Detector.t
 (** The paper's tool is one implementation serving all three
@@ -76,4 +77,11 @@ val create :
     [~vc_intern:false] disables hash-consing in the read-shared
     snapshot arena (the [--no-vc-intern] escape hatch): every capture
     materialises a private snapshot, reproducing the legacy deep-copy
-    memory behaviour with identical race verdicts. *)
+    memory behaviour with identical race verdicts.
+
+    [~tracer:buf] registers sampled per-phase timers
+    ([phase.shadow_lookup], [phase.vc_check], [phase.granularity]) on
+    the given tracing lane.  They only run on events the lane's
+    dispatch wrapper arms ({!Dgrace_obs.Span.wrap_dispatch}); without a
+    tracer the same sites call {!Dgrace_obs.Span.disabled} stand-ins,
+    a load and a branch each. *)

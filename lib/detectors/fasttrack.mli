@@ -14,8 +14,11 @@ val create :
   ?granularity:int ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?tracer:Dgrace_obs.Span.buf ->
   unit ->
   Detector.t
 (** [create ~granularity ()] — granularity defaults to 1 (byte).  Must
     be a power of two.  [~vc_intern:false] disables hash-consing of
-    read-shared snapshots (legacy deep-copy memory behaviour). *)
+    read-shared snapshots (legacy deep-copy memory behaviour).
+    [~tracer:buf] registers sampled [phase.*] timers on the tracing
+    lane, as in {!Dynamic_granularity.create}. *)

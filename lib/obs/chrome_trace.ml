@@ -1,0 +1,277 @@
+(* Chrome trace_event export (the JSON object format Perfetto and
+   chrome://tracing load): one timeline lane per Span lane, a
+   synthetic "<lane> phases" lane for sampled timers, and counter
+   tracks from Recorder series.
+
+   The exporter guarantees a valid trace whatever happened at record
+   time: timestamps are clamped monotone per lane by Span, orphan end
+   events (their begin was overwritten by the ring) are dropped, and
+   spans still open at export — budget early stop, an exception — get
+   a synthesised closing event at the lane's last timestamp.  The
+   [validate]/[phases] checker below is the other half of the
+   contract; `racedet timings`, the test suite and the CI smoke job
+   all run it. *)
+
+type report = {
+  phases : phase list;  (* sorted by (lane, phase) *)
+  events : int;  (* trace events checked *)
+  lanes : int;  (* distinct (pid, tid) timeline lanes *)
+  wall_us : int;  (* last span timestamp - first *)
+}
+
+and phase = {
+  phase_lane : string;
+  phase_name : string;
+  count : int;
+  total_us : int;
+  estimated : bool;  (* from a sampled-timer aggregate, not B/E pairs *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let us_of ~t0 ns = (ns - t0) / 1000
+
+let to_json (t : Span.t) =
+  let t0 = Span.epoch_ns t in
+  let evs = ref [] in
+  let push e = evs := e :: !evs in
+  let ev ?(extra = []) ?(args = []) ~ph ~name ~tid ~ts () =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String ph);
+         ("ts", Json.Int ts);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int tid);
+       ]
+       @ extra
+       @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  let meta ~tid ~lane ~sort =
+    push
+      (ev ~ph:"M" ~name:"thread_name" ~tid ~ts:0
+         ~args:[ ("name", Json.String lane) ] ());
+    push
+      (ev ~ph:"M" ~name:"thread_sort_index" ~tid ~ts:0
+         ~args:[ ("sort_index", Json.Int sort) ] ())
+  in
+  List.iter
+    (fun (lv : Span.lane_view) ->
+      let tid = lv.id in
+      meta ~tid ~lane:lv.lane ~sort:tid;
+      let stack = ref [] in
+      let last = ref 0 in
+      List.iter
+        (fun (e : Span.event) ->
+          let ts = us_of ~t0 e.ns in
+          last := max !last ts;
+          match e.kind with
+          | Span.Begin ->
+            stack := e.name :: !stack;
+            push (ev ~ph:"B" ~name:e.name ~tid ~ts ())
+          | Span.End -> (
+            match !stack with
+            | top :: rest ->
+              stack := rest;
+              push (ev ~ph:"E" ~name:top ~tid ~ts ())
+            | [] -> () (* begin lost to the ring: drop the orphan end *))
+          | Span.Instant ->
+            push
+              (ev ~ph:"i" ~name:e.name ~tid ~ts
+                 ~extra:[ ("s", Json.String "t") ] ()))
+        lv.events;
+      (* close anything still open so begin/end pairs always balance *)
+      List.iter (fun name -> push (ev ~ph:"E" ~name ~tid ~ts:!last ())) !stack;
+      (* sampled timers: one complete event each, laid out sequentially
+         on a synthetic lane (durations are estimates, not a timeline) *)
+      if lv.timers <> [] then begin
+        let ptid = 1000 + lv.id in
+        meta ~tid:ptid ~lane:(lv.lane ^ " phases") ~sort:ptid;
+        let cursor = ref 0 in
+        List.iter
+          (fun (tv : Span.timer_view) ->
+            let dur = tv.estimate_ns / 1000 in
+            push
+              (ev ~ph:"X" ~name:tv.timer_name ~tid:ptid ~ts:!cursor
+                 ~extra:[ ("dur", Json.Int dur) ]
+                 ~args:
+                   [
+                     ("ops", Json.Int tv.ops);
+                     ("sampled", Json.Int tv.sampled);
+                     ("estimated", Json.Bool true);
+                   ]
+                 ());
+            cursor := !cursor + dur)
+          lv.timers
+      end)
+    (Span.lane_views t);
+  List.iter
+    (fun (name, series) ->
+      List.iter
+        (fun (ns, v) ->
+          push
+            (ev ~ph:"C" ~name ~tid:0 ~ts:(us_of ~t0 ns)
+               ~args:[ ("value", Json.Int v) ] ()))
+        series)
+    (Span.counter_tracks t);
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !evs));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("generator", Json.String "dgrace");
+            ("dropped_events", Json.Int (Span.dropped t));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* validation + per-phase aggregation over a parsed trace document *)
+
+type lane_state = {
+  mutable last_ts : int;
+  mutable stack : (string * int) list;  (* open spans: (name, begin ts) *)
+  mutable lane_label : string option;
+}
+
+exception Invalid of string
+
+let phases (doc : Json.t) =
+  let fail i msg = raise (Invalid (Printf.sprintf "event %d: %s" i msg)) in
+  let str i k ev =
+    match Json.member k ev with
+    | Some (Json.String s) -> s
+    | _ -> fail i (Printf.sprintf "missing string %S" k)
+  in
+  let int_ i k ev =
+    match Json.member k ev with
+    | Some (Json.Int n) -> n
+    | _ -> fail i (Printf.sprintf "missing integer %S" k)
+  in
+  let lanes : (int * int, lane_state) Hashtbl.t = Hashtbl.create 16 in
+  let lane_of i ev =
+    let key = (int_ i "pid" ev, int_ i "tid" ev) in
+    match Hashtbl.find_opt lanes key with
+    | Some st -> (key, st)
+    | None ->
+      let st = { last_ts = min_int; stack = []; lane_label = None } in
+      Hashtbl.replace lanes key st;
+      (key, st)
+  in
+  let agg : (string * string, int ref * int ref * bool ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let bump ~lane ~name ~dur ~estimated =
+    let count, total, est =
+      match Hashtbl.find_opt agg (lane, name) with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0, ref 0, ref false) in
+        Hashtbl.replace agg (lane, name) cell;
+        cell
+    in
+    incr count;
+    total := !total + dur;
+    if estimated then est := true
+  in
+  let lo = ref max_int and hi = ref min_int in
+  let n_events = ref 0 in
+  match
+    let events =
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) -> evs
+      | Some _ -> raise (Invalid "\"traceEvents\" is not a list")
+      | None -> raise (Invalid "missing \"traceEvents\"")
+    in
+    List.iteri
+      (fun i ev ->
+        incr n_events;
+        let ph = str i "ph" ev in
+        let name = str i "name" ev in
+        let _, st = lane_of i ev in
+        let span_ts () =
+          let ts = int_ i "ts" ev in
+          if ts < 0 then fail i "negative timestamp";
+          if ts < st.last_ts then
+            fail i
+              (Printf.sprintf "timestamp %d before %d on the same lane" ts
+                 st.last_ts);
+          st.last_ts <- ts;
+          lo := min !lo ts;
+          hi := max !hi ts;
+          ts
+        in
+        match ph with
+        | "M" ->
+          if name = "thread_name" then
+            st.lane_label <-
+              Option.bind (Json.member "args" ev) (Json.member "name")
+              |> Option.map (function Json.String s -> s | _ -> "?")
+        | "B" -> st.stack <- (name, span_ts ()) :: st.stack
+        | "E" -> (
+          let ts = span_ts () in
+          match st.stack with
+          | (top, t0) :: rest when top = name ->
+            st.stack <- rest;
+            bump
+              ~lane:(Option.value st.lane_label ~default:"?")
+              ~name ~dur:(ts - t0) ~estimated:false
+          | (top, _) :: _ ->
+            fail i (Printf.sprintf "end %S does not match open span %S" name top)
+          | [] -> fail i (Printf.sprintf "end %S with no open span" name))
+        | "i" | "I" ->
+          let _ = span_ts () in
+          bump
+            ~lane:(Option.value st.lane_label ~default:"?")
+            ~name ~dur:0 ~estimated:false
+        | "X" ->
+          let ts = span_ts () in
+          let dur = int_ i "dur" ev in
+          if dur < 0 then fail i "negative duration";
+          hi := max !hi (ts + dur);
+          bump
+            ~lane:(Option.value st.lane_label ~default:"?")
+            ~name ~dur ~estimated:true
+        | "C" -> (
+          match Option.bind (Json.member "args" ev) (Json.member "value") with
+          | Some (Json.Int _) -> ()
+          | _ -> fail i "counter without an integer args.value")
+        | ph -> fail i (Printf.sprintf "unknown phase %S" ph))
+      events;
+    Hashtbl.iter
+      (fun (pid, tid) st ->
+        match st.stack with
+        | (name, _) :: _ ->
+          raise
+            (Invalid
+               (Printf.sprintf "lane (%d,%d): span %S never closed" pid tid name))
+        | [] -> ())
+      lanes;
+    let phases =
+      Hashtbl.fold
+        (fun (lane, name) (count, total, est) acc ->
+          {
+            phase_lane = lane;
+            phase_name = name;
+            count = !count;
+            total_us = !total;
+            estimated = !est;
+          }
+          :: acc)
+        agg []
+      |> List.sort (fun a b ->
+             compare (a.phase_lane, a.phase_name) (b.phase_lane, b.phase_name))
+    in
+    {
+      phases;
+      events = !n_events;
+      lanes = Hashtbl.length lanes;
+      wall_us = (if !hi >= !lo then !hi - !lo else 0);
+    }
+  with
+  | r -> Ok r
+  | exception Invalid msg -> Error msg
+
+let validate doc = Result.map (fun (_ : report) -> ()) (phases doc)

@@ -1,0 +1,48 @@
+(** Export a {!Span} tracer as Chrome [trace_event] JSON — the object
+    format Perfetto ({:https://ui.perfetto.dev}) and [chrome://tracing]
+    load — plus the validator/aggregator behind [racedet timings] and
+    the CI smoke check.
+
+    Output layout (see doc/observability.md for the walkthrough): one
+    timeline lane per Span lane (named via thread metadata, ordered by
+    registration), a synthetic ["<lane> phases"] lane of complete
+    events for each lane's sampled timers, and one counter track per
+    attached series.  Timestamps are microseconds relative to the
+    tracer's epoch.  The exporter repairs what recording could not
+    know: orphan end events are dropped and still-open spans are
+    closed at the lane's last timestamp, so the output always passes
+    {!validate} — even for a run stopped mid-stream by a budget. *)
+
+val to_json : Span.t -> Json.t
+(** [{ "traceEvents": [...], "displayTimeUnit": "ms",
+      "otherData": { "generator", "dropped_events" } }] *)
+
+(** {1 Validation and aggregation} *)
+
+type report = {
+  phases : phase list;  (** sorted by (lane, phase) *)
+  events : int;  (** trace events checked *)
+  lanes : int;  (** distinct (pid, tid) timeline lanes *)
+  wall_us : int;  (** span of timestamps covered *)
+}
+
+and phase = {
+  phase_lane : string;
+  phase_name : string;
+  count : int;
+  total_us : int;
+  estimated : bool;
+      (** from a sampled-timer aggregate ("X"), not begin/end pairs *)
+}
+
+val phases : Json.t -> (report, string) result
+(** Validate a parsed trace document and aggregate per-phase totals.
+    Checks: ["traceEvents"] list present; every event has string
+    [ph]/[name] and integer [ts]/[pid]/[tid]; [ph] is one of
+    B/E/i/I/X/C/M; timestamps are monotone per lane (counters and
+    metadata exempt); begin/end pairs balance with matching names;
+    complete events carry a non-negative [dur]; counters carry an
+    integer [args.value]. *)
+
+val validate : Json.t -> (unit, string) result
+(** {!phases} without the aggregation. *)

@@ -1,14 +1,20 @@
 (* v2: run summaries gained "partial"/"degraded" flags and, when a
-   budget stopped the run, a "stop_reason" object. *)
-let schema_version = 2
+   budget stopped the run, a "stop_reason" object.
+   v3: the envelope itself carries wall-clock "elapsed_s" when the
+   producer measured one (runs and compares do; static documents like
+   bench tables may not). *)
+let schema_version = 3
 let version_key = "schema_version"
 
-let envelope ~kind body =
+let envelope ?elapsed_s ~kind body =
   Json.Obj
     ((version_key, Json.Int schema_version)
      :: ("kind", Json.String kind)
      :: ("generator", Json.String "dgrace")
-     :: body)
+     :: ((match elapsed_s with
+          | Some s -> [ ("elapsed_s", Json.Float s) ]
+          | None -> [])
+         @ body))
 
 let validate doc =
   match Json.member version_key doc with

@@ -6,14 +6,15 @@
     on any incompatible change) and ["kind"] (what the body is). *)
 
 val schema_version : int
-(** Currently [1]. *)
+(** Currently [3] (v3 added the envelope-level ["elapsed_s"]). *)
 
 val version_key : string
 (** The literal key name, ["schema_version"]. *)
 
-val envelope : kind:string -> (string * Json.t) list -> Json.t
+val envelope : ?elapsed_s:float -> kind:string -> (string * Json.t) list -> Json.t
 (** [envelope ~kind body] is an object starting with
-    [schema_version]/[kind]/[generator] followed by [body]. *)
+    [schema_version]/[kind]/[generator] — plus ["elapsed_s"] (wall
+    clock, seconds) when given — followed by [body]. *)
 
 val validate : Json.t -> (int * string, string) result
 (** Check a parsed document is an envelope; returns

@@ -36,6 +36,16 @@ let tick t =
     snapshot t
   end
 
+(* Batched tick for sampled event loops: [n] events land at once, at
+   most one snapshot is taken (callers batch with n << every). *)
+let tick_n t n =
+  t.events <- t.events + n;
+  t.until_next <- t.until_next - n;
+  if t.until_next <= 0 then begin
+    t.until_next <- t.every;
+    snapshot t
+  end
+
 let flush t =
   match t.samples_rev with
   | { at_event; _ } :: _ when at_event = t.events -> ()
@@ -45,6 +55,39 @@ let every t = t.every
 let source_names t = Array.to_list t.names
 let length t = t.n_samples
 let samples t = List.rev t.samples_rev
+
+(* Collapse per-shard samplers into one final sample: values summed
+   element-wise over each input's last (flushed) sample, at_event the
+   total events ticked across inputs.  Intermediate samples are
+   per-shard local history and do not merge (shards progress
+   independently); the final sums are what sequential replay's last
+   sample reports for additive sources. *)
+let merged_final ts =
+  match ts with
+  | [] -> None
+  | t0 :: _ ->
+    let finals = List.filter_map (fun t -> match t.samples_rev with s :: _ -> Some s | [] -> None) ts in
+    if finals = [] then None
+    else begin
+      let values = Array.make (Array.length t0.names) 0 in
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i v -> if i < Array.length values then values.(i) <- values.(i) + v)
+            s.values)
+        finals;
+      let at_event = List.fold_left (fun acc t -> acc + t.events) 0 ts in
+      Some
+        {
+          every = t0.every;
+          names = Array.copy t0.names;
+          reads = Array.map (fun v -> fun () -> v) values;
+          events = at_event;
+          until_next = t0.every;
+          samples_rev = [ { at_event; values } ];
+          n_samples = 1;
+        }
+    end
 
 let to_json t =
   Json.Obj

@@ -20,6 +20,11 @@ val create : every:int -> sources:(string * (unit -> int)) list -> t
 val tick : t -> unit
 (** Count one event; snapshots when the period elapses. *)
 
+val tick_n : t -> int -> unit
+(** Count [n] events at once, taking at most one snapshot — for
+    sampled event loops that only call in every [n] events.  With
+    [n = 1] this is exactly {!tick}. *)
+
 val flush : t -> unit
 (** Take a final sample at the current event count (end of run) unless
     one was already taken there; guarantees a non-empty series for any
@@ -30,6 +35,15 @@ val source_names : t -> string list
 val length : t -> int
 val samples : t -> sample list
 (** In chronological order. *)
+
+val merged_final : t list -> t option
+(** Merge per-shard samplers ([flush] them first) into one holding a
+    single sample: values summed element-wise over each input's last
+    sample, [at_event] the total events ticked.  For additive sources
+    (event and race counts) this equals the last sample of the
+    equivalent sequential run.  [None] when no input has a sample.
+    Sources are assumed congruent (same list, same order) — the engine
+    builds every shard's sampler from one source list. *)
 
 val to_json : t -> Json.t
 (** [{ "every": n, "sources": [..], "samples": [[at_event, v1, ..], ..] }]

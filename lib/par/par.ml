@@ -3,8 +3,16 @@ open Dgrace_detectors
 open Dgrace_shadow
 module Budget = Dgrace_resilience.Budget
 module Trace_shard = Dgrace_trace.Trace_shard
+module Span = Dgrace_obs.Span
+module Recorder = Dgrace_obs.Recorder
 
 type mode = Parallel | Sequential
+
+(* The tracing-lane naming convention shared with the engine: shard
+   [i] records on lane ["shard<i>"], so a detector built with that
+   lane as its tracer lands its phase timers beside the shard's own
+   spans. *)
+let shard_lane = Printf.sprintf "shard%d"
 
 type shard_outcome = {
   index : int;
@@ -14,6 +22,7 @@ type shard_outcome = {
   degraded : bool;
   events : int;
   busy_s : float;
+  recorder : Recorder.t option;
 }
 
 type result = {
@@ -69,8 +78,12 @@ let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
    it.  One event can surface several reports (a race dissolves the
    whole sharing group), so new reports are taken as the tail of the
    collector's detection-order list. *)
-let run_shard ~budget ~progress make (stream : (int * Event.t) array) index =
-  let d : Detector.t = make () in
+let run_shard ~budget ~progress ~lane ~recorder_for make
+    (stream : (int * Event.t) array) index =
+  let d : Detector.t = make index in
+  let recorder =
+    match recorder_for with Some f -> f index d | None -> None
+  in
   let degraded = ref false in
   let t0 = Unix.gettimeofday () in
   let guard =
@@ -79,17 +92,34 @@ let run_shard ~budget ~progress make (stream : (int * Event.t) array) index =
       Some (budget_guard d b ~degraded ~t0)
     | Some _ | None -> None
   in
+  (* The per-event dispatch is built once so the untraced path keeps
+     the direct call; with a lane, dispatch goes through a sampled
+     timer that attributes detector time on the shard's timeline. *)
+  let on_event =
+    match lane with
+    | None -> d.on_event
+    | Some buf ->
+      (* one event in 64 is dispatched armed and timed; the shard's
+         recorder tick stays exact (its merged final sample is
+         observable output), so it lives in the delivery loop, not in
+         the wrapper's [on_sample] *)
+      Span.wrap_dispatch buf ~name:"detector.on_event" ~stride:64
+        ~on_sample:(fun () -> ())
+        d.on_event
+  in
   let tagged = ref [] in
   let reported = ref 0 in
   let delivered = ref 0 in
   let last_off = ref (-1) in
   let stop = ref None in
+  (match lane with Some buf -> Span.begin_span buf "shard.run" | None -> ());
   (try
      Array.iter
        (fun (off, ev) ->
          last_off := off;
-         d.on_event ev;
+         on_event ev;
          incr delivered;
+         (match recorder with Some r -> Recorder.tick r | None -> ());
          progress ();
          let n = Report.Collector.count d.collector in
          if n > !reported then begin
@@ -100,8 +130,16 @@ let run_shard ~budget ~progress make (stream : (int * Event.t) array) index =
          end;
          match guard with Some g -> g () | None -> ())
        stream
-   with Stop s -> stop := Some (!last_off, s));
-  d.finish ();
+   with Stop s ->
+     stop := Some (!last_off, s);
+     (match lane with
+      | Some buf -> Span.instant buf "budget.stop"
+      | None -> ()));
+  (match lane with Some buf -> Span.end_span buf "shard.run" | None -> ());
+  (match lane with
+   | Some buf -> Span.span buf "shard.finish" d.finish
+   | None -> d.finish ());
+  (match recorder with Some r -> Recorder.flush r | None -> ());
   let busy_s = Unix.gettimeofday () -. t0 in
   {
     index;
@@ -111,11 +149,28 @@ let run_shard ~budget ~progress make (stream : (int * Event.t) array) index =
     degraded = !degraded;
     events = !delivered;
     busy_s;
+    recorder;
   }
 
-let analyze ?(mode = Parallel) ?budget ?progress ~make ~shards ~granule events =
+let analyze ?(mode = Parallel) ?budget ?progress ?tracer ?recorder_for ~make
+    ~shards ~granule events =
   let t0 = Unix.gettimeofday () in
+  let main = Option.map Span.main tracer in
+  (match main with Some b -> Span.begin_span b "par.split" | None -> ());
   let plan = Trace_shard.split ~shards ~granule events in
+  (match main with
+   | Some b ->
+     Span.end_span b "par.split";
+     if plan.Trace_shard.straddling > 0 then Span.instant b "par.weld"
+   | None -> ());
+  (* Shard lanes are registered here, on the calling domain, so lane
+     order (and the exported timeline layout) is by shard index, not
+     by whichever domain wins the registration race. *)
+  let lanes =
+    match tracer with
+    | None -> Array.make shards None
+    | Some t -> Array.init shards (fun i -> Some (Span.lane t (shard_lane i)))
+  in
   let split_s = Unix.gettimeofday () -. t0 in
   let progress_hook =
     match progress with
@@ -135,7 +190,10 @@ let analyze ?(mode = Parallel) ?budget ?progress ~make ~shards ~granule events =
           Mutex.unlock m
         end
   in
-  let run i = run_shard ~budget ~progress:progress_hook make plan.shards.(i) i in
+  let run i =
+    run_shard ~budget ~progress:progress_hook ~lane:lanes.(i) ~recorder_for
+      make plan.shards.(i) i
+  in
   let outcomes =
     match mode with
     | Sequential -> Array.init shards run
@@ -150,6 +208,7 @@ let analyze ?(mode = Parallel) ?budget ?progress ~make ~shards ~granule events =
         Array.append [| first |] (Array.map Domain.join doms)
       end
   in
+  (match main with Some b -> Span.instant b "par.join" | None -> ());
   let critical_path_s =
     Array.fold_left (fun acc o -> Float.max acc o.busy_s) 0. outcomes
   in

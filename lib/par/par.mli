@@ -30,6 +30,12 @@ type mode =
           measure the critical path on machines with fewer cores than
           shards *)
 
+val shard_lane : int -> string
+(** [shard_lane i] is ["shard<i>"] — the {!Dgrace_obs.Span} lane name
+    shard [i] records on when {!analyze} is given a tracer.  The
+    engine uses the same name to point the shard's detector at the
+    same lane. *)
+
 type shard_outcome = {
   index : int;
   detector : Detector.t;  (** the shard's detector, after [finish] *)
@@ -41,6 +47,9 @@ type shard_outcome = {
   degraded : bool;
   events : int;  (** events delivered to this shard (incl. broadcasts) *)
   busy_s : float;  (** wall-clock the shard spent analysing *)
+  recorder : Dgrace_obs.Recorder.t option;
+      (** the shard's flight recorder (built by [recorder_for],
+          flushed), for the engine's time-series merge *)
 }
 
 type result = {
@@ -57,18 +66,28 @@ val analyze :
   ?mode:mode ->
   ?budget:Budget.t ->
   ?progress:int * (int -> unit) ->
-  make:(unit -> Detector.t) ->
+  ?tracer:Dgrace_obs.Span.t ->
+  ?recorder_for:(int -> Detector.t -> Dgrace_obs.Recorder.t option) ->
+  make:(int -> Detector.t) ->
   shards:int ->
   granule:int ->
   Event.t array ->
   result
 (** [analyze ~make ~shards ~granule events] splits and replays.
-    [make] must build a fresh detector (called once per shard, inside
-    the shard's domain; suppression tables are immutable and safe to
-    share).  [budget] applies {e per shard} with the sequential
-    engine's semantics — shadow pressure degrades before stopping,
-    event/deadline caps stop the shard.  [progress] is a global
-    heartbeat over all delivered events across shards.
+    [make i] must build a fresh detector for shard [i] (called once
+    per shard, inside the shard's domain; suppression tables are
+    immutable and safe to share).  [budget] applies {e per shard} with
+    the sequential engine's semantics — shadow pressure degrades
+    before stopping, event/deadline caps stop the shard.  [progress]
+    is a global heartbeat over all delivered events across shards.
+
+    [tracer] records the split, the join barrier, and welding on the
+    ["main"] lane, and gives each shard a {!shard_lane} timeline with
+    a ["shard.run"] span, a ["shard.finish"] span, a ["budget.stop"]
+    instant if its budget fired, and a sampled ["detector.on_event"]
+    timer.  [recorder_for i d] may attach a wall-clock flight recorder
+    to shard [i]'s detector; it is ticked once per delivered event,
+    flushed when the shard ends, and returned in the outcome.
     @raise Invalid_argument if [shards < 1] or [granule] is not a
     power of two. *)
 

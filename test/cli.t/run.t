@@ -112,11 +112,11 @@ validates:
   $ racedet run pbzip2 -d dynamic --metrics-out m.json >/dev/null 2>&1; test $? -eq 2 && echo racy
   racy
 
-  $ grep -c '"schema_version": 2' m.json
+  $ grep -c '"schema_version": 3' m.json
   1
 
   $ racedet metrics-info m.json
-  schema_version: 2
+  schema_version: 3
   kind: run
   runs: 1
     ft-dynamic: samples=51 transitions=15720
@@ -183,6 +183,79 @@ Corrupt traces fail with a structured error (exit 4) or, with
   exit=3
 
   $ rm t.bin
+
+Flight recorder (doc/observability.md): --trace-out writes a
+Perfetto-loadable Chrome trace and racedet timings validates and
+summarises it.  Times vary run to run; the lane/phase structure does
+not:
+
+  $ racedet record pbzip2 t.bin >/dev/null
+
+  $ racedet replay t.bin -d dynamic --trace-out prof.json 2>/dev/null | grep races:
+  races: 1 (0 suppressed)
+
+  $ racedet timings prof.json | tail -n +3 | sed -E 's/ +[0-9]+ +[0-9]+~?$//'
+  main           engine.finish
+  main           engine.replay
+  main           replay.decode
+  main phases    detector.on_event
+  main phases    phase.granularity
+  main phases    phase.shadow_lookup
+  main phases    phase.vc_check
+
+A sampled-timer row ends in "~": an estimate scaled from sampled ops,
+not a measured begin/end pair.
+
+  $ racedet timings prof.json | grep -c '~$'
+  4
+
+Tracing composes with sharding — one timeline lane per shard plus its
+phase estimates, and the race set is unchanged:
+
+  $ racedet replay t.bin -d dynamic --shards 2 --trace-out prof2.json 2>/dev/null | grep races:
+  races: 1 (0 suppressed)
+
+  $ racedet timings prof2.json | tail -n +3 | sed -E 's/ +[0-9]+ +[0-9]+~?$//'
+  main           par.join
+  main           par.split
+  main           replay.decode
+  shard0         shard.finish
+  shard0         shard.run
+  shard0 phases  detector.on_event
+  shard0 phases  phase.granularity
+  shard0 phases  phase.shadow_lookup
+  shard0 phases  phase.vc_check
+  shard1         shard.finish
+  shard1         shard.run
+  shard1 phases  detector.on_event
+  shard1 phases  phase.granularity
+  shard1 phases  phase.shadow_lookup
+  shard1 phases  phase.vc_check
+
+...and with --no-vc-intern:
+
+  $ racedet replay t.bin --no-vc-intern --trace-out p3.json 2>/dev/null | grep races:
+  races: 1 (0 suppressed)
+
+  $ racedet timings p3.json >/dev/null && echo validates
+  validates
+
+A budget-stopped (partial, exit 3) replay still writes a valid trace,
+with the stop marked on the timeline:
+
+  $ racedet replay t.bin --max-events 5000 --trace-out p4.json >/dev/null 2>&1; echo "exit=$?"
+  exit=3
+
+  $ racedet timings p4.json | grep -c 'budget.stop'
+  1
+
+An invalid document is an input error (exit 4):
+
+  $ echo '{}' > bad.json && racedet timings bad.json
+  timings: bad.json: invalid trace: missing "traceEvents"
+  [4]
+
+  $ rm t.bin prof.json prof2.json p3.json p4.json bad.json
 
 The fault-injection harness: every seeded fault must end in recovery
 or a declared structured error — exit 0 is the contract holding.

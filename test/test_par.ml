@@ -206,6 +206,77 @@ let test_budget_degraded () =
     (Engine.exit_code_of_summary s)
 
 (* ------------------------------------------------------------------ *)
+(* observability composes with sharding: per-shard recorders merge to
+   the sequential run's final sample, and a traced sharded replay
+   exports a validating timeline with one lane per shard *)
+
+let test_sharded_metrics_merge () =
+  let events = recorded (Option.get (Registry.find "dedup")) 1 in
+  let final (s : Engine.summary) =
+    match s.timeseries with
+    | None -> Alcotest.fail "sample_every given but no time-series"
+    | Some r -> (
+      match List.rev (Dgrace_obs.Sampler.samples (Dgrace_obs.Recorder.sampler r)) with
+      | last :: _ -> (last.at_event, Array.to_list last.values)
+      | [] -> Alcotest.fail "empty time-series")
+  in
+  let seq =
+    Engine.replay ~sample_every:512 ~spec:Spec.dynamic (Array.to_seq events)
+  in
+  List.iter
+    (fun shards ->
+      let par =
+        Engine.replay_sharded ~sample_every:512 ~shards ~spec:Spec.dynamic
+          (Array.to_seq events)
+      in
+      (* the merged values (additive sources) must equal the sequential
+         run's last sample; the merged at_event counts each broadcast
+         sync event once per shard, so it only matches at shards=1 *)
+      Alcotest.(check (list int))
+        (Printf.sprintf "final values equal sequential at shards=%d" shards)
+        (snd (final seq))
+        (snd (final par));
+      if shards = 1 then
+        Alcotest.(check int) "event count equals sequential at shards=1"
+          (fst (final seq))
+          (fst (final par)))
+    [ 1; 4 ]
+
+let test_sharded_trace_validates () =
+  let events = recorded (Option.get (Registry.find "pbzip2")) 1 in
+  let tracer = Dgrace_obs.Span.create () in
+  let traced =
+    Engine.replay_sharded ~tracer ~sample_every:1024 ~shards:4
+      ~spec:Spec.dynamic (Array.to_seq events)
+  in
+  let plain = Engine.replay ~spec:Spec.dynamic (Array.to_seq events) in
+  Alcotest.(check (list report)) "tracing does not change the races"
+    plain.races traced.races;
+  let doc = Dgrace_obs.Chrome_trace.to_json tracer in
+  match Dgrace_obs.Chrome_trace.phases doc with
+  | Error e -> Alcotest.failf "sharded trace must validate: %s" e
+  | Ok r ->
+    (* main + 4 shard lanes, each shard with a phases lane (the main
+       lane records no per-access timers) *)
+    Alcotest.(check bool)
+      (Printf.sprintf "at least 9 lanes, got %d" r.lanes)
+      true (r.lanes >= 9);
+    let lanes_with name =
+      List.filter
+        (fun (p : Dgrace_obs.Chrome_trace.phase) -> p.phase_name = name)
+        r.phases
+      |> List.map (fun (p : Dgrace_obs.Chrome_trace.phase) -> p.phase_lane)
+    in
+    Alcotest.(check (list string))
+      "every shard ran under a shard.run span"
+      [ "shard0"; "shard1"; "shard2"; "shard3" ]
+      (List.sort compare (lanes_with "shard.run"));
+    Alcotest.(check (list string))
+      "sampled dispatch timers on every shard's phases lane"
+      [ "shard0 phases"; "shard1 phases"; "shard2 phases"; "shard3 phases" ]
+      (List.sort compare (lanes_with "detector.on_event"))
+
+(* ------------------------------------------------------------------ *)
 
 let suites : unit Alcotest.test list =
   let diff_cases spec spec_name =
@@ -238,5 +309,12 @@ let suites : unit Alcotest.test list =
           test_budget_partial;
         Alcotest.test_case "shadow cap degrades, races lower bound" `Quick
           test_budget_degraded;
+      ] );
+    ( "par.obs",
+      [
+        Alcotest.test_case "sharded metrics merge to sequential final" `Quick
+          test_sharded_metrics_merge;
+        Alcotest.test_case "sharded trace validates, one lane per shard"
+          `Quick test_sharded_trace_validates;
       ] );
   ]
