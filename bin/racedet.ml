@@ -6,16 +6,21 @@
      profile      phase/hot-path breakdown of one workload per detector
      record       record a workload's event stream to a trace file
      replay       analyse a recorded trace
-     inject       fault-injection harness (corrupt traces, stuck threads)
+     inject       fault-injection harness (corrupt traces, stuck threads,
+                  wire faults against a live serve session with --via socket)
+     serve        crash-isolated streaming detection service (socket/spool)
+     client       stream a trace through a serve instance / query status
      metrics-info validate and summarise a --metrics-out document
      timings      validate and summarise a --trace-out timeline
      list         list workloads and detectors
 
-   Exit codes (doc/resilience.md):
+   Exit codes (doc/resilience.md, doc/serve.md):
      0  run completed, no races
      2  run completed, races found
      3  partial or degraded results (budget stop, deadlock, resynced trace)
-     4  input error (corrupt trace, invalid argument values) *)
+     4  input error (corrupt trace, invalid argument values)
+     5  internal failure contained as a structured error (crash-only
+        session isolation) *)
 
 open Cmdliner
 open Dgrace_core
@@ -698,8 +703,63 @@ let replay_cmd =
 (* inject: the fault-injection harness *)
 
 let inject_cmd =
-  let action w spec threads scale seeds fault_names =
+  let action w spec threads scale seeds fault_names via =
     let p = params w threads scale None in
+    if via = "socket" then begin
+      (* satellite harness: drive the same recover-or-declare contract
+         through the serve wire path (Dgrace_serve.Chaos) — a faulted
+         session must end poisoned while a concurrent healthy session
+         matches the one-shot oracle and nothing leaks *)
+      let faults =
+        match fault_names with
+        | [] ->
+          [ Dgrace_serve.Client.Garbage; Dgrace_serve.Client.Truncate;
+            Dgrace_serve.Client.Disconnect ]
+        | names ->
+          List.map
+            (fun n ->
+              match Dgrace_serve.Client.fault_of_string n with
+              | Ok f -> f
+              | Error msg ->
+                Format.eprintf "racedet: %s@." msg;
+                exit Rerr.exit_input_error)
+            names
+      in
+      let fault_name = function
+        | Dgrace_serve.Client.Garbage -> "garbage"
+        | Dgrace_serve.Client.Truncate -> "truncate"
+        | Dgrace_serve.Client.Disconnect -> "disconnect"
+      in
+      Format.printf "fault injection (socket): workload=%s detector=%s seeds=%s@."
+        w.name (Spec.name spec)
+        (String.concat "," (List.map string_of_int seeds));
+      let failures = ref 0 in
+      List.iter
+        (fun injection_seed ->
+          let evs = ref [] in
+          ignore
+            (Workload.run ~policy:(policy injection_seed) ~params:p
+               ~sink:(fun e -> evs := e :: !evs)
+               w);
+          let events = List.rev !evs in
+          List.iter
+            (fun fault ->
+              let outcome = Dgrace_serve.Chaos.run ~spec ~events fault in
+              if not (Dgrace_serve.Chaos.acceptable outcome) then incr failures;
+              Format.printf "  seed=%-3d %-11s %s@." injection_seed
+                (fault_name fault)
+                (Dgrace_serve.Chaos.describe outcome))
+            faults)
+        seeds;
+      if !failures > 0 then begin
+        Format.eprintf "racedet: inject: %d contract violation(s)@." !failures;
+        exit 1
+      end
+      else
+        Format.printf "all %d injection(s) isolated@."
+          (List.length seeds * List.length faults);
+      exit 0
+    end;
     let faults =
       match fault_names with
       | [] -> Fault_harness.all
@@ -757,10 +817,21 @@ let inject_cmd =
                              Default: all."
                (String.concat ", " Fault_harness.names)))
   in
+  let via_arg =
+    Arg.(
+      value
+      & opt (enum [ ("direct", "direct"); ("socket", "socket") ]) "direct"
+      & info [ "via" ] ~docv:"PATH"
+          ~doc:
+            "Injection path: $(b,direct) corrupts the pipeline in process; \
+             $(b,socket) drives wire faults ($(b,garbage), $(b,truncate), \
+             $(b,disconnect)) into a live serve session while a healthy \
+             session streams next to it.")
+  in
   let term =
     Term.(
       const action $ workload_arg $ spec_arg $ threads_arg $ scale_arg
-      $ seeds_arg $ faults_arg)
+      $ seeds_arg $ faults_arg $ via_arg)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -956,6 +1027,272 @@ let timings_cmd =
     Term.(const action $ path_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the crash-isolated streaming detection service *)
+
+module Serve = Dgrace_serve.Server
+module Serve_client = Dgrace_serve.Client
+module Serve_chaos = Dgrace_serve.Chaos
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to serve on.")
+
+let serve_cmd =
+  let action socket spool domains max_sessions inbox session_deadline
+      drain_deadline spec no_vc_intern max_shadow max_events deadline =
+    or_fail @@ fun () ->
+    let cfg =
+      {
+        Serve.default_config with
+        domains;
+        max_sessions;
+        inbox_frames = inbox;
+        session_deadline_s = session_deadline;
+        drain_deadline_s = drain_deadline;
+        log = Stderr_line.emit;
+        spool_spec = spec;
+        spool_vc_intern = not no_vc_intern;
+        spool_budget = budget max_shadow max_events deadline;
+      }
+    in
+    match (socket, spool) with
+    | Some path, None ->
+      Stderr_line.set_tag (Some "serve");
+      let t = Serve.start ~cfg ~socket:path () in
+      Stderr_line.line "listening on %s (domains=%d max-sessions=%d)" path
+        domains max_sessions;
+      let stop = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigterm handler;
+      Sys.set_signal Sys.sigint handler;
+      let rec park () =
+        if not (Atomic.get stop) then begin
+          Thread.delay 0.1;
+          park ()
+        end
+      in
+      park ();
+      Stderr_line.line "draining (deadline %.1fs)" drain_deadline;
+      Serve.drain t;
+      Stderr_line.line "drained"
+    | None, Some dir ->
+      let results = Serve.process_spool ~cfg ~dir () in
+      let code =
+        List.fold_left
+          (fun acc (f, r) ->
+            match r with
+            | Ok (s : Engine.summary) ->
+              Format.printf "%s: races=%d%s%s@." f s.race_count
+                (if s.partial <> None then " partial" else "")
+                (if s.degraded then " degraded" else "");
+              max acc (Engine.exit_code_of_summary s)
+            | Error e ->
+              Format.printf "%s: error: %s@." f (Rerr.to_string e);
+              max acc (Rerr.exit_code e))
+          0 results
+      in
+      if code <> 0 then exit code
+    | _ ->
+      Stderr_line.line "serve: exactly one of --socket or --spool is required";
+      exit Rerr.exit_input_error
+  in
+  let spool_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "One-shot batch mode: analyse every *.trc file in $(docv) as \
+             its own session and print one line per file.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt pos_int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value & opt pos_int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Admission cap: concurrent sessions past $(docv) are answered \
+             with Overloaded and a retry hint.")
+  in
+  let inbox_arg =
+    Arg.(
+      value & opt pos_int 64
+      & info [ "inbox" ] ~docv:"FRAMES"
+          ~doc:
+            "Per-session inbox bound; FEED frames past it are shed with \
+             Overloaded (the client retries the same frame).")
+  in
+  let session_deadline_arg =
+    Arg.(
+      value
+      & opt (some pos_float) None
+      & info [ "session-deadline-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog: a session still streaming after $(docv) seconds is \
+             sealed as a partial summary.")
+  in
+  let drain_deadline_arg =
+    Arg.(
+      value & opt pos_float 5.0
+      & info [ "drain-deadline-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Grace given to in-flight sessions on SIGTERM before they are \
+             sealed as partial summaries (default 5).")
+  in
+  let term =
+    Term.(
+      const action $ socket_arg $ spool_arg $ domains_arg $ max_sessions_arg
+      $ inbox_arg $ session_deadline_arg $ drain_deadline_arg $ spec_arg
+      $ no_vc_intern_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve streaming race detection over a Unix socket (or a spool \
+          directory) with per-session crash isolation."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Sessions are crash-only: a corrupt frame, an exhausted budget \
+              or an internal failure poisons only that session, which then \
+              answers every request with its structured error.  Worker \
+              domains that crash are restarted with capped exponential \
+              backoff.  SIGTERM drains: in-flight sessions get \
+              $(b,--drain-deadline-s) to finish, stragglers are sealed as \
+              partial summaries (exit-code-3 semantics), and the server \
+              exits 0.  See doc/serve.md for the wire protocol.";
+           `P
+             "The detector/budget flags apply to $(b,--spool) sessions; \
+              socket clients pick their own per session." ])
+    term
+
+(* client: drive a serve instance *)
+
+let client_fault_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Serve_client.fault_of_string s) in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with
+       | Serve_client.Garbage -> "garbage"
+       | Serve_client.Truncate -> "truncate"
+       | Serve_client.Disconnect -> "disconnect")
+  in
+  Arg.conv (parse, print)
+
+let req_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Server socket to connect to.")
+
+let client_replay_cmd =
+  let action path socket spec no_vc_intern chunk_events fault fault_after
+      verbose max_shadow max_events deadline =
+    or_fail @@ fun () ->
+    let events = Dgrace_trace.Trace_reader.read_file path in
+    match
+      Serve_client.replay ~spec:(Spec.name spec) ~vc_intern:(not no_vc_intern)
+        ?max_events ?deadline_s:deadline ?max_shadow_bytes:max_shadow
+        ~chunk_events ?fault ~fault_after_frames:fault_after ~socket events
+    with
+    | Ok { Serve_client.races; summary } ->
+      if verbose then List.iter print_endline races;
+      let geti k =
+        match Json.member k summary with Some (Json.Int n) -> n | _ -> 0
+      in
+      let getb k =
+        match Json.member k summary with Some (Json.Bool b) -> b | _ -> false
+      in
+      let partial = getb "partial" and degraded = getb "degraded" in
+      Format.printf "races: %d (%d suppressed)%s%s@." (geti "races")
+        (geti "suppressed")
+        (if partial then " partial" else "")
+        (if degraded then " degraded" else "");
+      let code =
+        if partial || degraded then Rerr.exit_partial
+        else if geti "races" > 0 then Rerr.exit_races
+        else Rerr.exit_ok
+      in
+      if code <> 0 then exit code
+    | Error (Serve_client.Server { code; error }) ->
+      Stderr_line.line "client: server error: %s"
+        (Json.to_string ~minify:true error);
+      exit code
+    | Error f ->
+      Stderr_line.line "client: %s" (Serve_client.failure_to_string f);
+      exit Rerr.exit_input_error
+  in
+  let trace_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file to stream.")
+  in
+  let chunk_events_arg =
+    Arg.(
+      value & opt pos_int 512
+      & info [ "chunk-events" ] ~docv:"N"
+          ~doc:"Events per FEED frame (default 512).")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some client_fault_conv) None
+      & info [ "inject-fault" ] ~docv:"FAULT"
+          ~doc:
+            "Break the wire on purpose: one of $(b,garbage), $(b,truncate), \
+             $(b,disconnect).  The session must end declared, not crash the \
+             server.")
+  in
+  let fault_after_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fault-after" ] ~docv:"FRAMES"
+          ~doc:"Inject after $(docv) FEED frames (default 2).")
+  in
+  let term =
+    Term.(
+      const action $ trace_pos_arg $ req_socket_arg $ spec_arg
+      $ no_vc_intern_arg $ chunk_events_arg $ fault_arg $ fault_after_arg
+      $ verbose_arg $ max_shadow_arg $ max_events_arg $ deadline_arg)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Stream a recorded trace through a serve instance.")
+    term
+
+let client_status_cmd =
+  let action socket =
+    match Serve_client.connect ~socket with
+    | Error f ->
+      Stderr_line.line "client: %s" (Serve_client.failure_to_string f);
+      exit Rerr.exit_input_error
+    | Ok c -> (
+      let r = Serve_client.status c in
+      Serve_client.close c;
+      match r with
+      | Ok j -> print_endline (Json.to_string j)
+      | Error f ->
+        Stderr_line.line "client: %s" (Serve_client.failure_to_string f);
+        exit Rerr.exit_input_error)
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Print a serve instance's status document.")
+    Term.(const action $ req_socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a racedet serve instance (replay a trace, get status).")
+    [ client_replay_cmd; client_status_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* list *)
 
 let list_cmd =
@@ -980,5 +1317,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; profile_cmd; explore_cmd; record_cmd;
-            replay_cmd; inject_cmd; trace_info_cmd; trace_dump_cmd;
-            metrics_info_cmd; timings_cmd; list_cmd ]))
+            replay_cmd; inject_cmd; serve_cmd; client_cmd; trace_info_cmd;
+            trace_dump_cmd; metrics_info_cmd; timings_cmd; list_cmd ]))

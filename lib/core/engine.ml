@@ -91,10 +91,12 @@ exception Stop of Budget.stop
    answered by asking the detector to degrade — one shedding step at a
    time — and only stops the run once the detector can shed nothing
    more and the accounting is still over the cap.  The deadline is
-   polled every 256 events to keep [gettimeofday] off the hot path.
-   [note] marks each shedding pass on the trace timeline. *)
+   polled every 256 events to keep the clock read off the hot path;
+   [now_s] comes from the caller's {!Dgrace_obs.Clock.source} so
+   deadline behaviour is testable on a mock clock.  [note] marks each
+   shedding pass on the trace timeline. *)
 let budget_guard ?(note = fun () -> ()) (d : Detector.t) (b : Budget.t)
-    ~degraded ~t0 =
+    ~degraded ~now_s ~t0 =
   let events = ref 0 in
   let over limit = Accounting.current_bytes d.account > limit in
   let rec shed limit =
@@ -121,7 +123,7 @@ let budget_guard ?(note = fun () -> ()) (d : Detector.t) (b : Budget.t)
      | None -> ());
     match b.Budget.deadline_s with
     | Some limit_s when !events land 255 = 0 ->
-      let elapsed_s = Unix.gettimeofday () -. t0 in
+      let elapsed_s = now_s () -. t0 in
       if elapsed_s > limit_s then
         raise (Stop (Budget.Deadline { limit_s; elapsed_s }))
     | Some _ | None -> ()
@@ -147,13 +149,13 @@ let dispatch_stride = 64
 let make_sink (d : Detector.t) ~budget ~recorder ~exact ~progress ~lane =
   let guard =
     match budget with
-    | Some (b, degraded, t0) when not (Budget.is_unlimited b) ->
+    | Some (b, degraded, now_s, t0) when not (Budget.is_unlimited b) ->
       let note =
         match lane with
         | Some buf -> fun () -> Span.instant buf "budget.degrade"
         | None -> fun () -> ()
       in
-      Some (budget_guard ~note d b ~degraded ~t0)
+      Some (budget_guard ~note d b ~degraded ~now_s ~t0)
     | Some _ | None -> None
   in
   match (guard, recorder, progress, lane) with
@@ -216,14 +218,22 @@ let feed_counter_tracks ~tracer ~prefix recorder =
       (Recorder.counter_series r)
   | (Some _ | None), _ -> ()
 
-let with_detector ?policy ?(budget = Budget.unlimited) ?sample_every ?progress
-    ?tracer (d : Detector.t) program =
+(* Policy time (budget deadlines) reads the caller's clock source so a
+   mock clock drives it in tests; [elapsed] in the summary follows the
+   same source, which is the real wall clock by default. *)
+let seconds_of clock =
+  fun () -> float_of_int (clock ()) *. 1e-9
+
+let with_detector ?policy ?(budget = Budget.unlimited)
+    ?(clock = Dgrace_obs.Clock.ns) ?sample_every ?progress ?tracer
+    (d : Detector.t) program =
   let lane = Option.map Span.main tracer in
   let recorder = make_recorder d ~sample_every ~tracer in
-  let t0 = Unix.gettimeofday () in
+  let now_s = seconds_of clock in
+  let t0 = now_s () in
   let degraded = ref false in
   let sink =
-    make_sink d ~budget:(Some (budget, degraded, t0)) ~recorder
+    make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
       ~exact:(sample_every <> None) ~progress ~lane
   in
   (match lane with Some b -> Span.begin_span b "engine.run" | None -> ());
@@ -240,26 +250,27 @@ let with_detector ?policy ?(budget = Budget.unlimited) ?sample_every ?progress
    | None -> d.finish ());
   Option.iter Recorder.flush recorder;
   feed_counter_tracks ~tracer ~prefix:d.name recorder;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = now_s () -. t0 in
   let timeseries = match sample_every with Some _ -> recorder | None -> None in
   summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries
 
-let run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress ?tracer
-    ~spec program =
-  with_detector ?policy ?budget ?sample_every ?progress ?tracer
+let run ?policy ?budget ?clock ?suppression ?vc_intern ?sample_every ?progress
+    ?tracer ~spec program =
+  with_detector ?policy ?budget ?clock ?sample_every ?progress ?tracer
     (Spec.to_detector ?suppression ?vc_intern
        ?tracer:(Option.map Span.main tracer) spec)
     program
 
-let replay ?(budget = Budget.unlimited) ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~spec events =
+let replay ?(budget = Budget.unlimited) ?(clock = Dgrace_obs.Clock.ns)
+    ?suppression ?vc_intern ?sample_every ?progress ?tracer ~spec events =
   let lane = Option.map Span.main tracer in
   let d = Spec.to_detector ?suppression ?vc_intern ?tracer:lane spec in
   let recorder = make_recorder d ~sample_every ~tracer in
-  let t0 = Unix.gettimeofday () in
+  let now_s = seconds_of clock in
+  let t0 = now_s () in
   let degraded = ref false in
   let sink =
-    make_sink d ~budget:(Some (budget, degraded, t0)) ~recorder
+    make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
       ~exact:(sample_every <> None) ~progress ~lane
   in
   (match lane with Some b -> Span.begin_span b "engine.replay" | None -> ());
@@ -276,7 +287,7 @@ let replay ?(budget = Budget.unlimited) ?suppression ?vc_intern ?sample_every
    | None -> d.finish ());
   Option.iter Recorder.flush recorder;
   feed_counter_tracks ~tracer ~prefix:d.name recorder;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = now_s () -. t0 in
   let timeseries = match sample_every with Some _ -> recorder | None -> None in
   summarize d ~elapsed ~sim:None ~partial ~degraded:!degraded ~timeseries
 
@@ -406,7 +417,7 @@ let merge_sharded ~elapsed ~timeseries (r : Par.result) =
     timeseries;
   }
 
-let replay_sharded ?mode ?budget ?suppression ?vc_intern ?sample_every
+let replay_sharded ?mode ?budget ?clock ?suppression ?vc_intern ?sample_every
     ?progress ?tracer ~shards ~spec events =
   if shards < 1 then invalid_arg "Engine.replay_sharded: shards must be >= 1";
   let t0 = Unix.gettimeofday () in
@@ -440,8 +451,8 @@ let replay_sharded ?mode ?budget ?suppression ?vc_intern ?sample_every
     | Some _ | None -> None
   in
   let r =
-    Par.analyze ?mode ?budget ?progress ?tracer ?recorder_for ~make ~shards
-      ~granule:Dynamic_granularity.share_granule events
+    Par.analyze ?mode ?budget ?clock ?progress ?tracer ?recorder_for ~make
+      ~shards ~granule:Dynamic_granularity.share_granule events
   in
   let recorders =
     Array.to_list r.Par.outcomes
@@ -481,23 +492,26 @@ let checked f =
   | exception Sim.Deadlock { Sim.blocked; held } ->
     Error (Error.Deadlock { blocked; held })
 
-let run_checked ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress
-    ?tracer ~spec program =
+let run_checked ?policy ?budget ?clock ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~spec program =
   checked (fun () ->
-      run ?policy ?budget ?suppression ?vc_intern ?sample_every ?progress
-        ?tracer ~spec program)
+      run ?policy ?budget ?clock ?suppression ?vc_intern ?sample_every
+        ?progress ?tracer ~spec program)
 
-let replay_checked ?budget ?suppression ?vc_intern ?sample_every ?progress
-    ?tracer ~spec events =
+let replay_checked ?budget ?clock ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~spec events =
   checked (fun () ->
-      replay ?budget ?suppression ?vc_intern ?sample_every ?progress ?tracer
-        ~spec events)
+      replay ?budget ?clock ?suppression ?vc_intern ?sample_every ?progress
+        ?tracer ~spec events)
 
-let replay_sharded_checked ?mode ?budget ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~shards ~spec events =
+let replay_sharded_checked ?mode ?budget ?clock ?suppression ?vc_intern
+    ?sample_every ?progress ?tracer ~shards ~spec events =
   checked (fun () ->
-      replay_sharded ?mode ?budget ?suppression ?vc_intern ?sample_every
+      replay_sharded ?mode ?budget ?clock ?suppression ?vc_intern ?sample_every
         ?progress ?tracer ~shards ~spec events)
+
+let summarize_detector d ~elapsed ~partial ~degraded =
+  summarize d ~elapsed ~sim:None ~partial ~degraded ~timeseries:None
 
 let exit_code_of_summary s =
   if s.partial <> None || s.degraded then Error.exit_partial

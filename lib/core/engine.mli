@@ -24,7 +24,13 @@
     or the shadow cap once degradation is exhausted — ends the run
     early with [partial = Some reason].  A partial or degraded summary
     still reports every race found: results are a lower bound, never
-    garbage.  See [doc/resilience.md]. *)
+    garbage.  See [doc/resilience.md].
+
+    {b Clocks.}  Every entry point also takes an optional
+    [clock : Dgrace_obs.Clock.source].  The budget's deadline check and
+    the summary's [elapsed] field read it instead of the wall clock, so
+    deadline behaviour is deterministic under {!Dgrace_obs.Clock.ticker}
+    in tests; the default is {!Dgrace_obs.Clock.ns}. *)
 
 open Dgrace_events
 open Dgrace_detectors
@@ -69,6 +75,7 @@ and mem_summary = {
 val run :
   ?policy:Scheduler.policy ->
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
   ?sample_every:int ->
@@ -103,6 +110,7 @@ val run :
 
 val replay :
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
   ?sample_every:int ->
@@ -120,6 +128,7 @@ val replay :
 val replay_sharded :
   ?mode:Dgrace_par.Par.mode ->
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
   ?sample_every:int ->
@@ -154,6 +163,7 @@ val replay_sharded :
 val with_detector :
   ?policy:Scheduler.policy ->
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -177,6 +187,7 @@ val with_detector :
 val run_checked :
   ?policy:Scheduler.policy ->
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
   ?sample_every:int ->
@@ -188,6 +199,7 @@ val run_checked :
 
 val replay_checked :
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
   ?sample_every:int ->
@@ -200,6 +212,7 @@ val replay_checked :
 val replay_sharded_checked :
   ?mode:Dgrace_par.Par.mode ->
   ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
   ?sample_every:int ->
@@ -209,6 +222,17 @@ val replay_sharded_checked :
   spec:Spec.t ->
   Event.t Seq.t ->
   (summary, Dgrace_resilience.Error.t) result
+
+val summarize_detector :
+  Detector.t ->
+  elapsed:float ->
+  partial:Dgrace_resilience.Budget.stop option ->
+  degraded:bool ->
+  summary
+(** Package a finished detector (after [d.finish ()]) as a {!summary} —
+    the hook the incremental session layer ([Dgrace_serve.Session])
+    uses to report exactly the same document as a one-shot run,
+    including the partial/degraded contract. *)
 
 val exit_code_of_summary : summary -> int
 (** The documented exit-code contract applied to a completed run:

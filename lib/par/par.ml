@@ -40,9 +40,10 @@ exception Stop of Budget.stop
    shard's stream: shadow pressure is answered by asking the detector
    to degrade one step at a time and only stops the shard once nothing
    more can be shed; event and deadline caps stop the shard outright.
-   The deadline is polled every 256 events to keep [gettimeofday] off
-   the hot path. *)
-let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
+   The deadline is polled every 256 events to keep the clock read off
+   the hot path; [now_s] comes from the caller's clock source so
+   deadline behaviour is mockable in tests. *)
+let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~now_s ~t0 =
   let events = ref 0 in
   let over limit = Accounting.current_bytes d.account > limit in
   let rec shed limit =
@@ -68,7 +69,7 @@ let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
      | None -> ());
     match b.Budget.deadline_s with
     | Some limit_s when !events land 255 = 0 ->
-      let elapsed_s = Unix.gettimeofday () -. t0 in
+      let elapsed_s = now_s () -. t0 in
       if elapsed_s > limit_s then
         raise (Stop (Budget.Deadline { limit_s; elapsed_s }))
     | Some _ | None -> ()
@@ -78,7 +79,7 @@ let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~t0 =
    it.  One event can surface several reports (a race dissolves the
    whole sharing group), so new reports are taken as the tail of the
    collector's detection-order list. *)
-let run_shard ~budget ~progress ~lane ~recorder_for make
+let run_shard ~budget ~now_s ~progress ~lane ~recorder_for make
     (stream : (int * Event.t) array) index =
   let d : Detector.t = make index in
   let recorder =
@@ -89,7 +90,7 @@ let run_shard ~budget ~progress ~lane ~recorder_for make
   let guard =
     match budget with
     | Some b when not (Budget.is_unlimited b) ->
-      Some (budget_guard d b ~degraded ~t0)
+      Some (budget_guard d b ~degraded ~now_s ~t0:(now_s ()))
     | Some _ | None -> None
   in
   (* The per-event dispatch is built once so the untraced path keeps
@@ -152,8 +153,9 @@ let run_shard ~budget ~progress ~lane ~recorder_for make
     recorder;
   }
 
-let analyze ?(mode = Parallel) ?budget ?progress ?tracer ?recorder_for ~make
-    ~shards ~granule events =
+let analyze ?(mode = Parallel) ?budget ?(clock = Dgrace_obs.Clock.ns)
+    ?progress ?tracer ?recorder_for ~make ~shards ~granule events =
+  let now_s () = float_of_int (clock ()) *. 1e-9 in
   let t0 = Unix.gettimeofday () in
   let main = Option.map Span.main tracer in
   (match main with Some b -> Span.begin_span b "par.split" | None -> ());
@@ -191,8 +193,8 @@ let analyze ?(mode = Parallel) ?budget ?progress ?tracer ?recorder_for ~make
         end
   in
   let run i =
-    run_shard ~budget ~progress:progress_hook ~lane:lanes.(i) ~recorder_for
-      make plan.shards.(i) i
+    run_shard ~budget ~now_s ~progress:progress_hook ~lane:lanes.(i)
+      ~recorder_for make plan.shards.(i) i
   in
   let outcomes =
     match mode with

@@ -65,6 +65,7 @@ type result = {
 val analyze :
   ?mode:mode ->
   ?budget:Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
   ?recorder_for:(int -> Detector.t -> Dgrace_obs.Recorder.t option) ->
@@ -78,8 +79,11 @@ val analyze :
     per shard, inside the shard's domain; suppression tables are
     immutable and safe to share).  [budget] applies {e per shard} with
     the sequential engine's semantics — shadow pressure degrades
-    before stopping, event/deadline caps stop the shard.  [progress]
-    is a global heartbeat over all delivered events across shards.
+    before stopping, event/deadline caps stop the shard.  [clock] is
+    the time source the deadline check reads (default
+    {!Dgrace_obs.Clock.ns}; a {!Dgrace_obs.Clock.ticker} makes it
+    deterministic in tests).  [progress] is a global heartbeat over
+    all delivered events across shards.
 
     [tracer] records the split, the join barrier, and welding on the
     ["main"] lane, and gives each shard a {!shard_lane} timeline with

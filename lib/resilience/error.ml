@@ -10,6 +10,7 @@ type t =
   | Deadlock of { blocked : int list; held : (int * int) list }
   | Budget_exhausted of { budget : string; limit : int; actual : int }
   | Invalid_input of { what : string; reason : string }
+  | Internal of { where : string; reason : string }
 
 exception E of t
 
@@ -17,10 +18,12 @@ let exit_ok = 0
 let exit_races = 2
 let exit_partial = 3
 let exit_input_error = 4
+let exit_internal = 5
 
 let exit_code = function
   | Corrupt_trace _ | Invalid_input _ -> exit_input_error
   | Deadlock _ | Budget_exhausted _ -> exit_partial
+  | Internal _ -> exit_internal
 
 let to_string = function
   | Corrupt_trace { path; offset; events_read; reason } ->
@@ -38,6 +41,8 @@ let to_string = function
       actual
   | Invalid_input { what; reason } ->
     Printf.sprintf "invalid input (%s): %s" what reason
+  | Internal { where; reason } ->
+    Printf.sprintf "internal failure (%s): %s" where reason
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
@@ -77,5 +82,12 @@ let to_json = function
       [
         ("error", Json.String "invalid_input");
         ("what", Json.String what);
+        ("reason", Json.String reason);
+      ]
+  | Internal { where; reason } ->
+    Json.Obj
+      [
+        ("error", Json.String "internal");
+        ("where", Json.String where);
         ("reason", Json.String reason);
       ]

@@ -29,6 +29,12 @@ type t =
           bring the run back under it. *)
   | Invalid_input of { what : string; reason : string }
       (** Malformed user input discovered before or during a run. *)
+  | Internal of { where : string; reason : string }
+      (** An exception escaped a component that promised not to raise —
+          the crash-only session layer ([Dgrace_serve.Session]) stores
+          one of these as the session's terminal state instead of
+          letting the exception cross the server boundary.  [where]
+          names the component, [reason] is the rendered exception. *)
 
 exception E of t
 (** The carrier used by layers that cannot return a [result]
@@ -52,10 +58,15 @@ val exit_partial : int
 val exit_input_error : int
 (** 4 — input could not be used (corrupt trace, bad file). *)
 
+val exit_internal : int
+(** 5 — an internal component crashed and the failure was contained as
+    a structured {!Internal} error (crash-only session isolation, not
+    silent data loss). *)
+
 val exit_code : t -> int
 (** The table above applied to an error: corrupt/invalid input maps to
     {!exit_input_error}; deadlock and budget exhaustion to
-    {!exit_partial}. *)
+    {!exit_partial}; contained crashes to {!exit_internal}. *)
 
 val to_string : t -> string
 (** One line, human-readable, stable across runs of the same input. *)

@@ -1,0 +1,221 @@
+module Json = Dgrace_obs.Json
+module Trace_codec = Dgrace_trace.Trace_codec
+
+(* Client side of the serve wire protocol — used by [racedet client],
+   the differential tests and the socket-path fault harness.  The
+   protocol is deliberately synchronous per request: a client sends
+   one frame and reads until the matching response, collecting any
+   incremental [Race] lines that arrive in between.  Synchronous
+   feeding also closes the classic both-sides-blocked-writing deadlock
+   by construction. *)
+
+type t = {
+  fd : Unix.file_descr;
+  enc : Trace_codec.encoder;
+  mutable races : string list;  (* newest first *)
+}
+
+type failure =
+  | Protocol of string  (* transport/framing trouble on our side *)
+  | Server of { code : int; error : Json.t }  (* structured Err frame *)
+  | Gave_up of string  (* backpressure retries exhausted *)
+
+let failure_to_string = function
+  | Protocol r -> Printf.sprintf "protocol: %s" r
+  | Server { code; error } ->
+    Printf.sprintf "server error (exit code %d): %s" code
+      (Json.to_string ~minify:true error)
+  | Gave_up r -> Printf.sprintf "gave up: %s" r
+
+let connect ~socket =
+  Wire.ignore_sigpipe ();
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; enc = Trace_codec.encoder (); races = [] }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Protocol (Printf.sprintf "connect %s: %s" socket (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let races t = List.rev t.races
+
+(* Read until a non-[Race] response arrives. *)
+let rec await t =
+  match Wire.read t.fd with
+  | Ok None -> Error (Protocol "server closed connection")
+  | Error reason -> Error (Protocol reason)
+  | Ok (Some (Wire.Race line)) ->
+    t.races <- line :: t.races;
+    await t
+  | Ok (Some frame) -> Ok frame
+
+let server_failure j =
+  let code =
+    match Json.member "code" j with Some (Json.Int n) -> n | _ -> -1
+  in
+  let error =
+    match Json.member "error" j with Some e -> e | None -> Json.Null
+  in
+  Server { code; error }
+
+let retry_after j =
+  match Json.member "retry_after_s" j with
+  | Some (Json.Float s) -> s
+  | Some (Json.Int s) -> float_of_int s
+  | _ -> 0.1
+
+let max_retries = 200
+
+(* Send [frame], await its response; on [Overloaded] wait the hinted
+   time and resend the identical frame (the server accepted nothing,
+   so ordering is preserved). *)
+let request t frame ~expect =
+  let rec go attempt =
+    match
+      try Ok (Wire.write t.fd frame)
+      with Unix.Unix_error (e, _, _) ->
+        Error (Protocol (Printf.sprintf "write: %s" (Unix.error_message e)))
+    with
+    | Error f -> Error f
+    | Ok () -> (
+      match await t with
+      | Error f -> Error f
+      | Ok (Wire.Overloaded j) ->
+        if attempt >= max_retries then
+          Error (Gave_up "overloaded: retry budget exhausted")
+        else begin
+          Thread.delay (retry_after j);
+          go (attempt + 1)
+        end
+      | Ok (Wire.Err j) -> Error (server_failure j)
+      | Ok frame -> (
+        match expect frame with
+        | Some v -> Ok v
+        | None -> Error (Protocol "unexpected response frame")))
+  in
+  go 0
+
+let open_session ?(spec = "dynamic") ?(vc_intern = true) ?max_events
+    ?deadline_s ?max_shadow_bytes t =
+  let fields =
+    [ ("spec", Json.String spec); ("vc_intern", Json.Bool vc_intern) ]
+    @ (match max_events with Some n -> [ ("max_events", Json.Int n) ] | None -> [])
+    @ (match deadline_s with
+       | Some s -> [ ("deadline_s", Json.Float s) ]
+       | None -> [])
+    @
+    match max_shadow_bytes with
+    | Some n -> [ ("max_shadow_bytes", Json.Int n) ]
+    | None -> []
+  in
+  request t (Wire.Open (Json.Obj fields)) ~expect:(function
+    | Wire.Opened j -> (
+      match Json.member "session" j with
+      | Some (Json.Int id) -> Some id
+      | _ -> None)
+    | _ -> None)
+
+let feed t events =
+  let buf = Buffer.create 4096 in
+  List.iter (Trace_codec.encode t.enc buf) events;
+  request t (Wire.Feed (Buffer.contents buf)) ~expect:(function
+    | Wire.Ack j -> Some j
+    | _ -> None)
+
+let finish t =
+  request t Wire.Finish ~expect:(function
+    | Wire.Summary j -> Some j
+    | _ -> None)
+
+let status t =
+  request t Wire.Status ~expect:(function
+    | Wire.Status_doc j -> Some j
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* fault injection (the socket-path fault harness drives these) *)
+
+type fault =
+  | Garbage  (* bytes that are not a frame *)
+  | Truncate  (* half a valid frame, then close *)
+  | Disconnect  (* vanish mid-session without Finish *)
+
+let fault_of_string = function
+  | "garbage" -> Ok Garbage
+  | "truncate" -> Ok Truncate
+  | "disconnect" -> Ok Disconnect
+  | s -> Error (Printf.sprintf "unknown fault %S (garbage|truncate|disconnect)" s)
+
+let write_raw fd s =
+  let rec loop off =
+    if off < String.length s then
+      match Unix.write_substring fd s off (String.length s - off) with
+      | n -> loop (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  (try loop 0 with Unix.Unix_error _ -> ())
+
+let inject t fault =
+  (match fault with
+   | Garbage ->
+     (* a length field far over the limit: the server's reader rejects
+        it as a protocol error and poisons the session *)
+     write_raw t.fd "\xff\xff\xff\xff\xff"
+   | Truncate ->
+     let frame = Wire.encode (Wire.Feed (String.make 64 '\x00')) in
+     write_raw t.fd (String.sub frame 0 (String.length frame / 2))
+   | Disconnect -> ());
+  close t
+
+(* ------------------------------------------------------------------ *)
+(* one-shot replay: the whole client lifecycle over one session *)
+
+type outcome = { races : string list; summary : Json.t }
+
+let chunks n l =
+  let rec take k acc = function
+    | [] -> (List.rev acc, [])
+    | rest when k = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | l ->
+      let c, rest = take n [] l in
+      loop (c :: acc) rest
+  in
+  loop [] l
+
+let replay ?spec ?vc_intern ?max_events ?deadline_s ?max_shadow_bytes
+    ?(chunk_events = 512) ?fault ?(fault_after_frames = 2) ~socket events =
+  match connect ~socket with
+  | Error f -> Error f
+  | Ok t ->
+    let finally_close r =
+      close t;
+      r
+    in
+    (match
+       open_session ?spec ?vc_intern ?max_events ?deadline_s ?max_shadow_bytes t
+     with
+     | Error f -> finally_close (Error f)
+     | Ok _id ->
+       let rec feed_all i = function
+         | [] -> Ok ()
+         | c :: rest -> (
+           match fault with
+           | Some f when i = fault_after_frames ->
+             inject t f;
+             Error (Protocol "fault injected")
+           | _ -> (
+             match feed t c with
+             | Ok _ -> feed_all (i + 1) rest
+             | Error f -> Error f))
+       in
+       (match feed_all 0 (chunks chunk_events events) with
+        | Error f -> finally_close (Error f)
+        | Ok () -> (
+          match finish t with
+          | Error f -> finally_close (Error f)
+          | Ok summary -> finally_close (Ok { races = races t; summary }))))

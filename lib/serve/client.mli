@@ -1,0 +1,80 @@
+(** Client side of the serve wire protocol.
+
+    Used by [racedet client], the concurrent differential tests and
+    the socket-path fault harness ({!Chaos}).  Requests are
+    synchronous: each call sends one frame and reads until the
+    matching response, collecting incremental [Race] lines on the way
+    (fetch them with {!races}).  [Overloaded] responses are retried
+    after the server's hint, resending the identical frame, so
+    backpressure never reorders the stream. *)
+
+module Json = Dgrace_obs.Json
+
+type t
+
+type failure =
+  | Protocol of string  (** transport or framing trouble *)
+  | Server of { code : int; error : Json.t }
+      (** a structured [Err] frame: the session's terminal
+          {!Dgrace_resilience.Error.t} as JSON plus its exit code *)
+  | Gave_up of string  (** backpressure retry budget exhausted *)
+
+val failure_to_string : failure -> string
+
+val connect : socket:string -> (t, failure) result
+val close : t -> unit
+
+val open_session :
+  ?spec:string ->
+  ?vc_intern:bool ->
+  ?max_events:int ->
+  ?deadline_s:float ->
+  ?max_shadow_bytes:int ->
+  t ->
+  (int, failure) result
+(** Returns the server-assigned session id. *)
+
+val feed : t -> Dgrace_events.Event.t list -> (Json.t, failure) result
+(** Encode and send one FEED frame; returns the [Ack] body.  Location
+    strings are interned per connection across feeds. *)
+
+val finish : t -> (Json.t, failure) result
+(** Finalize; returns the [Summary] body (the run envelope). *)
+
+val status : t -> (Json.t, failure) result
+
+val races : t -> string list
+(** Incremental race lines collected so far, oldest first. *)
+
+(** {1 Fault injection} *)
+
+type fault =
+  | Garbage  (** bytes that are not a frame *)
+  | Truncate  (** half a valid frame, then close *)
+  | Disconnect  (** vanish mid-session without Finish *)
+
+val fault_of_string : string -> (fault, string) result
+
+val inject : t -> fault -> unit
+(** Perform the fault on the live connection and close it. *)
+
+(** {1 One-shot replay} *)
+
+type outcome = { races : string list; summary : Json.t }
+
+val replay :
+  ?spec:string ->
+  ?vc_intern:bool ->
+  ?max_events:int ->
+  ?deadline_s:float ->
+  ?max_shadow_bytes:int ->
+  ?chunk_events:int ->
+  ?fault:fault ->
+  ?fault_after_frames:int ->
+  socket:string ->
+  Dgrace_events.Event.t list ->
+  (outcome, failure) result
+(** The whole client lifecycle over one session: connect, open, feed
+    in [chunk_events]-sized frames (default 512), finish, close.  With
+    [fault], the fault is injected instead of frame
+    [fault_after_frames] and the call reports how the session died. *)

@@ -1,0 +1,172 @@
+(* A bounded pool of worker domains with supervision.  Jobs are
+   thunks; a job that raises is a worker crash — the domain dies, the
+   supervisor logic (run in the dying domain's last breath) spawns a
+   replacement after a capped exponential backoff, and queued jobs
+   carry over to the replacement.  The restart budget is global: once
+   it is spent, crashed workers stay down and [lost] counts them, so a
+   crash loop degrades capacity instead of spinning forever.
+
+   The sleep used for backoff is injectable so tests can run the
+   crash/restart path without real waiting. *)
+
+type t = {
+  mu : Mutex.t;
+  work : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable alive : int;
+  mutable restarts : int;  (* restarts performed so far *)
+  mutable lost : int;  (* workers permanently down (budget spent) *)
+  mutable handles : unit Domain.t list;
+  domains : int;
+  max_restarts : int;
+  backoff0_s : float;
+  max_backoff_s : float;
+  sleep : float -> unit;
+  on_crash : int -> exn -> unit;
+}
+
+let backoff_s t n =
+  Float.min t.max_backoff_s (t.backoff0_s *. (2. ** float_of_int n))
+
+(* Under [t.mu]: next job, or None once stopping and drained.  Workers
+   finish everything already queued before exiting — shutdown drains. *)
+let rec take t =
+  if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
+  else if t.stopping then None
+  else begin
+    Condition.wait t.work t.mu;
+    take t
+  end
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  let job = take t in
+  Mutex.unlock t.mu;
+  match job with
+  | None -> ()
+  | Some j ->
+    j ();
+    worker_loop t
+
+let rec worker_main t wid =
+  match worker_loop t with
+  | () ->
+    Mutex.lock t.mu;
+    t.alive <- t.alive - 1;
+    Mutex.unlock t.mu
+  | exception exn ->
+    t.on_crash wid exn;
+    Mutex.lock t.mu;
+    if t.stopping || t.restarts >= t.max_restarts then begin
+      t.alive <- t.alive - 1;
+      if not t.stopping then t.lost <- t.lost + 1;
+      Mutex.unlock t.mu
+    end
+    else begin
+      let attempt = t.restarts in
+      t.restarts <- attempt + 1;
+      Mutex.unlock t.mu;
+      t.sleep (backoff_s t attempt);
+      Mutex.lock t.mu;
+      if t.stopping then begin
+        t.alive <- t.alive - 1;
+        Mutex.unlock t.mu
+      end
+      else begin
+        (* replace this worker; [alive] is unchanged — the
+           replacement inherits the dying domain's slot *)
+        let h = Domain.spawn (fun () -> worker_main t wid) in
+        t.handles <- h :: t.handles;
+        Mutex.unlock t.mu
+      end
+    end
+
+let create ?(max_restarts = 8) ?(backoff0_s = 0.05) ?(max_backoff_s = 2.0)
+    ?(sleep = Unix.sleepf) ?(on_crash = fun _ _ -> ()) ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      work = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      alive = domains;
+      restarts = 0;
+      lost = 0;
+      handles = [];
+      domains;
+      max_restarts;
+      backoff0_s;
+      max_backoff_s;
+      sleep;
+      on_crash;
+    }
+  in
+  for wid = 0 to domains - 1 do
+    let h = Domain.spawn (fun () -> worker_main t wid) in
+    Mutex.lock t.mu;
+    t.handles <- h :: t.handles;
+    Mutex.unlock t.mu
+  done;
+  t
+
+let submit t job =
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    false
+  end
+  else begin
+    Queue.push job t.jobs;
+    Condition.signal t.work;
+    Mutex.unlock t.mu;
+    true
+  end
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mu;
+  n
+
+let restarts t =
+  Mutex.lock t.mu;
+  let n = t.restarts in
+  Mutex.unlock t.mu;
+  n
+
+let lost t =
+  Mutex.lock t.mu;
+  let n = t.lost in
+  Mutex.unlock t.mu;
+  n
+
+let alive t =
+  Mutex.lock t.mu;
+  let n = t.alive in
+  Mutex.unlock t.mu;
+  n
+
+let size t = t.domains
+
+(* Stop accepting, let workers drain the queue, join every domain —
+   including replacements spawned after shutdown began (their handles
+   land in [t.handles] before the dying domain exits, so the loop
+   below cannot miss them). *)
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  let rec join_all () =
+    Mutex.lock t.mu;
+    match t.handles with
+    | [] -> Mutex.unlock t.mu
+    | h :: rest ->
+      t.handles <- rest;
+      Mutex.unlock t.mu;
+      Domain.join h;
+      join_all ()
+  in
+  join_all ()

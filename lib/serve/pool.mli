@@ -1,0 +1,45 @@
+(** A supervised pool of worker domains.
+
+    Jobs are thunks run on a fixed set of OCaml 5 domains.  A job that
+    raises is a {e worker crash}: the domain dies, the supervisor
+    spawns a replacement after a capped exponential backoff
+    ([backoff0_s * 2^n], clamped to [max_backoff_s]), and jobs still
+    queued carry over.  The restart budget is global; once spent,
+    crashed workers stay down — {!lost} counts them — so a crash loop
+    degrades capacity rather than spinning.
+
+    The serve layer keeps detector work here (domains run in parallel)
+    and connection I/O on systhreads. *)
+
+type t
+
+val create :
+  ?max_restarts:int ->
+  ?backoff0_s:float ->
+  ?max_backoff_s:float ->
+  ?sleep:(float -> unit) ->
+  ?on_crash:(int -> exn -> unit) ->
+  domains:int ->
+  unit ->
+  t
+(** Spawn [domains] workers.  [sleep] paces restart backoff
+    (injectable for tests); [on_crash wid exn] observes each crash.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Queue a job; [false] once {!shutdown} has begun. *)
+
+val shutdown : t -> unit
+(** Stop accepting, drain the queue, join every worker (including
+    replacements).  Blocks until all domains exit. *)
+
+(** {1 Introspection — feed the status document} *)
+
+val queue_depth : t -> int
+val restarts : t -> int
+
+val lost : t -> int
+(** Workers permanently down after the restart budget was spent. *)
+
+val alive : t -> int
+val size : t -> int

@@ -1,0 +1,304 @@
+open Dgrace_events
+open Dgrace_detectors
+module Engine = Dgrace_core.Engine
+module Spec = Dgrace_core.Spec
+module Budget = Dgrace_resilience.Budget
+module Error = Dgrace_resilience.Error
+module Accounting = Dgrace_shadow.Accounting
+module Trace_codec = Dgrace_trace.Trace_codec
+module Clock = Dgrace_obs.Clock
+
+(* One trace session as a reusable incremental handle: a detector fed
+   batch by batch, owning its own budget state, frame decoder and
+   clock.  The design is crash-only: every failure — corrupt frame,
+   budget exhaustion, an exception escaping the detector — becomes a
+   terminal state stored on the session, and every later call answers
+   from that state.  Nothing raises across the session boundary, so a
+   poisoned session can never take the server (or a sibling session)
+   down with it.
+
+   Terminal states release the detector reference: the session keeps
+   only the finished summary (or the error), and the detector's shadow
+   pages and vc-intern arena become garbage immediately — the status
+   endpoint's live-byte gauge drops to zero for the session the moment
+   it dies, which is how the chaos tests verify nothing leaks. *)
+
+type phase =
+  | Streaming
+  | Stopped of Budget.stop * Engine.summary
+      (* budget stop: the partial summary is already sealed; further
+         feeds answer the budget error, finalize returns the summary *)
+  | Finalized of Engine.summary
+  | Poisoned of Error.t
+
+type t = {
+  id : int;
+  spec_name : string;
+  budget : Budget.t;
+  now_s : unit -> float;
+  t0 : float;
+  dec : Trace_codec.decoder;
+  mu : Mutex.t;
+  mutable detector : Detector.t option;  (* None once terminal *)
+  mutable phase : phase;
+  mutable degraded : bool;
+  mutable events : int;
+  mutable reported : int;  (* races already handed out via acks *)
+}
+
+type ack = { ack_events : int; new_races : Report.t list }
+
+let open_ ?(budget = Budget.unlimited) ?(clock = Clock.ns) ?suppression
+    ?vc_intern ?tracer ~id ~spec () =
+  let d = Spec.to_detector ?suppression ?vc_intern ?tracer spec in
+  let now_s () = float_of_int (clock ()) *. 1e-9 in
+  {
+    id;
+    spec_name = Spec.name spec;
+    budget;
+    now_s;
+    t0 = now_s ();
+    dec = Trace_codec.decoder ();
+    mu = Mutex.create ();
+    detector = Some d;
+    phase = Streaming;
+    degraded = false;
+    events = 0;
+    reported = 0;
+  }
+
+(* Build a session around an externally constructed detector — the
+   test hook that lets the suite inject a detector that raises and
+   prove the crash-only contract contains it. *)
+let of_detector ?(budget = Budget.unlimited) ?(clock = Clock.ns) ~id d =
+  let now_s () = float_of_int (clock ()) *. 1e-9 in
+  {
+    id;
+    spec_name = d.Detector.name;
+    budget;
+    now_s;
+    t0 = now_s ();
+    dec = Trace_codec.decoder ();
+    mu = Mutex.create ();
+    detector = Some d;
+    phase = Streaming;
+    degraded = false;
+    events = 0;
+    reported = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let id t = t.id
+let detector_name t = t.spec_name
+let events t = t.events
+let degraded t = locked t (fun () -> t.degraded)
+let elapsed_s t = t.now_s () -. t.t0
+
+exception Stop_ of Budget.stop
+
+(* Same degrade-don't-die semantics as the engine's budget guard,
+   per delivered event; the deadline is polled every 256 events and
+   reads the session's (mockable) clock. *)
+let check_budget t (d : Detector.t) =
+  (match t.budget.Budget.max_events with
+   | Some limit when t.events >= limit ->
+     raise (Stop_ (Budget.Max_events { limit }))
+   | Some _ | None -> ());
+  (match t.budget.Budget.max_shadow_bytes with
+   | Some limit ->
+     let over () = Accounting.current_bytes d.account > limit in
+     let rec shed () =
+       if over () then
+         match d.degrade with
+         | Some step when step () ->
+           t.degraded <- true;
+           shed ()
+         | Some _ | None ->
+           raise
+             (Stop_
+                (Budget.Shadow_bytes
+                   { limit; bytes = Accounting.current_bytes d.account }))
+     in
+     shed ()
+   | None -> ());
+  match t.budget.Budget.deadline_s with
+  | Some limit_s when t.events land 255 = 0 ->
+    let elapsed_s = t.now_s () -. t.t0 in
+    if elapsed_s > limit_s then
+      raise (Stop_ (Budget.Deadline { limit_s; elapsed_s }))
+  | Some _ | None -> ()
+
+(* Terminal transitions.  [seal] finishes the detector and packages
+   the summary exactly as a one-shot run would; [poison] abandons the
+   detector without finishing it (its state is suspect).  Both drop
+   the detector reference so its shadow memory is reclaimed. *)
+
+let seal t (d : Detector.t) ~partial =
+  d.Detector.finish ();
+  let s =
+    Engine.summarize_detector d
+      ~elapsed:(t.now_s () -. t.t0)
+      ~partial ~degraded:t.degraded
+  in
+  t.detector <- None;
+  s
+
+let poison_locked t e =
+  t.detector <- None;
+  t.phase <- Poisoned e
+
+(* The state every answer derives from once the session left
+   [Streaming]. *)
+let terminal_error = function
+  | Streaming -> assert false
+  | Stopped (stop, _) -> Budget.stop_to_error stop
+  | Finalized _ ->
+    Error.Invalid_input { what = "session"; reason = "already finalized" }
+  | Poisoned e -> e
+
+let take_new_races t (races : Report.t list) =
+  let n = List.length races in
+  let fresh =
+    if n <= t.reported then []
+    else List.filteri (fun i _ -> i >= t.reported) races
+  in
+  t.reported <- n;
+  fresh
+
+let feed_events t evs =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming -> (
+    let d = Option.get t.detector in
+    match
+      List.iter
+        (fun ev ->
+          d.Detector.on_event ev;
+          t.events <- t.events + 1;
+          check_budget t d)
+        evs
+    with
+    | () ->
+      Ok { ack_events = t.events; new_races = take_new_races t (Detector.races d) }
+    | exception Stop_ stop ->
+      (* seal the partial summary now; the feed itself answers the
+         budget error so the client knows to stop sending *)
+      (match seal t d ~partial:(Some stop) with
+       | s -> t.phase <- Stopped (stop, s)
+       | exception exn ->
+         poison_locked t
+           (Error.Internal
+              { where = "session.finish"; reason = Printexc.to_string exn }));
+      Error (terminal_error t.phase)
+    | exception Error.E e ->
+      poison_locked t e;
+      Error e
+    | exception exn ->
+      poison_locked t
+        (Error.Internal
+           { where = "session.detector"; reason = Printexc.to_string exn });
+      Error (terminal_error t.phase))
+  | ph -> Error (terminal_error ph)
+
+let feed_frame t payload =
+  let decoded =
+    locked t @@ fun () ->
+    match t.phase with
+    | Streaming -> (
+      match Trace_codec.decode_frame t.dec payload with
+      | Ok evs -> Ok evs
+      | Error e ->
+        poison_locked t e;
+        Error e)
+    | ph -> Error (terminal_error ph)
+  in
+  match decoded with
+  | Ok evs -> feed_events t evs
+  | Error e -> Error e
+
+let races_so_far t =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming -> Detector.races (Option.get t.detector)
+  | Stopped (_, s) | Finalized s -> s.Engine.races
+  | Poisoned _ -> []
+
+let finalize t =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming -> (
+    let d = Option.get t.detector in
+    match seal t d ~partial:None with
+    | s ->
+      t.phase <- Finalized s;
+      Ok s
+    | exception exn ->
+      poison_locked t
+        (Error.Internal
+           { where = "session.finish"; reason = Printexc.to_string exn });
+      Error (terminal_error t.phase))
+  | Stopped (_, s) | Finalized s -> Ok s
+  | Poisoned e -> Error e
+
+(* Drain: seal whatever the session has as a partial summary, flagged
+   with the given stop reason — PR 2's partial contract, applied to a
+   session whose client never said Finish. *)
+let finalize_partial t ~stop =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming -> (
+    let d = Option.get t.detector in
+    match seal t d ~partial:(Some stop) with
+    | s ->
+      t.phase <- Stopped (stop, s);
+      Ok s
+    | exception exn ->
+      poison_locked t
+        (Error.Internal
+           { where = "session.finish"; reason = Printexc.to_string exn });
+      Error (terminal_error t.phase))
+  | Stopped (_, s) | Finalized s -> Ok s
+  | Poisoned e -> Error e
+
+let abort t e =
+  locked t @@ fun () ->
+  match t.phase with Streaming -> poison_locked t e | _ -> ()
+
+(* Watchdog hook: expire the session if its deadline passed, reading
+   the session clock.  Returns the partial summary when it fired. *)
+let expire_if_over t ~deadline_s =
+  let over =
+    locked t @@ fun () ->
+    t.phase = Streaming && t.now_s () -. t.t0 > deadline_s
+  in
+  if not over then None
+  else
+    let stop =
+      Budget.Deadline { limit_s = deadline_s; elapsed_s = elapsed_s t }
+    in
+    match finalize_partial t ~stop with Ok s -> Some s | Error _ -> None
+
+type state = [ `Streaming | `Stopped | `Finalized | `Poisoned of Error.t ]
+
+let state t : state =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming -> `Streaming
+  | Stopped _ -> `Stopped
+  | Finalized _ -> `Finalized
+  | Poisoned e -> `Poisoned e
+
+let shadow_bytes t =
+  locked t @@ fun () ->
+  match t.detector with
+  | Some d -> Accounting.current_bytes d.Detector.account
+  | None -> 0
+
+let summary t =
+  locked t @@ fun () ->
+  match t.phase with
+  | Stopped (_, s) | Finalized s -> Some s
+  | Streaming | Poisoned _ -> None

@@ -1,0 +1,120 @@
+(** A crash-isolated incremental detection session.
+
+    A session wraps {!Dgrace_core.Spec.to_detector} as a reusable
+    handle that accepts the trace batch by batch — the unit the serve
+    layer multiplexes onto worker domains.  Each session owns its own
+    {!Dgrace_resilience.Budget.t} state, frame decoder, and clock.
+
+    The contract is {e crash-only}: no call ever raises.  Every
+    failure — a corrupt frame, budget exhaustion, an exception
+    escaping the detector — moves the session into a terminal state
+    that answers all further calls:
+
+    {v
+    Streaming --feed/finalize ok--------------> Streaming | Finalized
+    Streaming --budget stop / drain / expire--> Stopped   (partial summary)
+    Streaming --corrupt frame / exception-----> Poisoned  (stored Error.t)
+    v}
+
+    [Stopped] and [Finalized] keep the sealed {!Dgrace_core.Engine.summary};
+    [Poisoned] keeps the {!Dgrace_resilience.Error.t}.  All three drop
+    the detector reference, so the session's shadow pages and arena
+    become garbage immediately — {!shadow_bytes} reads 0 for any
+    terminal session, which is how the chaos gate checks for leaks.
+
+    Calls on one session serialise on an internal mutex; distinct
+    sessions are fully independent and may run on distinct domains. *)
+
+open Dgrace_events
+module Engine = Dgrace_core.Engine
+module Spec = Dgrace_core.Spec
+module Budget = Dgrace_resilience.Budget
+module Error = Dgrace_resilience.Error
+
+type t
+
+type ack = {
+  ack_events : int;  (** total events accepted so far *)
+  new_races : Report.t list;  (** races first observed in this batch *)
+}
+
+val open_ :
+  ?budget:Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?tracer:Dgrace_obs.Span.buf ->
+  id:int ->
+  spec:Spec.t ->
+  unit ->
+  t
+(** Fresh session around a fresh detector.  [clock] drives both the
+    budget deadline and summary elapsed time — pass
+    {!Dgrace_obs.Clock.ticker} in tests for deterministic expiry. *)
+
+val of_detector :
+  ?budget:Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
+  id:int ->
+  Dgrace_detectors.Detector.t ->
+  t
+(** Wrap an externally built detector — the test hook for proving the
+    crash-only contract contains a detector that raises. *)
+
+(** {1 Feeding} *)
+
+val feed_frame : t -> string -> (ack, Error.t) result
+(** Decode one FEED payload ({!Dgrace_trace.Trace_codec}) and deliver
+    its events.  A decode error poisons the session ([Corrupt_trace]
+    at the absolute stream offset). *)
+
+val feed_events : t -> Event.t list -> (ack, Error.t) result
+(** Deliver already-decoded events.  Budget semantics match the
+    engine: shadow pressure degrades first and only stops when the
+    detector can shed nothing more; events/deadline stop at the limit.
+    A budget stop seals the partial summary (fetch it with
+    {!finalize}) and this call returns the [Budget_exhausted] error so
+    the client stops sending. *)
+
+(** {1 Results} *)
+
+val races_so_far : t -> Report.t list
+(** Races detected so far (detection order); the sealed summary's
+    races once terminal, [[]] when poisoned. *)
+
+val finalize : t -> (Engine.summary, Error.t) result
+(** Flush the detector and seal the summary.  Idempotent: on a
+    [Stopped] or [Finalized] session returns the stored summary
+    (partial/degraded flagged per PR 2's contract); on a [Poisoned]
+    session returns the stored error. *)
+
+val finalize_partial :
+  t -> stop:Budget.stop -> (Engine.summary, Error.t) result
+(** Seal now with [partial = Some stop] — the drain path for sessions
+    whose client never sent Finish. *)
+
+val abort : t -> Error.t -> unit
+(** Poison a streaming session (client vanished mid-stream, protocol
+    violation).  No effect once terminal. *)
+
+val expire_if_over : t -> deadline_s:float -> Engine.summary option
+(** Watchdog hook: if the session is still streaming past [deadline_s]
+    on its own clock, seal it as partial ([Deadline]) and return the
+    summary; [None] otherwise. *)
+
+(** {1 Introspection} *)
+
+type state = [ `Streaming | `Stopped | `Finalized | `Poisoned of Error.t ]
+
+val state : t -> state
+val id : t -> int
+val detector_name : t -> string
+val events : t -> int
+val degraded : t -> bool
+val elapsed_s : t -> float
+
+val shadow_bytes : t -> int
+(** Live shadow bytes — 0 once terminal (the detector is released). *)
+
+val summary : t -> Engine.summary option
+(** The sealed summary, once [Stopped] or [Finalized]. *)

@@ -1,0 +1,223 @@
+open Dgrace_events
+open Trace_format
+module Error = Dgrace_resilience.Error
+
+(* In-memory counterpart of Trace_writer/Trace_reader for the serve
+   wire protocol: FEED frame payloads carry the same binary records as
+   a trace file (no DGRT header), and the codec keeps the per-session
+   state — the location intern table and the running byte offset — so
+   a location string sent in one frame resolves in every later frame
+   and a corrupt byte is reported at its absolute stream offset. *)
+
+(* ------------------------------------------------------------------ *)
+(* decoding *)
+
+type decoder = {
+  locs : (int, string) Hashtbl.t;
+  mutable events : int;  (* events decoded across all frames *)
+  mutable offset : int;  (* stream bytes consumed across all frames *)
+}
+
+let decoder () = { locs = Hashtbl.create 64; events = 0; offset = 0 }
+let events_decoded d = d.events
+let stream_offset d = d.offset
+
+(* A cursor over one frame's payload.  [Corrupt] (from Trace_format)
+   carries the reason; the caller converts it to a structured error at
+   the absolute offset of the record that failed. *)
+type cursor = { s : string; mutable pos : int }
+
+let byte cur =
+  if cur.pos >= String.length cur.s then raise (Corrupt "truncated record");
+  let b = Char.code cur.s.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  b
+
+let varint cur =
+  let rec loop acc shift =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let b = byte cur in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop acc (shift + 7)
+  in
+  let n = loop 0 0 in
+  if n < 0 then raise (Corrupt "varint overflow") else n
+
+let take cur len =
+  if cur.pos + len > String.length cur.s then raise (Corrupt "truncated record");
+  let s = String.sub cur.s cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let sync_of_code = function
+  | 0 -> Event.Lock
+  | 1 -> Event.Barrier
+  | 2 -> Event.Flag
+  | 3 -> Event.Atomic
+  | n -> raise (Corrupt (Printf.sprintf "bad sync kind %d" n))
+
+let read_tid cur =
+  let tid = varint cur in
+  if tid > max_tid then
+    raise (Corrupt (Printf.sprintf "tid %d out of range" tid));
+  tid
+
+let read_size cur =
+  let size = varint cur in
+  if size > max_access_size then
+    raise (Corrupt (Printf.sprintf "size %d out of range" size));
+  size
+
+let read_loc d cur =
+  let id = varint cur in
+  match Hashtbl.find_opt d.locs id with
+  | Some loc -> loc
+  | None ->
+    let len = varint cur in
+    if len > max_loc_len then
+      raise (Corrupt (Printf.sprintf "location length %d out of range" len));
+    let loc = take cur len in
+    Hashtbl.replace d.locs id loc;
+    loc
+
+let decode_one d cur =
+  let tag = byte cur in
+  if tag = tag_read || tag = tag_write then begin
+    let tid = read_tid cur in
+    let addr = varint cur in
+    let size = read_size cur in
+    let loc = read_loc d cur in
+    let kind = if tag = tag_read then Event.Read else Event.Write in
+    Event.Access { tid; kind; addr; size; loc }
+  end
+  else if tag = tag_acquire then begin
+    let tid = read_tid cur in
+    let lock = varint cur in
+    Event.Acquire { tid; lock; sync = sync_of_code (varint cur) }
+  end
+  else if tag = tag_release then begin
+    let tid = read_tid cur in
+    let lock = varint cur in
+    Event.Release { tid; lock; sync = sync_of_code (varint cur) }
+  end
+  else if tag = tag_fork then begin
+    let parent = read_tid cur in
+    Event.Fork { parent; child = read_tid cur }
+  end
+  else if tag = tag_join then begin
+    let parent = read_tid cur in
+    Event.Join { parent; child = read_tid cur }
+  end
+  else if tag = tag_alloc then begin
+    let tid = read_tid cur in
+    let addr = varint cur in
+    Event.Alloc { tid; addr; size = read_size cur }
+  end
+  else if tag = tag_free then begin
+    let tid = read_tid cur in
+    let addr = varint cur in
+    Event.Free { tid; addr; size = read_size cur }
+  end
+  else if tag = tag_exit then Event.Thread_exit { tid = read_tid cur }
+  else raise (Corrupt (Printf.sprintf "unknown tag %d" tag))
+
+let decode_frame d payload =
+  let cur = { s = payload; pos = 0 } in
+  let rec loop acc =
+    if cur.pos >= String.length payload then Ok (List.rev acc)
+    else begin
+      let start = cur.pos in
+      match decode_one d cur with
+      | ev ->
+        d.events <- d.events + 1;
+        d.offset <- d.offset + (cur.pos - start);
+        loop (ev :: acc)
+      | exception Corrupt reason ->
+        Error
+          (Error.Corrupt_trace
+             {
+               path = None;
+               offset = d.offset + start;
+               events_read = d.events;
+               reason;
+             })
+    end
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* encoding *)
+
+type encoder = {
+  enc_locs : (string, int) Hashtbl.t;
+  mutable next_loc : int;
+}
+
+let encoder () = { enc_locs = Hashtbl.create 64; next_loc = 0 }
+
+let sync_code = function
+  | Event.Lock -> 0
+  | Event.Barrier -> 1
+  | Event.Flag -> 2
+  | Event.Atomic -> 3
+
+let loc_id e loc =
+  match Hashtbl.find_opt e.enc_locs loc with
+  | Some id -> (id, false)
+  | None ->
+    let id = e.next_loc in
+    e.next_loc <- id + 1;
+    Hashtbl.replace e.enc_locs loc id;
+    (id, true)
+
+let encode e buf ev =
+  match ev with
+  | Event.Access { tid; kind; addr; size; loc } ->
+    let tag = if kind = Event.Read then tag_read else tag_write in
+    Buffer.add_char buf (Char.chr tag);
+    write_varint buf tid;
+    write_varint buf addr;
+    write_varint buf size;
+    let id, fresh = loc_id e loc in
+    write_varint buf id;
+    if fresh then begin
+      write_varint buf (String.length loc);
+      Buffer.add_string buf loc
+    end
+  | Event.Acquire { tid; lock; sync } ->
+    Buffer.add_char buf (Char.chr tag_acquire);
+    write_varint buf tid;
+    write_varint buf lock;
+    write_varint buf (sync_code sync)
+  | Event.Release { tid; lock; sync } ->
+    Buffer.add_char buf (Char.chr tag_release);
+    write_varint buf tid;
+    write_varint buf lock;
+    write_varint buf (sync_code sync)
+  | Event.Fork { parent; child } ->
+    Buffer.add_char buf (Char.chr tag_fork);
+    write_varint buf parent;
+    write_varint buf child
+  | Event.Join { parent; child } ->
+    Buffer.add_char buf (Char.chr tag_join);
+    write_varint buf parent;
+    write_varint buf child
+  | Event.Alloc { tid; addr; size } ->
+    Buffer.add_char buf (Char.chr tag_alloc);
+    write_varint buf tid;
+    write_varint buf addr;
+    write_varint buf size
+  | Event.Free { tid; addr; size } ->
+    Buffer.add_char buf (Char.chr tag_free);
+    write_varint buf tid;
+    write_varint buf addr;
+    write_varint buf size
+  | Event.Thread_exit { tid } ->
+    Buffer.add_char buf (Char.chr tag_exit);
+    write_varint buf tid
+
+let encode_all events =
+  let e = encoder () in
+  let buf = Buffer.create 4096 in
+  List.iter (encode e buf) events;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** In-memory event codec for streamed trace frames.
+
+    The serve wire protocol (doc/serve.md) carries events in FEED
+    frames whose payload is a run of binary records in exactly the
+    trace-file encoding ({!Trace_format}), without the [DGRT] header.
+    This codec is the frame-sized counterpart of {!Trace_writer} and
+    {!Trace_reader}: both sides keep per-session state — the location
+    intern table and the running stream offset — so a location string
+    transmitted once resolves in every later frame, and corruption is
+    reported at its absolute offset in the session's stream, matching
+    the offline reader's error shape byte for byte. *)
+
+open Dgrace_events
+
+(** {1 Decoding (server side)} *)
+
+type decoder
+(** Per-session decode state: location table, events decoded, stream
+    offset.  Not thread-safe; a session's frames decode serially. *)
+
+val decoder : unit -> decoder
+val events_decoded : decoder -> int
+
+val stream_offset : decoder -> int
+(** Bytes of event records consumed so far across all frames. *)
+
+val decode_frame :
+  decoder -> string -> (Event.t list, Dgrace_resilience.Error.t) result
+(** Decode one complete frame payload.  Every record must decode and
+    the payload must end exactly on a record boundary; anything else —
+    truncated record, unknown tag, out-of-range field — is a
+    [Corrupt_trace] whose [offset] is absolute in the session stream.
+    After an error the decoder state is unspecified: the session layer
+    treats the error as terminal (poisoned) and never decodes again. *)
+
+(** {1 Encoding (client side)} *)
+
+type encoder
+(** Per-session encode state (the location intern table). *)
+
+val encoder : unit -> encoder
+
+val encode : encoder -> Buffer.t -> Event.t -> unit
+(** Append one record to [buf]. *)
+
+val encode_all : Event.t list -> string
+(** One-shot helper: encode a whole list with a fresh encoder — the
+    payload a single-frame session would send. *)

@@ -257,6 +257,35 @@ An invalid document is an input error (exit 4):
 
   $ rm t.bin prof.json prof2.json p3.json p4.json bad.json
 
+The streaming service (doc/serve.md).  Spool mode pushes a directory
+of traces through the same crash-only session layer, one line per
+trace in name order; the worst per-file code is the exit code:
+
+  $ mkdir spool
+  $ racedet record ffmpeg spool/a.trc >/dev/null
+  $ racedet record raytrace spool/b.trc >/dev/null
+  $ racedet serve --spool spool
+  a.trc: races=1
+  b.trc: races=3
+  [2]
+
+Socket mode: a daemon multiplexes sessions onto worker domains; a
+client replay reports the identical races and exit code as the
+one-shot run above, and SIGTERM drains cleanly (exit 0):
+
+  $ racedet serve --socket s.sock >/dev/null 2>serve.log & echo $! >serve.pid
+  $ for i in $(seq 100); do test -S s.sock && break; sleep 0.1; done
+  $ racedet client replay spool/a.trc --socket s.sock
+  races: 1 (0 suppressed)
+  [2]
+  $ kill -TERM $(cat serve.pid)
+  $ for i in $(seq 100); do grep -q drained serve.log && break; sleep 0.1; done
+  $ cat serve.log
+  [serve] listening on s.sock (domains=2 max-sessions=64)
+  [serve] draining (deadline 5.0s)
+  [serve] drained
+  $ rm -rf spool serve.log serve.pid s.sock
+
 The fault-injection harness: every seeded fault must end in recovery
 or a declared structured error — exit 0 is the contract holding.
 
@@ -265,3 +294,14 @@ or a declared structured error — exit 0 is the contract holding.
     seed=1   stall       declared: deadlock: threads [0,1] blocked; held locks []
     seed=1   lost-unlock declared: deadlock: threads [0,2] blocked; held locks [2@t1]
   all 2 injection(s) recovered or declared
+
+The same contract over the wire: each fault poisons only its own
+session while a healthy concurrent session matches the direct run,
+with no shadow bytes leaked (doc/serve.md):
+
+  $ racedet inject ffmpeg --via socket --seed 1
+  fault injection (socket): workload=ffmpeg detector=ft-dynamic seeds=1
+    seed=1   garbage     isolated: poisoned=1 healthy-match=true leaked-bytes=0
+    seed=1   truncate    isolated: poisoned=1 healthy-match=true leaked-bytes=0
+    seed=1   disconnect  isolated: poisoned=1 healthy-match=true leaked-bytes=0
+  all 3 injection(s) isolated

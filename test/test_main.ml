@@ -24,4 +24,5 @@ let () =
          Test_engine.suites;
          Test_resilience.suites;
          Test_par.suites;
+         Test_serve.suites;
        ])

@@ -1,0 +1,763 @@
+(* The serve stack: wire framing, the streamed trace codec, crash-only
+   sessions, the supervised domain pool, the socket server (concurrent
+   differential vs the one-shot engine, backpressure, drain, watchdog),
+   spool mode, and the wire-level fault harness. *)
+
+open Dgrace_events
+open Dgrace_core
+module Budget = Dgrace_resilience.Budget
+module Error = Dgrace_resilience.Error
+module Json = Dgrace_obs.Json
+module Clock = Dgrace_obs.Clock
+module Wire = Dgrace_serve.Wire
+module Codec = Dgrace_trace.Trace_codec
+module Session = Dgrace_serve.Session
+module Pool = Dgrace_serve.Pool
+module Server = Dgrace_serve.Server
+module Client = Dgrace_serve.Client
+module Chaos = Dgrace_serve.Chaos
+
+(* ------------------------------------------------------------------ *)
+(* shared fixtures *)
+
+(* Two unsynchronised writers over a small set of addresses plus a
+   clean locked region: a deterministic multi-race stream. *)
+let racy_events () =
+  let open Tutil in
+  [ fork 0 1; fork 0 2 ]
+  @ List.concat_map
+      (fun i ->
+        let addr = 0x1000 + i mod 8 * 4 in
+        [
+          wr ~loc:"racy.c:w1" 1 addr;
+          wr ~loc:"racy.c:w2" 2 addr;
+          acq 1; wr ~loc:"racy.c:locked" 1 0x9000; rel 1;
+          acq 2; rd ~loc:"racy.c:locked" 2 0x9000; rel 2;
+        ])
+      (List.init 100 Fun.id)
+  @ [ Event.Thread_exit { tid = 1 }; Event.Thread_exit { tid = 2 } ]
+
+let race_lines (s : Engine.summary) = List.map Report.to_string s.races
+
+let baseline_lines ?vc_intern events =
+  race_lines (Engine.replay ?vc_intern ~spec:Spec.dynamic (List.to_seq events))
+
+let temp_socket () =
+  let p = Filename.temp_file "dgrace-serve" ".sock" in
+  Sys.remove p;
+  p
+
+(* substring check for error-message assertions *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let temp_dir () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dgrace-spool-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* wire framing *)
+
+let frames_equal a b =
+  match (a, b) with
+  | Wire.Feed x, Wire.Feed y | Wire.Race x, Wire.Race y -> x = y
+  | Wire.Finish, Wire.Finish | Wire.Status, Wire.Status -> true
+  | Wire.Open x, Wire.Open y
+  | Wire.Opened x, Wire.Opened y
+  | Wire.Ack x, Wire.Ack y
+  | Wire.Summary x, Wire.Summary y
+  | Wire.Err x, Wire.Err y
+  | Wire.Overloaded x, Wire.Overloaded y
+  | Wire.Status_doc x, Wire.Status_doc y ->
+    Json.equal x y
+  | _ -> false
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_wire_roundtrip () =
+  let sample = Json.Obj [ ("spec", Json.String "dynamic"); ("n", Json.Int 3) ] in
+  let all =
+    [
+      Wire.Open sample; Wire.Feed "\x00\x01binary\xff"; Wire.Finish;
+      Wire.Status; Wire.Opened sample; Wire.Ack sample; Wire.Race "race on 0x1";
+      Wire.Summary sample; Wire.Err sample; Wire.Overloaded sample;
+      Wire.Status_doc sample;
+    ]
+  in
+  List.iter
+    (fun f ->
+      with_socketpair (fun a b ->
+          Wire.write a f;
+          match Wire.read b with
+          | Ok (Some g) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "roundtrip '%c'" (Wire.type_byte f))
+              true (frames_equal f g)
+          | Ok None -> Alcotest.fail "unexpected EOF"
+          | Error e -> Alcotest.fail e))
+    all
+
+let test_wire_eof_and_garbage () =
+  (* clean EOF on a frame boundary *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Wire.read b with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "expected clean EOF");
+  (* unknown type byte *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "\x00\x00\x00\x00Z" 0 5);
+      match Wire.read b with
+      | Error e ->
+        Alcotest.(check bool) "names the byte" true
+          (contains ~affix:"unknown frame type" e)
+      | _ -> Alcotest.fail "garbage type accepted");
+  (* over-limit length *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "\xff\xff\xff\xff\xff" 0 5);
+      match Wire.read b with
+      | Error e ->
+        Alcotest.(check bool) "names the limit" true
+          (contains ~affix:"exceeds limit" e)
+      | _ -> Alcotest.fail "oversize length accepted");
+  (* peer vanishing mid-frame *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "\x00\x00\x00\x10F12" 0 7);
+      Unix.close a;
+      match Wire.read b with
+      | Error e ->
+        Alcotest.(check bool) "truncated payload" true
+          (contains ~affix:"truncated frame" e)
+      | _ -> Alcotest.fail "truncated frame accepted")
+
+(* ------------------------------------------------------------------ *)
+(* trace codec *)
+
+let test_codec_roundtrip_across_frames () =
+  let events = racy_events () in
+  let enc = Codec.encoder () in
+  let chunk evs =
+    let buf = Buffer.create 256 in
+    List.iter (Codec.encode enc buf) evs;
+    Buffer.contents buf
+  in
+  let rec split3 = function
+    | a :: b :: c :: rest ->
+      let xs, ys, zs = split3 rest in
+      (a :: xs, b :: ys, c :: zs)
+    | rest -> (rest, [], [])
+  in
+  let c1, c2, c3 = split3 events in
+  let dec = Codec.decoder () in
+  let decode payload =
+    match Codec.decode_frame dec payload with
+    | Ok evs -> evs
+    | Error e -> Alcotest.fail (Error.to_string e)
+  in
+  (* locations sent in frame 1 must resolve by id in frames 2 and 3 *)
+  let round = decode (chunk c1) @ decode (chunk c2) @ decode (chunk c3) in
+  Alcotest.(check int) "count" (List.length events) (List.length round);
+  Alcotest.(check bool) "payload equal" true (List.sort compare events = List.sort compare round)
+
+let test_codec_corruption_absolute_offset () =
+  let dec = Codec.decoder () in
+  let first = Codec.encode_all (racy_events ()) in
+  (match Codec.decode_frame dec first with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Error.to_string e));
+  match Codec.decode_frame dec "\xee\xee\xee" with
+  | Ok _ -> Alcotest.fail "garbage decoded"
+  | Error (Error.Corrupt_trace { offset; reason; _ }) ->
+    Alcotest.(check bool) "offset is absolute in the stream" true
+      (offset >= String.length first);
+    Alcotest.(check bool) "names the tag" true
+      (contains ~affix:"unknown tag" reason)
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* sessions *)
+
+let test_session_matches_oneshot () =
+  let events = racy_events () in
+  let s = Session.open_ ~id:0 ~spec:Spec.dynamic () in
+  (match Session.feed_frame s (Codec.encode_all events) with
+   | Ok ack ->
+     Alcotest.(check int) "events acked" (List.length events)
+       ack.Session.ack_events
+   | Error e -> Alcotest.fail (Error.to_string e));
+  match Session.finalize s with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok summary ->
+    Alcotest.(check (list string))
+      "same races as Engine.replay" (baseline_lines events)
+      (race_lines summary);
+    Alcotest.(check int) "shadow released" 0 (Session.shadow_bytes s);
+    (* finalize is idempotent *)
+    (match Session.finalize s with
+     | Ok again ->
+       Alcotest.(check (list string))
+         "idempotent" (race_lines summary) (race_lines again)
+     | Error e -> Alcotest.fail (Error.to_string e))
+
+let test_session_poisoned_by_corrupt_frame () =
+  let s = Session.open_ ~id:1 ~spec:Spec.dynamic () in
+  (match Session.feed_frame s (Codec.encode_all (racy_events ())) with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Error.to_string e));
+  let stored =
+    match Session.feed_frame s "\xee\xee" with
+    | Ok _ -> Alcotest.fail "corrupt frame accepted"
+    | Error e -> e
+  in
+  (match stored with
+   | Error.Corrupt_trace _ -> ()
+   | e -> Alcotest.fail ("wrong error: " ^ Error.to_string e));
+  (match Session.state s with
+   | `Poisoned _ -> ()
+   | _ -> Alcotest.fail "not poisoned");
+  Alcotest.(check int) "shadow released on poison" 0 (Session.shadow_bytes s);
+  Alcotest.(check (list string)) "no races from a poisoned session" []
+    (List.map Report.to_string (Session.races_so_far s));
+  (* every later call answers the stored error *)
+  (match Session.feed_events s [ Tutil.wr 1 0x1000 ] with
+   | Error e ->
+     Alcotest.(check string) "feed answers stored error"
+       (Error.to_string stored) (Error.to_string e)
+   | Ok _ -> Alcotest.fail "poisoned session accepted events");
+  match Session.finalize s with
+  | Error e ->
+    Alcotest.(check string) "finalize answers stored error"
+      (Error.to_string stored) (Error.to_string e)
+  | Ok _ -> Alcotest.fail "poisoned session finalized"
+
+let test_session_contains_crashing_detector () =
+  let d =
+    { (Dgrace_detectors.Detector.null ()) with
+      on_event = (fun _ -> failwith "detector bug");
+    }
+  in
+  let s = Session.of_detector ~id:2 d in
+  (match Session.feed_events s [ Tutil.wr 1 0x1000 ] with
+   | Error (Error.Internal { where; reason }) ->
+     Alcotest.(check string) "where" "session.detector" where;
+     Alcotest.(check bool) "reason" true
+       (contains ~affix:"detector bug" reason)
+   | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+   | Ok _ -> Alcotest.fail "crash not contained");
+  match Session.state s with
+  | `Poisoned (Error.Internal _) -> ()
+  | _ -> Alcotest.fail "not poisoned by crash"
+
+let test_session_budget_stop_is_answerable () =
+  let events = racy_events () in
+  let s =
+    Session.open_ ~budget:(Budget.make ~max_events:50 ()) ~id:3
+      ~spec:Spec.dynamic ()
+  in
+  (match Session.feed_events s events with
+   | Error (Error.Budget_exhausted { budget; _ }) ->
+     Alcotest.(check string) "events budget" "events" budget
+   | Error e -> Alcotest.fail (Error.to_string e)
+   | Ok _ -> Alcotest.fail "budget not enforced");
+  Alcotest.(check bool) "stopped" true (Session.state s = `Stopped);
+  (* further feeds keep answering the budget error... *)
+  (match Session.feed_events s [ Tutil.wr 1 0x1000 ] with
+   | Error (Error.Budget_exhausted _) -> ()
+   | _ -> Alcotest.fail "stopped session did not answer budget error");
+  (* ...while finalize returns the sealed partial summary *)
+  match Session.finalize s with
+  | Ok summary -> (
+    match summary.Engine.partial with
+    | Some (Budget.Max_events { limit }) ->
+      Alcotest.(check int) "limit" 50 limit
+    | _ -> Alcotest.fail "summary not flagged partial")
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let test_session_deadline_on_mock_clock () =
+  (* one second per clock reading; the deadline poll (every 256 events)
+     crosses 3 s deterministically, with zero real waiting *)
+  let clock = Clock.ticker ~step:1_000_000_000 () in
+  let s =
+    Session.open_ ~budget:(Budget.make ~deadline_s:3.0 ()) ~clock ~id:4
+      ~spec:Spec.dynamic ()
+  in
+  let events = List.init 2000 (fun i -> Tutil.wr 1 (0x1000 + (i mod 32) * 4)) in
+  (match Session.feed_events s events with
+   | Error (Error.Budget_exhausted { budget; _ }) ->
+     Alcotest.(check string) "deadline budget" "deadline_s" budget
+   | Error e -> Alcotest.fail (Error.to_string e)
+   | Ok _ -> Alcotest.fail "mock deadline not enforced");
+  match Session.finalize s with
+  | Ok summary -> (
+    match summary.Engine.partial with
+    | Some (Budget.Deadline _) -> ()
+    | _ -> Alcotest.fail "not a deadline stop")
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let test_session_expiry_watchdog_hook () =
+  let clock = Clock.ticker ~step:1_000_000_000 () in
+  let s = Session.open_ ~clock ~id:5 ~spec:Spec.dynamic () in
+  (match Session.feed_events s [ Tutil.wr 1 0x1000 ] with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Error.to_string e));
+  (match Session.expire_if_over s ~deadline_s:0.5 with
+   | Some summary ->
+     Alcotest.(check bool) "partial" true (summary.Engine.partial <> None)
+   | None -> Alcotest.fail "expiry did not fire");
+  Alcotest.(check bool) "stopped" true (Session.state s = `Stopped);
+  (* expiry is one-shot *)
+  match Session.expire_if_over s ~deadline_s:0.5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expired twice"
+
+(* ------------------------------------------------------------------ *)
+(* pool supervision *)
+
+let wait_for ?(timeout_s = 5.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let test_pool_runs_jobs () =
+  let pool = Pool.create ~domains:3 () in
+  let n = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "submitted" true
+      (Pool.submit pool (fun () -> Atomic.incr n))
+  done;
+  Alcotest.(check bool) "all ran" true (wait_for (fun () -> Atomic.get n = 50));
+  Pool.shutdown pool;
+  Alcotest.(check int) "no restarts" 0 (Pool.restarts pool);
+  Alcotest.(check int) "all workers exited" 0 (Pool.alive pool);
+  Alcotest.(check bool) "rejects after shutdown" false
+    (Pool.submit pool (fun () -> ()))
+
+let test_pool_restart_and_backoff () =
+  let backoffs = ref [] in
+  let mu = Mutex.create () in
+  let pool =
+    Pool.create ~domains:1 ~max_restarts:4 ~backoff0_s:0.01
+      ~sleep:(fun s ->
+        Mutex.lock mu;
+        backoffs := s :: !backoffs;
+        Mutex.unlock mu)
+      ()
+  in
+  let n = Atomic.make 0 in
+  Alcotest.(check bool) "crashing job accepted" true
+    (Pool.submit pool (fun () -> failwith "worker bug"));
+  Alcotest.(check bool) "worker restarted" true
+    (wait_for (fun () -> Pool.restarts pool = 1));
+  (* the replacement domain keeps serving the queue *)
+  for _ = 1 to 5 do
+    ignore (Pool.submit pool (fun () -> Atomic.incr n))
+  done;
+  Alcotest.(check bool) "replacement ran the queue" true
+    (wait_for (fun () -> Atomic.get n = 5));
+  ignore (Pool.submit pool (fun () -> failwith "again"));
+  Alcotest.(check bool) "second restart" true
+    (wait_for (fun () -> Pool.restarts pool = 2));
+  Pool.shutdown pool;
+  (* capped exponential: 0.01, then 0.02 *)
+  let sorted = List.sort compare !backoffs in
+  Alcotest.(check (list (float 1e-9))) "backoff doubles" [ 0.01; 0.02 ] sorted;
+  Alcotest.(check int) "nothing permanently lost" 0 (Pool.lost pool)
+
+let test_pool_restart_budget_spent () =
+  let pool =
+    Pool.create ~domains:1 ~max_restarts:0 ~sleep:(fun _ -> ()) ()
+  in
+  ignore (Pool.submit pool (fun () -> failwith "fatal"));
+  Alcotest.(check bool) "worker stays down" true
+    (wait_for (fun () -> Pool.lost pool = 1));
+  Alcotest.(check int) "no restarts granted" 0 (Pool.restarts pool);
+  Alcotest.(check int) "capacity degraded" 0 (Pool.alive pool);
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* socket server *)
+
+let with_server ?(cfg = { Server.default_config with domains = 3 }) f =
+  let socket = temp_socket () in
+  let server = Server.start ~cfg ~socket () in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server socket)
+
+let test_server_concurrent_differential () =
+  let events = racy_events () in
+  let oracle = baseline_lines events in
+  (* the oracle itself is stable across the engine's own modes *)
+  Alcotest.(check (list string))
+    "sharded oracle agrees" oracle
+    (race_lines
+       (Engine.replay_sharded ~shards:4 ~spec:Spec.dynamic (List.to_seq events)));
+  Alcotest.(check (list string))
+    "no-intern oracle agrees" oracle
+    (baseline_lines ~vc_intern:false events);
+  with_server (fun _server socket ->
+      (* N concurrent sessions across client configurations: every one
+         must report the oracle's races, byte for byte *)
+      let configs =
+        [
+          (true, 512); (true, 64); (false, 512); (true, 7); (false, 131);
+          (true, 2048);
+        ]
+      in
+      let results =
+        List.map
+          (fun (vc_intern, chunk_events) ->
+            let slot = ref (Error (Client.Protocol "not run")) in
+            let th =
+              Thread.create
+                (fun () ->
+                  slot :=
+                    Client.replay ~vc_intern ~chunk_events ~socket events)
+                ()
+            in
+            (th, slot))
+          configs
+      in
+      List.iter (fun (th, _) -> Thread.join th) results;
+      List.iteri
+        (fun i (_, slot) ->
+          match !slot with
+          | Ok { Client.races; summary } ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "client %d matches one-shot" i)
+              oracle races;
+            (match Json.member "races" summary with
+             | Some (Json.Int n) ->
+               Alcotest.(check int)
+                 (Printf.sprintf "client %d summary count" i)
+                 (List.length oracle) n
+             | _ -> Alcotest.fail "summary missing race count")
+          | Error f -> Alcotest.fail (Client.failure_to_string f))
+        results)
+
+let test_server_admission_overload () =
+  let cfg = { Server.default_config with domains = 2; max_sessions = 1 } in
+  with_server ~cfg (fun server socket ->
+      match Client.connect ~socket with
+      | Error f -> Alcotest.fail (Client.failure_to_string f)
+      | Ok first ->
+        (match Client.open_session first with
+         | Ok _ -> ()
+         | Error f -> Alcotest.fail (Client.failure_to_string f));
+        (* a second session must be shed with a retry hint, raw on the
+           wire so the client's auto-retry doesn't mask it *)
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        Wire.write fd (Wire.Open (Json.Obj []));
+        (match Wire.read fd with
+         | Ok (Some (Wire.Overloaded j)) ->
+           Alcotest.(check bool) "retry hint" true
+             (Json.member "retry_after_s" j <> None)
+         | _ -> Alcotest.fail "expected Overloaded");
+        Unix.close fd;
+        Alcotest.(check bool) "shed counted" true (Server.shed_total server >= 1);
+        (* finishing the first session frees the slot *)
+        (match Client.finish first with
+         | Ok _ -> ()
+         | Error f -> Alcotest.fail (Client.failure_to_string f));
+        Client.close first;
+        match Client.replay ~socket (racy_events ()) with
+        | Ok _ -> ()
+        | Error f -> Alcotest.fail (Client.failure_to_string f))
+
+let test_server_inbox_backpressure () =
+  let cfg =
+    { Server.default_config with domains = 1; inbox_frames = 2 }
+  in
+  with_server ~cfg (fun server socket ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          Wire.write fd (Wire.Open (Json.Obj []));
+          (match Wire.read fd with
+           | Ok (Some (Wire.Opened _)) -> ()
+           | _ -> Alcotest.fail "open failed");
+          (* one big frame keeps the only worker busy; tiny frames
+             behind it overflow the 2-deep inbox.  One encoder for the
+             whole connection: loc interning is per-session state. *)
+          let enc = Codec.encoder () in
+          let payload evs =
+            let buf = Buffer.create 4096 in
+            List.iter (Codec.encode enc buf) evs;
+            Buffer.contents buf
+          in
+          let big =
+            payload
+              (List.init 300_000 (fun i -> Tutil.wr 0 (0x100000 + (i * 8))))
+          in
+          Wire.write fd (Wire.Feed big);
+          let tiny = payload [ Tutil.wr 0 0x10 ] in
+          let sent = 24 in
+          for _ = 1 to sent do
+            Wire.write fd (Wire.Feed tiny)
+          done;
+          let acks = ref 0 and overloaded = ref 0 in
+          for _ = 1 to sent + 1 do
+            match Wire.read fd with
+            | Ok (Some (Wire.Ack _)) -> incr acks
+            | Ok (Some (Wire.Overloaded _)) -> incr overloaded
+            | Ok (Some (Wire.Race _)) -> ()
+            | Ok (Some (Wire.Err j)) ->
+              Alcotest.fail
+                (Printf.sprintf "server error under backpressure: %s"
+                   (Json.to_string ~minify:true j))
+            | Ok (Some f) ->
+              Alcotest.fail
+                (Printf.sprintf "unexpected frame '%c' under backpressure"
+                   (Wire.type_byte f))
+            | Ok None -> Alcotest.fail "unexpected EOF under backpressure"
+            | Error e -> Alcotest.fail e
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "some feeds shed (acks=%d overloaded=%d)" !acks
+               !overloaded)
+            true (!overloaded >= 1);
+          Alcotest.(check bool) "shed counter" true
+            (Server.shed_total server >= !overloaded)))
+
+let test_server_drain_seals_partial () =
+  let cfg =
+    { Server.default_config with domains = 2; drain_deadline_s = 0.2 }
+  in
+  let socket = temp_socket () in
+  let server = Server.start ~cfg ~socket () in
+  match Client.connect ~socket with
+  | Error f -> Alcotest.fail (Client.failure_to_string f)
+  | Ok c ->
+    (match Client.open_session c with
+     | Ok _ -> ()
+     | Error f -> Alcotest.fail (Client.failure_to_string f));
+    (match Client.feed c (racy_events ()) with
+     | Ok _ -> ()
+     | Error f -> Alcotest.fail (Client.failure_to_string f));
+    (* SIGTERM path: the session never sends Finish; drain must seal
+       it as a partial summary *)
+    Server.drain server;
+    Alcotest.(check bool) "stopped" true (Server.stopped server);
+    (match Client.finish c with
+     | Ok summary ->
+       (match Json.member "partial" summary with
+        | Some (Json.Bool true) -> ()
+        | _ -> Alcotest.fail "drained session not flagged partial");
+       (match Json.member "races" summary with
+        | Some (Json.Int n) ->
+          Alcotest.(check int)
+            "partial summary still reports the races"
+            (List.length (baseline_lines (racy_events ())))
+            n
+        | _ -> Alcotest.fail "summary missing races")
+     | Error f -> Alcotest.fail (Client.failure_to_string f));
+    Client.close c;
+    (* idempotent *)
+    Server.drain server
+
+let test_server_watchdog_expires_on_mock_clock () =
+  let cfg =
+    {
+      Server.default_config with
+      domains = 2;
+      session_deadline_s = Some 1.0;
+      clock = Clock.ticker ~step:100_000_000 ();  (* 0.1 s per reading *)
+    }
+  in
+  with_server ~cfg (fun server socket ->
+      match Client.connect ~socket with
+      | Error f -> Alcotest.fail (Client.failure_to_string f)
+      | Ok c ->
+        (match Client.open_session c with
+         | Ok _ -> ()
+         | Error f -> Alcotest.fail (Client.failure_to_string f));
+        (* every sweep reads the mock clock forward; the session must
+           expire within a bounded number of sweeps, no real waiting *)
+        let expired = ref 0 in
+        let sweeps = ref 0 in
+        while !expired = 0 && !sweeps < 100 do
+          expired := Server.watchdog_sweep server;
+          incr sweeps
+        done;
+        Alcotest.(check int) "one session expired" 1 !expired;
+        (match Client.finish c with
+         | Ok summary -> (
+           match Json.member "partial" summary with
+           | Some (Json.Bool true) -> ()
+           | _ -> Alcotest.fail "expired session not partial")
+         | Error f -> Alcotest.fail (Client.failure_to_string f));
+        Client.close c)
+
+let test_server_status_leak_free () =
+  with_server (fun server socket ->
+      let events = racy_events () in
+      (match Client.replay ~socket events with
+       | Ok _ -> ()
+       | Error f -> Alcotest.fail (Client.failure_to_string f));
+      (match
+         Client.replay ~fault:Client.Garbage ~fault_after_frames:1 ~socket
+           events
+       with
+       | Ok _ -> Alcotest.fail "faulted session completed"
+       | Error _ -> ());
+      let rec settle n =
+        let j = Server.status_json server in
+        let opened =
+          match
+            Option.bind (Json.member "sessions" j) (Json.member "open")
+          with
+          | Some (Json.Int k) -> k
+          | _ -> -1
+        in
+        if opened = 0 || n = 0 then j
+        else begin
+          Thread.delay 0.02;
+          settle (n - 1)
+        end
+      in
+      let j = settle 200 in
+      let get path =
+        match
+          List.fold_left
+            (fun acc k -> Option.bind acc (Json.member k))
+            (Some j) path
+        with
+        | Some (Json.Int n) -> n
+        | _ -> -1
+      in
+      Alcotest.(check int) "finalized" 1 (get [ "sessions"; "finalized" ]);
+      Alcotest.(check int) "poisoned" 1 (get [ "sessions"; "poisoned" ]);
+      Alcotest.(check int) "no leaked shadow bytes" 0 (get [ "shadow_bytes" ]);
+      Alcotest.(check int) "pool intact" (get [ "pool"; "domains" ])
+        (get [ "pool"; "alive" ]))
+
+(* ------------------------------------------------------------------ *)
+(* wire-level fault isolation (the chaos gate, in process) *)
+
+let test_chaos_matrix () =
+  let events = racy_events () in
+  List.iter
+    (fun fault ->
+      let outcome = Chaos.run ~events fault in
+      Alcotest.(check bool) (Chaos.describe outcome) true
+        (Chaos.acceptable outcome))
+    [ Client.Garbage; Client.Truncate; Client.Disconnect ]
+
+(* ------------------------------------------------------------------ *)
+(* spool mode *)
+
+let write_trace path events =
+  ignore
+    (Dgrace_trace.Trace_writer.to_file path (fun sink ->
+         List.iter sink events))
+
+let test_spool_matches_oneshot_and_isolates () =
+  let dir = temp_dir () in
+  let events = racy_events () in
+  write_trace (Filename.concat dir "a.trc") events;
+  write_trace (Filename.concat dir "b.trc") [ Tutil.wr 0 0x10 ];
+  let oc = open_out_bin (Filename.concat dir "corrupt.trc") in
+  output_string oc "DGRT\x01\xee\xee\xee\xee";
+  close_out oc;
+  let results =
+    Server.process_spool
+      ~cfg:{ Server.default_config with domains = 2 }
+      ~dir ()
+  in
+  (match results with
+   | [ ("a.trc", Ok a); ("b.trc", Ok b); ("corrupt.trc", Error e) ] ->
+     Alcotest.(check (list string))
+       "a.trc matches one-shot" (baseline_lines events) (race_lines a);
+     Alcotest.(check int) "b.trc clean" 0 b.Engine.race_count;
+     (match e with
+      | Error.Corrupt_trace _ -> ()
+      | e -> Alcotest.fail ("wrong spool error: " ^ Error.to_string e))
+   | _ -> Alcotest.fail "unexpected spool result shape");
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "serve.wire",
+      [
+        Alcotest.test_case "frame roundtrip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "EOF and garbage" `Quick test_wire_eof_and_garbage;
+      ] );
+    ( "serve.codec",
+      [
+        Alcotest.test_case "roundtrip across frames" `Quick
+          test_codec_roundtrip_across_frames;
+        Alcotest.test_case "corruption at absolute offset" `Quick
+          test_codec_corruption_absolute_offset;
+      ] );
+    ( "serve.session",
+      [
+        Alcotest.test_case "matches one-shot replay" `Quick
+          test_session_matches_oneshot;
+        Alcotest.test_case "corrupt frame poisons" `Quick
+          test_session_poisoned_by_corrupt_frame;
+        Alcotest.test_case "contains a crashing detector" `Quick
+          test_session_contains_crashing_detector;
+        Alcotest.test_case "budget stop stays answerable" `Quick
+          test_session_budget_stop_is_answerable;
+        Alcotest.test_case "deadline on a mock clock" `Quick
+          test_session_deadline_on_mock_clock;
+        Alcotest.test_case "watchdog expiry hook" `Quick
+          test_session_expiry_watchdog_hook;
+      ] );
+    ( "serve.pool",
+      [
+        Alcotest.test_case "runs jobs on domains" `Quick test_pool_runs_jobs;
+        Alcotest.test_case "restart with capped backoff" `Quick
+          test_pool_restart_and_backoff;
+        Alcotest.test_case "restart budget spent" `Quick
+          test_pool_restart_budget_spent;
+      ] );
+    ( "serve.server",
+      [
+        Alcotest.test_case "concurrent differential" `Slow
+          test_server_concurrent_differential;
+        Alcotest.test_case "admission overload" `Quick
+          test_server_admission_overload;
+        Alcotest.test_case "inbox backpressure" `Slow
+          test_server_inbox_backpressure;
+        Alcotest.test_case "drain seals partial" `Quick
+          test_server_drain_seals_partial;
+        Alcotest.test_case "watchdog on a mock clock" `Quick
+          test_server_watchdog_expires_on_mock_clock;
+        Alcotest.test_case "status shows no leaks" `Quick
+          test_server_status_leak_free;
+      ] );
+    ( "serve.chaos",
+      [ Alcotest.test_case "fault matrix isolated" `Slow test_chaos_matrix ] );
+    ( "serve.spool",
+      [
+        Alcotest.test_case "matches one-shot, isolates corruption" `Quick
+          test_spool_matches_oneshot_and_isolates;
+      ] );
+  ]
