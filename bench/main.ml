@@ -25,6 +25,7 @@ let all_tables : (string * (unit -> unit)) list =
     ("table6", Tables.table6);
     ("par", Tables.par);
     ("trace", Tables.trace);
+    ("batch", Tables.batch);
     ("vclock", Vclock_bench.run);
     ("ext", Tables.ext);
     ("related", Tables.related);

@@ -72,8 +72,12 @@ let recorded (w : Workload.t) =
 
 let replay_sharded_once (w : Workload.t) spec ~mode ~shards =
   let events, _ = recorded w in
-  Engine.replay_sharded ~mode ~suppression:(suppression_for spec) ~shards ~spec
-    (Array.to_seq events)
+  (* DGRACE_BENCH_NO_BATCH=1 forces the per-event dispatch path, for
+     separating format/dispatch effects from detector changes when a
+     timing table moves *)
+  let batched = Sys.getenv_opt "DGRACE_BENCH_NO_BATCH" = None in
+  Engine.replay_sharded ~batched ~mode ~suppression:(suppression_for spec)
+    ~shards ~spec (Array.to_seq events)
 
 let run_once (w : Workload.t) spec =
   if !shards > 1 then

@@ -5,7 +5,8 @@
      compare      analyse a workload with several detectors side by side
      profile      phase/hot-path breakdown of one workload per detector
      record       record a workload's event stream to a trace file
-     replay       analyse a recorded trace
+     convert      rewrite a trace between the v1 and v2 formats
+     replay       analyse a recorded trace (format auto-detected)
      inject       fault-injection harness (corrupt traces, stuck threads,
                   wire faults against a live serve session with --via socket)
      serve        crash-isolated streaming detection service (socket/spool)
@@ -600,62 +601,155 @@ let trace_arg =
     & pos 1 (some string) None
     & info [] ~docv:"TRACE" ~doc:"Trace file path.")
 
+let trace_v2_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-v2" ]
+        ~doc:
+          "Write the v2 trace format: run-length/delta-compressed blocks \
+           that replay decodes straight into struct-of-arrays batches \
+           (doc/trace.md).  Readers auto-detect the version.")
+
 let record_cmd =
-  let action w threads scale seed sched_seed path =
+  let action w threads scale seed sched_seed v2 path =
     let p = params w threads scale seed in
+    let to_file =
+      if v2 then Dgrace_trace.Trace_format_v2.to_file
+      else Dgrace_trace.Trace_writer.to_file
+    in
     let sim, n =
-      Dgrace_trace.Trace_writer.to_file path (fun sink ->
+      to_file path (fun sink ->
           Workload.run ~policy:(policy sched_seed) ~params:p ~sink w)
     in
-    Format.printf "recorded %d events (%d accesses, %d threads) to %s@." n
+    Format.printf "recorded %d events (%d accesses, %d threads) to %s%s@." n
       sim.accesses sim.threads path
+      (if v2 then " (v2)" else "")
   in
   let term =
     Term.(
       const action $ workload_arg $ threads_arg $ scale_arg $ seed_arg
-      $ sched_seed_arg $ trace_arg)
+      $ sched_seed_arg $ trace_v2_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a workload's event stream to a trace file.")
     term
 
+(* convert: rewrite a trace in the other (or a chosen) format.  The
+   source version is probed from the header; events stream straight
+   from one decoder into the other encoder, so traces larger than
+   memory convert fine. *)
+let convert_cmd =
+  let action src v2 dst =
+    or_fail @@ fun () ->
+    let src_version = Dgrace_trace.Trace_reader.probe_version src in
+    (* default output flips the input format; --trace-v2 forces v2 *)
+    let to_v2 = v2 || src_version < 2 in
+    let feed sink =
+      if src_version >= 2 then
+        Dgrace_trace.Trace_format_v2.fold_file src (fun () ev -> sink ev) ()
+      else Dgrace_trace.Trace_reader.fold_file src (fun () ev -> sink ev) ()
+    in
+    let (), n =
+      if to_v2 then Dgrace_trace.Trace_format_v2.to_file dst feed
+      else Dgrace_trace.Trace_writer.to_file dst feed
+    in
+    Format.printf "converted %s (v%d) -> %s (v%d): %d events@." src src_version
+      dst
+      (if to_v2 then 2 else 1)
+      n
+  in
+  let src_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SRC" ~doc:"Trace to convert (version auto-detected).")
+  in
+  let dst_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DST" ~doc:"Output trace path.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a trace between the v1 and v2 formats."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Without $(b,--trace-v2) the output uses the format the input \
+              is not in (v1 input converts to v2 and vice versa); with it \
+              the output is always v2.  Replay results are bit-identical \
+              across formats." ])
+    Term.(const action $ src_arg $ trace_v2_arg $ dst_arg)
+
 let replay_cmd =
-  let action path spec no_suppress no_vc_intern verbose resync shards
+  let action path spec no_suppress no_vc_intern verbose resync no_batch shards
       metrics_out sample_every trace_out progress progress_every max_shadow
       max_events deadline =
     or_fail @@ fun () ->
+    let version = Dgrace_trace.Trace_reader.probe_version path in
+    if resync && version >= 2 then
+      raise
+        (Rerr.E
+           (Rerr.Invalid_input
+              {
+                what = "replay --resync";
+                reason =
+                  "v2 traces are length-prefixed blocks with no resync scan; \
+                   convert to v1 first (racedet convert)";
+              }));
     let tracer = tracer_for trace_out in
     let lane = Option.map Span.main tracer in
-    (* decode vs dispatch: the trace shows file reading as its own
-       span, before the engine's replay span starts *)
-    (match lane with Some b -> Span.begin_span b "replay.decode" | None -> ());
-    let events, recovered_gaps =
-      if resync then begin
-        let events, r = Dgrace_trace.Trace_reader.read_file_resync path in
-        if r.Dgrace_trace.Trace_reader.gaps > 0 then
-          Stderr_line.line
-            "racedet: resync: dropped %d byte(s) in %d gap(s), %d event(s) \
-             salvaged"
-            r.dropped_bytes r.gaps r.events;
-        (events, r.gaps)
-      end
-      else (Dgrace_trace.Trace_reader.read_file path, 0)
-    in
-    (match lane with Some b -> Span.end_span b "replay.decode" | None -> ());
     let budget = budget max_shadow max_events deadline in
     let suppression = suppression no_suppress in
     let progress = replay_progress progress progress_every in
     let vc_intern = not no_vc_intern in
     let sample_every = Option.map (fun _ -> sample_every) metrics_out in
-    let s =
-      if shards = 1 then
-        Engine.replay ~budget ~suppression ~vc_intern ?sample_every ?progress
-          ?tracer ~spec
-          (List.to_seq events)
-      else
-        Engine.replay_sharded ~budget ~suppression ~vc_intern ?sample_every
-          ?progress ?tracer ~shards ~spec
-          (List.to_seq events)
+    let read_events () =
+      (* decode vs dispatch: the trace shows file reading as its own
+         span, before the engine's replay span starts *)
+      (match lane with Some b -> Span.begin_span b "replay.decode" | None -> ());
+      let events, recovered_gaps =
+        if version >= 2 then (Dgrace_trace.Trace_format_v2.read_file path, 0)
+        else if resync then begin
+          let events, r = Dgrace_trace.Trace_reader.read_file_resync path in
+          if r.Dgrace_trace.Trace_reader.gaps > 0 then
+            Stderr_line.line
+              "racedet: resync: dropped %d byte(s) in %d gap(s), %d event(s) \
+               salvaged"
+              r.dropped_bytes r.gaps r.events;
+          (events, r.gaps)
+        end
+        else (Dgrace_trace.Trace_reader.read_file path, 0)
+      in
+      (match lane with Some b -> Span.end_span b "replay.decode" | None -> ());
+      (events, recovered_gaps)
+    in
+    let s, recovered_gaps =
+      if version >= 2 && shards = 1 && not no_batch then
+        (* stream blocks straight into the detector's batch fast path;
+           decode interleaves with dispatch, no event list is built *)
+        ( Engine.replay_batches ~budget ~suppression ~vc_intern ?sample_every
+            ?progress ?tracer ~spec
+            (fun consume ->
+              Dgrace_trace.Trace_format_v2.fold_batches path
+                (fun () b -> consume b)
+                ()),
+          0 )
+      else begin
+        let events, recovered_gaps = read_events () in
+        let s =
+          if shards = 1 then
+            Engine.replay ~budget ~suppression ~vc_intern ?sample_every
+              ?progress ?tracer ~spec
+              (List.to_seq events)
+          else
+            Engine.replay_sharded ~batched:(not no_batch) ~budget ~suppression
+              ~vc_intern ?sample_every ?progress ?tracer ~shards ~spec
+              (List.to_seq events)
+        in
+        (s, recovered_gaps)
+      end
     in
     Format.printf "%a@." Engine.pp_summary s;
     if verbose then
@@ -680,12 +774,21 @@ let replay_cmd =
           ~doc:
             "Skip corrupt trace regions instead of failing: scan forward to \
              the next decodable record, report what was dropped on stderr, \
-             and exit 3 (partial) if anything was.")
+             and exit 3 (partial) if anything was.  v1 traces only.")
+  in
+  let no_batch_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Force per-event dispatch even where the batch fast path would \
+             engage (v2 traces, sharded replay).  Races are identical \
+             either way; this is a performance escape hatch.")
   in
   let term =
     Term.(
       const action $ path_arg $ spec_arg $ no_suppress_arg $ no_vc_intern_arg
-      $ verbose_arg $ resync_arg $ shards_arg $ metrics_out_arg
+      $ verbose_arg $ resync_arg $ no_batch_arg $ shards_arg $ metrics_out_arg
       $ sample_every_arg $ trace_out_arg $ progress_arg $ progress_every_arg
       $ max_shadow_arg $ max_events_arg $ deadline_arg)
   in
@@ -904,6 +1007,12 @@ let explore_cmd =
 let trace_path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
 
+(* both formats fold the same way; the header byte picks the decoder *)
+let fold_trace path f init =
+  if Dgrace_trace.Trace_reader.probe_version path >= 2 then
+    Dgrace_trace.Trace_format_v2.fold_file path f init
+  else Dgrace_trace.Trace_reader.fold_file path f init
+
 let trace_info_cmd =
   let action path =
     or_fail @@ fun () ->
@@ -913,7 +1022,7 @@ let trace_info_cmd =
     let tids = Hashtbl.create 16 and locks = Hashtbl.create 16 in
     let lo_addr = ref max_int and hi_addr = ref 0 in
     let total =
-      Dgrace_trace.Trace_reader.fold_file path
+      fold_trace path
         (fun n ev ->
           (match ev with
            | Event.Access { tid; kind; addr; size; _ } ->
@@ -961,7 +1070,7 @@ let trace_dump_cmd =
   let action path limit =
     or_fail @@ fun () ->
     let printed =
-      Dgrace_trace.Trace_reader.fold_file path
+      fold_trace path
         (fun n ev ->
           if n < limit then print_endline (Event.to_string ev);
           n + 1)
@@ -1195,11 +1304,22 @@ let client_replay_cmd =
   let action path socket spec no_vc_intern chunk_events fault fault_after
       verbose max_shadow max_events deadline =
     or_fail @@ fun () ->
-    let events = Dgrace_trace.Trace_reader.read_file path in
+    let v2 = Dgrace_trace.Trace_reader.probe_version path >= 2 in
+    let events =
+      if v2 then Dgrace_trace.Trace_format_v2.read_file path
+      else Dgrace_trace.Trace_reader.read_file path
+    in
     match
-      Serve_client.replay ~spec:(Spec.name spec) ~vc_intern:(not no_vc_intern)
-        ?max_events ?deadline_s:deadline ?max_shadow_bytes:max_shadow
-        ~chunk_events ?fault ~fault_after_frames:fault_after ~socket events
+      (* a v2 trace streams as BATCH frames (the server's batch fast
+         path); fault injection exercises the v1 FEED framing *)
+      if v2 && fault = None then
+        Serve_client.replay_batched ~spec:(Spec.name spec)
+          ~vc_intern:(not no_vc_intern) ?max_events ?deadline_s:deadline
+          ?max_shadow_bytes:max_shadow ~chunk_events ~socket events
+      else
+        Serve_client.replay ~spec:(Spec.name spec) ~vc_intern:(not no_vc_intern)
+          ?max_events ?deadline_s:deadline ?max_shadow_bytes:max_shadow
+          ~chunk_events ?fault ~fault_after_frames:fault_after ~socket events
     with
     | Ok { Serve_client.races; summary } ->
       if verbose then List.iter print_endline races;
@@ -1317,5 +1437,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; profile_cmd; explore_cmd; record_cmd;
-            replay_cmd; inject_cmd; serve_cmd; client_cmd; trace_info_cmd;
-            trace_dump_cmd; metrics_info_cmd; timings_cmd; list_cmd ]))
+            convert_cmd; replay_cmd; inject_cmd; serve_cmd; client_cmd;
+            trace_info_cmd; trace_dump_cmd; metrics_info_cmd; timings_cmd;
+            list_cmd ]))

@@ -197,6 +197,32 @@ let make_sink (d : Detector.t) ~budget ~recorder ~exact ~progress ~lane =
       incr events;
       progress_tick !events
 
+(* Accumulate pushed events into one reused batch and hand full
+   batches to the detector's [process_batch] — the batched shape of a
+   push-style source (the simulator, a v1 event sequence).  Only used
+   when nothing per-event is observable (no budget, recorder, progress
+   or lane), so the fallback per-event loop keeps those semantics
+   bit-exact.  [off] is the running event index: the same monotone
+   order key the shard splitter and the v2 decoder use. *)
+let batching_sink pb =
+  let batch = Batch.create () in
+  let n = ref 0 in
+  let sink ev =
+    Batch.push batch ~off:!n ev;
+    incr n;
+    if Batch.is_full batch then begin
+      pb batch;
+      Batch.clear batch
+    end
+  in
+  let flush () =
+    if Batch.length batch > 0 then begin
+      pb batch;
+      Batch.clear batch
+    end
+  in
+  (sink, flush)
+
 (* The flight recorder exists when the caller wants a sampled
    time-series ([sample_every], i.e. [--metrics-out]) or a trace
    (counter tracks need wall-clock-stamped samples); it only reaches
@@ -224,7 +250,7 @@ let feed_counter_tracks ~tracer ~prefix recorder =
 let seconds_of clock =
   fun () -> float_of_int (clock ()) *. 1e-9
 
-let with_detector ?policy ?(budget = Budget.unlimited)
+let with_detector ?policy ?(batched = false) ?(budget = Budget.unlimited)
     ?(clock = Dgrace_obs.Clock.ns) ?sample_every ?progress ?tracer
     (d : Detector.t) program =
   let lane = Option.map Span.main tracer in
@@ -232,9 +258,16 @@ let with_detector ?policy ?(budget = Budget.unlimited)
   let now_s = seconds_of clock in
   let t0 = now_s () in
   let degraded = ref false in
-  let sink =
-    make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
-      ~exact:(sample_every <> None) ~progress ~lane
+  let sink, flush =
+    match d.Detector.process_batch with
+    | Some pb
+      when batched && Budget.is_unlimited budget && Option.is_none recorder
+           && Option.is_none progress && Option.is_none lane ->
+      batching_sink pb
+    | _ ->
+      ( make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
+          ~exact:(sample_every <> None) ~progress ~lane,
+        fun () -> () )
   in
   (match lane with Some b -> Span.begin_span b "engine.run" | None -> ());
   let sim, partial =
@@ -244,6 +277,7 @@ let with_detector ?policy ?(budget = Budget.unlimited)
       (match lane with Some b -> Span.instant b "budget.stop" | None -> ());
       (None, Some stop)
   in
+  flush ();
   (match lane with Some b -> Span.end_span b "engine.run" | None -> ());
   (match lane with
    | Some b -> Span.span b "engine.finish" d.finish
@@ -254,28 +288,82 @@ let with_detector ?policy ?(budget = Budget.unlimited)
   let timeseries = match sample_every with Some _ -> recorder | None -> None in
   summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries
 
-let run ?policy ?budget ?clock ?suppression ?vc_intern ?sample_every ?progress
-    ?tracer ~spec program =
-  with_detector ?policy ?budget ?clock ?sample_every ?progress ?tracer
+let run ?policy ?batched ?budget ?clock ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~spec program =
+  with_detector ?policy ?batched ?budget ?clock ?sample_every ?progress ?tracer
     (Spec.to_detector ?suppression ?vc_intern
        ?tracer:(Option.map Span.main tracer) spec)
     program
 
-let replay ?(budget = Budget.unlimited) ?(clock = Dgrace_obs.Clock.ns)
-    ?suppression ?vc_intern ?sample_every ?progress ?tracer ~spec events =
+let replay ?(batched = false) ?(budget = Budget.unlimited)
+    ?(clock = Dgrace_obs.Clock.ns) ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~spec events =
   let lane = Option.map Span.main tracer in
   let d = Spec.to_detector ?suppression ?vc_intern ?tracer:lane spec in
   let recorder = make_recorder d ~sample_every ~tracer in
   let now_s = seconds_of clock in
   let t0 = now_s () in
   let degraded = ref false in
-  let sink =
-    make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
-      ~exact:(sample_every <> None) ~progress ~lane
+  let sink, flush =
+    match d.Detector.process_batch with
+    | Some pb
+      when batched && Budget.is_unlimited budget && Option.is_none recorder
+           && Option.is_none progress && Option.is_none lane ->
+      batching_sink pb
+    | _ ->
+      ( make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
+          ~exact:(sample_every <> None) ~progress ~lane,
+        fun () -> () )
   in
   (match lane with Some b -> Span.begin_span b "engine.replay" | None -> ());
   let partial =
     match Seq.iter sink events with
+    | () -> None
+    | exception Stop stop ->
+      (match lane with Some b -> Span.instant b "budget.stop" | None -> ());
+      Some stop
+  in
+  flush ();
+  (match lane with Some b -> Span.end_span b "engine.replay" | None -> ());
+  (match lane with
+   | Some b -> Span.span b "engine.finish" d.finish
+   | None -> d.finish ());
+  Option.iter Recorder.flush recorder;
+  feed_counter_tracks ~tracer ~prefix:d.name recorder;
+  let elapsed = now_s () -. t0 in
+  let timeseries = match sample_every with Some _ -> recorder | None -> None in
+  summarize d ~elapsed ~sim:None ~partial ~degraded:!degraded ~timeseries
+
+(* Batched replay proper: the producer pushes whole {!Batch.t} buffers
+   (decoded v2 blocks, pre-split shard batches).  An eligible detector
+   consumes them through [process_batch]; otherwise — or under any
+   budget, recorder, progress or tracer — each batch is unrolled
+   through the same composed per-event sink as {!replay}, preserving
+   those semantics exactly. *)
+let replay_batches ?(budget = Budget.unlimited) ?(clock = Dgrace_obs.Clock.ns)
+    ?suppression ?vc_intern ?sample_every ?progress ?tracer ~spec feed =
+  let lane = Option.map Span.main tracer in
+  let d = Spec.to_detector ?suppression ?vc_intern ?tracer:lane spec in
+  let recorder = make_recorder d ~sample_every ~tracer in
+  let now_s = seconds_of clock in
+  let t0 = now_s () in
+  let degraded = ref false in
+  let consume =
+    match d.Detector.process_batch with
+    | Some pb
+      when Budget.is_unlimited budget && Option.is_none recorder
+           && Option.is_none progress && Option.is_none lane ->
+      pb
+    | _ ->
+      let sink =
+        make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
+          ~exact:(sample_every <> None) ~progress ~lane
+      in
+      fun b -> Batch.iter_events sink b
+  in
+  (match lane with Some b -> Span.begin_span b "engine.replay" | None -> ());
+  let partial =
+    match feed consume with
     | () -> None
     | exception Stop stop ->
       (match lane with Some b -> Span.instant b "budget.stop" | None -> ());
@@ -369,6 +457,12 @@ let merge_sharded ~elapsed ~timeseries (r : Par.result) =
   Metrics.set
     (Metrics.gauge metrics "par.critical_path_us")
     (usec r.Par.critical_path_s);
+  Metrics.set
+    (Metrics.gauge metrics "par.straddling")
+    r.Par.plan.Dgrace_trace.Trace_shard.straddling;
+  Metrics.set
+    (Metrics.gauge metrics "par.super_granules")
+    r.Par.plan.Dgrace_trace.Trace_shard.super_granules;
   Array.iter
     (fun (o : Par.shard_outcome) ->
       let pfx = Printf.sprintf "par.shard%d." o.Par.index in
@@ -417,8 +511,8 @@ let merge_sharded ~elapsed ~timeseries (r : Par.result) =
     timeseries;
   }
 
-let replay_sharded ?mode ?budget ?clock ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~shards ~spec events =
+let replay_sharded ?mode ?batched ?budget ?clock ?suppression ?vc_intern
+    ?sample_every ?progress ?tracer ~shards ~spec events =
   if shards < 1 then invalid_arg "Engine.replay_sharded: shards must be >= 1";
   let t0 = Unix.gettimeofday () in
   (* materialise first: the splitter needs two passes, and forcing the
@@ -451,8 +545,8 @@ let replay_sharded ?mode ?budget ?clock ?suppression ?vc_intern ?sample_every
     | Some _ | None -> None
   in
   let r =
-    Par.analyze ?mode ?budget ?clock ?progress ?tracer ?recorder_for ~make
-      ~shards ~granule:Dynamic_granularity.share_granule events
+    Par.analyze ?mode ?batched ?budget ?clock ?progress ?tracer ?recorder_for
+      ~make ~shards ~granule:Dynamic_granularity.share_granule events
   in
   let recorders =
     Array.to_list r.Par.outcomes
@@ -492,23 +586,29 @@ let checked f =
   | exception Sim.Deadlock { Sim.blocked; held } ->
     Error (Error.Deadlock { blocked; held })
 
-let run_checked ?policy ?budget ?clock ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~spec program =
+let run_checked ?policy ?batched ?budget ?clock ?suppression ?vc_intern
+    ?sample_every ?progress ?tracer ~spec program =
   checked (fun () ->
-      run ?policy ?budget ?clock ?suppression ?vc_intern ?sample_every
+      run ?policy ?batched ?budget ?clock ?suppression ?vc_intern ?sample_every
         ?progress ?tracer ~spec program)
 
-let replay_checked ?budget ?clock ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~spec events =
+let replay_checked ?batched ?budget ?clock ?suppression ?vc_intern
+    ?sample_every ?progress ?tracer ~spec events =
   checked (fun () ->
-      replay ?budget ?clock ?suppression ?vc_intern ?sample_every ?progress
-        ?tracer ~spec events)
+      replay ?batched ?budget ?clock ?suppression ?vc_intern ?sample_every
+        ?progress ?tracer ~spec events)
 
-let replay_sharded_checked ?mode ?budget ?clock ?suppression ?vc_intern
-    ?sample_every ?progress ?tracer ~shards ~spec events =
+let replay_batches_checked ?budget ?clock ?suppression ?vc_intern ?sample_every
+    ?progress ?tracer ~spec feed =
   checked (fun () ->
-      replay_sharded ?mode ?budget ?clock ?suppression ?vc_intern ?sample_every
-        ?progress ?tracer ~shards ~spec events)
+      replay_batches ?budget ?clock ?suppression ?vc_intern ?sample_every
+        ?progress ?tracer ~spec feed)
+
+let replay_sharded_checked ?mode ?batched ?budget ?clock ?suppression
+    ?vc_intern ?sample_every ?progress ?tracer ~shards ~spec events =
+  checked (fun () ->
+      replay_sharded ?mode ?batched ?budget ?clock ?suppression ?vc_intern
+        ?sample_every ?progress ?tracer ~shards ~spec events)
 
 let summarize_detector d ~elapsed ~partial ~degraded =
   summarize d ~elapsed ~sim:None ~partial ~degraded ~timeseries:None

@@ -74,6 +74,7 @@ and mem_summary = {
 
 val run :
   ?policy:Scheduler.policy ->
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
@@ -86,6 +87,13 @@ val run :
   summary
 (** Execute the program under the simulator, feeding every event to a
     fresh detector built from [spec].
+
+    [batched] (default [false]) accumulates the pushed events into
+    {!Dgrace_events.Batch.t} buffers and hands full batches to the
+    detector's [process_batch] fast path.  It engages only when the
+    detector has one {e and} nothing per-event is observable — no
+    budget, [sample_every], [progress] or [tracer] — so results are
+    always identical to the per-event loop (doc/trace.md).
 
     [sample_every] snapshots shadow-memory accounting and stream
     counters every N events into [summary.timeseries] (a final sample
@@ -109,6 +117,7 @@ val run :
     (see {!run_checked} for the [result] form). *)
 
 val replay :
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
@@ -120,13 +129,39 @@ val replay :
   Event.t Seq.t ->
   summary
 (** Analyse a pre-recorded event stream (see {!Dgrace_trace}).
-    [tracer] works as in {!run}, with the dispatch phase recorded as
-    an ["engine.replay"] span.
+    [batched] works as in {!run}; [tracer] works as in {!run}, with
+    the dispatch phase recorded as an ["engine.replay"] span.
     @raise Dgrace_resilience.Error.E when forcing the sequence hits a
     corrupt record (see {!replay_checked} for the [result] form). *)
 
+val replay_batches :
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
+  spec:Spec.t ->
+  ((Batch.t -> unit) -> unit) ->
+  summary
+(** Batched replay proper: [replay_batches ~spec feed] calls
+    [feed consume] and expects the producer to push whole
+    {!Dgrace_events.Batch.t} buffers — decoded v2 blocks
+    ({!Dgrace_trace.Trace_format_v2.fold_batches}) or pre-packed
+    arrays.  An eligible detector consumes them via [process_batch];
+    under any budget, [sample_every], [progress] or [tracer], or for a
+    detector without the fast path, each batch is unrolled through the
+    same composed per-event sink as {!replay}, so those semantics are
+    preserved exactly.  Budget stops raised while the producer runs
+    are converted to [partial] as usual; errors the producer raises
+    (e.g. a corrupt v2 block) propagate.
+    @raise Dgrace_resilience.Error.E on corrupt input (see
+    {!replay_batches_checked}). *)
+
 val replay_sharded :
   ?mode:Dgrace_par.Par.mode ->
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
@@ -145,14 +180,19 @@ val replay_sharded :
     [Parallel] mode.  The merged summary is deterministic and
     bit-identical to {!replay} on races (stable-sorted by trace
     offset), transition counts and exit code; [test/test_par.ml]
-    asserts this for every bundled workload.  Differences from
+    asserts this for every bundled workload.  [batched] (default
+    [true]) lets each shard consume its stream as struct-of-arrays
+    batches when its detector has a [process_batch] fast path and
+    nothing per-event is requested (see {!Dgrace_par.Par.analyze});
+    races are bit-identical either way.  Differences from
     {!replay}: [budget] applies {e per shard} (the merged [partial] is
     the earliest shard stop), [sample_every] attaches one flight
     recorder per shard and merges their {e final} samples into the
     summary time-series (element-wise sum — intermediate samples do
     not line up across shards), memory peaks are summed across shards,
     and the merged metrics gain [par.*] gauges (shard count, split and
-    critical-path times, per-shard event/busy figures).  [tracer] adds
+    critical-path times, straddling-access and super-granule counts
+    from the splitter, per-shard event/busy figures).  [tracer] adds
     one timeline lane per shard plus the main lane's split/join
     markers (see {!Dgrace_par.Par.analyze}) and per-shard counter
     tracks.
@@ -162,6 +202,7 @@ val replay_sharded :
 
 val with_detector :
   ?policy:Scheduler.policy ->
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?sample_every:int ->
@@ -186,6 +227,7 @@ val with_detector :
 
 val run_checked :
   ?policy:Scheduler.policy ->
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
@@ -198,6 +240,7 @@ val run_checked :
   (summary, Dgrace_resilience.Error.t) result
 
 val replay_checked :
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
@@ -209,8 +252,21 @@ val replay_checked :
   Event.t Seq.t ->
   (summary, Dgrace_resilience.Error.t) result
 
+val replay_batches_checked :
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
+  spec:Spec.t ->
+  ((Batch.t -> unit) -> unit) ->
+  (summary, Dgrace_resilience.Error.t) result
+
 val replay_sharded_checked :
   ?mode:Dgrace_par.Par.mode ->
+  ?batched:bool ->
   ?budget:Dgrace_resilience.Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->

@@ -4,6 +4,7 @@ open Dgrace_shadow
 type t = {
   name : string;
   on_event : Event.t -> unit;
+  process_batch : (Batch.t -> unit) option;
   finish : unit -> unit;
   collector : Report.Collector.t;
   account : Accounting.t;
@@ -20,6 +21,7 @@ let null () =
   {
     name = "none";
     on_event = (fun (_ : Event.t) -> ());
+    process_batch = None;
     finish = (fun () -> ());
     collector = Report.Collector.create ();
     account = Accounting.create ();

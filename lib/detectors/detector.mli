@@ -14,6 +14,15 @@ type t = {
   name : string;  (** e.g. ["fasttrack-dynamic"] *)
   on_event : Event.t -> unit;
       (** consume the next event of the stream, in order *)
+  process_batch : (Batch.t -> unit) option;
+      (** Batched fast path: consume a whole {!Batch.t} in row order,
+          equivalent to [Batch.iter_events on_event] but free to keep
+          caches hot across the batch.  Contract: before handling row
+          [i] the implementation must stamp
+          [Report.Collector.set_tag collector b.off.(i)] so races are
+          attributed to stream positions exactly as the per-event
+          engine loop does.  [None] means the engine always uses
+          {!on_event} — every detector keeps working without one. *)
   finish : unit -> unit;
       (** end of stream: flush anything pending (e.g. final segment
           comparisons in the DRD detector) *)

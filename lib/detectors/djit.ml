@@ -180,6 +180,7 @@ let create ?(granularity = 1) ?(suppression = Suppression.empty) () =
   {
     Detector.name = (if granularity = 1 then "djit-byte" else Printf.sprintf "djit-%dB" granularity);
     on_event;
+    process_batch = None;
     finish;
     collector = st.collector;
     account = st.account;

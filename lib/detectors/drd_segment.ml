@@ -354,6 +354,7 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty)
   {
     Detector.name = "drd-segment";
     on_event;
+    process_batch = None;
     finish =
       (fun () ->
         sweep st;

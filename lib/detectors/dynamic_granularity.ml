@@ -556,8 +556,7 @@ let on_access st ~tid ~kind ~addr ~size ~loc =
   let fast_path =
     match bm with
     | Some bm ->
-      Epoch_bitmap.test bm ~write addr
-      && Epoch_bitmap.test bm ~write (addr + size - 1)
+      Epoch_bitmap.test_range bm ~write ~lo:addr ~hi:(addr + size - 1)
     | None -> false
   in
   if fast_path then st.stats.same_epoch <- st.stats.same_epoch + 1
@@ -719,6 +718,72 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
       | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
       | Event.Thread_exit _ -> ()
   in
+  (* Batched fast path: walk the struct-of-arrays columns directly so
+     the shadow-page MRU and the [Vc_intern] memo stay hot across the
+     whole batch and accesses skip the event match entirely.  Sync
+     rows run the same clock machinery as [on_event] through the
+     kind-coded dispatch.  The collector tag is stamped per
+     row so races attribute to stream positions exactly as the
+     per-event engine loop does. *)
+  let process_batch (b : Batch.t) =
+    let n = Batch.length b in
+    let kind = b.Batch.kind
+    and ta = b.Batch.a
+    and tb = b.Batch.b
+    and tc = b.Batch.c
+    and tloc = b.Batch.loc
+    and toff = b.Batch.off in
+    (* The same-epoch test is inlined here with the thread's bitmap
+       cached across the run of same-tid rows, so a fast-path hit
+       costs two bit tests and three stat bumps — the exact state
+       changes [on_access]'s own fast path makes, in particular no
+       collector tag (hits never report).  [i < n <= capacity] of
+       every column, so the reads are in bounds by construction. *)
+    let cached = ref None in
+    let bm_for tid =
+      match !cached with
+      | Some (t, bm) when t = tid -> bm
+      | _ ->
+        let bm = bitmap st tid in
+        cached := Some (tid, bm);
+        bm
+    in
+    for i = 0 to n - 1 do
+      let k = Array.unsafe_get kind i in
+      if k <= Batch.code_write then begin
+        let tid = Array.unsafe_get ta i in
+        let addr = Array.unsafe_get tb i in
+        let size = Array.unsafe_get tc i in
+        let write = k = Batch.code_write in
+        if
+          st.bitmaps_on
+          &&
+          Epoch_bitmap.test_range (bm_for tid) ~write ~lo:addr
+            ~hi:(addr + size - 1)
+        then begin
+          st.stats.accesses <- st.stats.accesses + 1;
+          if write then st.stats.writes <- st.stats.writes + 1
+          else st.stats.reads <- st.stats.reads + 1;
+          st.stats.same_epoch <- st.stats.same_epoch + 1
+        end
+        else begin
+          Report.Collector.set_tag st.collector (Array.unsafe_get toff i);
+          on_access st ~tid
+            ~kind:(if write then Event.Write else Event.Read)
+            ~addr ~size ~loc:(Array.unsafe_get tloc i)
+        end
+      end
+      else if k = Batch.code_alloc then st.stats.allocs <- st.stats.allocs + 1
+      else if k = Batch.code_free then begin
+        Report.Collector.set_tag st.collector (Array.unsafe_get toff i);
+        on_free st ~addr:(Array.unsafe_get tb i) ~size:(Array.unsafe_get tc i)
+      end
+      else if
+        Vc_env.handle_coded st.env ~kind:k ~a:(Array.unsafe_get ta i)
+          ~b:(Array.unsafe_get tb i) ~on_boundary
+      then st.stats.sync_ops <- st.stats.sync_ops + 1
+    done
+  in
   let name =
     match name with
     | Some n -> n
@@ -761,6 +826,7 @@ let create ?(sharing = true) ?(init_state = true) ?(init_sharing = true)
   {
     Detector.name;
     on_event;
+    process_batch = Some process_batch;
     finish;
     collector = st.collector;
     account = st.account;

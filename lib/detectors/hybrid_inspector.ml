@@ -189,6 +189,7 @@ let create ?(granularity = 4) ?(history = 2) ?(suppression = Suppression.empty)
   {
     Detector.name = "inspector-hybrid";
     on_event;
+    process_batch = None;
     finish = (fun () -> Vclock_obs.publish metrics st.intern);
     collector = st.collector;
     account = st.account;

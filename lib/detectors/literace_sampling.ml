@@ -80,6 +80,7 @@ let create ?(floor_rate = 0.02) ?(decay_every = 64)
   {
     Detector.name = "literace-sampling";
     on_event;
+    process_batch = None;
     finish = st.inner.finish;
     collector = st.inner.collector;
     account = st.inner.account;

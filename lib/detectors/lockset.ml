@@ -139,6 +139,7 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
   {
     Detector.name = "eraser-lockset";
     on_event;
+    process_batch = None;
     finish = (fun () -> ());
     collector = st.collector;
     account = st.account;

@@ -44,6 +44,7 @@ let create ?(granularity = 4) ?(suppression = Suppression.empty) () =
         (fun ev ->
           hb.on_event ev;
           ls.on_event ev);
+      process_batch = None;
       finish;
       collector;
       account = hb.account;

@@ -216,6 +216,7 @@ let create ?(region = 64) ?(suppression = Suppression.empty)
   {
     Detector.name = "racetrack-adaptive";
     on_event;
+    process_batch = None;
     finish = (fun () -> Vclock_obs.publish metrics st.intern);
     collector = st.collector;
     account = st.account;

@@ -72,5 +72,34 @@ let handle t ev ~on_boundary =
     true
   | Event.Access _ | Event.Alloc _ | Event.Free _ -> false
 
+(* Kind-coded dispatch for the batched fast path: the same transitions
+   as [handle] driven straight off a {!Batch.t} row's columns, so sync
+   rows never materialise an [Event.t]. *)
+let handle_coded t ~kind ~a ~b ~on_boundary =
+  if kind = Batch.code_acquire then begin
+    acquire t ~tid:a ~lock:b;
+    true
+  end
+  else if kind = Batch.code_release then begin
+    release t ~tid:a ~lock:b;
+    on_boundary a;
+    true
+  end
+  else if kind = Batch.code_fork then begin
+    fork t ~parent:a ~child:b;
+    on_boundary a;
+    true
+  end
+  else if kind = Batch.code_join then begin
+    join t ~parent:a ~child:b;
+    true
+  end
+  else if kind = Batch.code_exit then begin
+    Vector_clock.tick (clock_of t a) a;
+    on_boundary a;
+    true
+  end
+  else false
+
 let lock_vc_bytes t =
   Hashtbl.fold (fun _ vc acc -> acc + (8 * Vector_clock.heap_words vc)) t.locks 0

@@ -44,6 +44,12 @@ val handle : t -> Event.t -> on_boundary:(int -> unit) -> bool
     whenever thread [tid] enters a new epoch, so the detector can reset
     that thread's same-epoch bitmap. *)
 
+val handle_coded :
+  t -> kind:int -> a:int -> b:int -> on_boundary:(int -> unit) -> bool
+(** {!handle} driven off a {!Batch.t} row's kind code and a/b columns
+    (tid/lock or parent/child) without building an [Event.t] — the
+    batched fast path's shape.  Returns [false] for non-sync codes. *)
+
 val lock_vc_bytes : t -> int
 (** Footprint of the lock clocks (they are part of detector memory but
     identical across granularities, so the paper folds them into the

@@ -41,13 +41,21 @@ module Collector = struct
   type t = {
     suppression : Suppression.t;
     seen : (int, unit) Hashtbl.t;  (* racy byte addresses already reported *)
-    mutable races : report list;  (* reverse detection order *)
+    mutable races : (int * report) list;  (* (tag, report), reverse detection order *)
     mutable count : int;
     mutable suppressed : int;
+    mutable tag : int;  (* stamped onto each recorded race; see set_tag *)
   }
 
   let create ?(suppression = Suppression.empty) () =
-    { suppression; seen = Hashtbl.create 64; races = []; count = 0; suppressed = 0 }
+    {
+      suppression;
+      seen = Hashtbl.create 64;
+      races = [];
+      count = 0;
+      suppressed = 0;
+      tag = -1;
+    }
 
   let add c r =
     if Hashtbl.mem c.seen r.addr then false
@@ -61,7 +69,7 @@ module Collector = struct
         false
       end
       else begin
-        c.races <- r :: c.races;
+        c.races <- (c.tag, r) :: c.races;
         c.count <- c.count + 1;
         true
       end
@@ -69,6 +77,8 @@ module Collector = struct
 
   let count c = c.count
   let suppressed c = c.suppressed
-  let races c = List.rev c.races
+  let races c = List.rev_map snd c.races
+  let set_tag c tag = c.tag <- tag
+  let tagged_races c = List.rev c.races
   let racy_addrs c = List.sort_uniq compare (List.map (fun r -> r.addr) (races c))
 end

@@ -58,6 +58,15 @@ module Collector : sig
   val races : t -> report list
   (** Recorded races in detection order. *)
 
+  val set_tag : t -> int -> unit
+  (** [set_tag c tag] stamps [tag] onto every race recorded until the
+      next call.  The engine sets it to the event's stream position
+      before dispatching, so batched and per-event replays attribute
+      races to identical offsets.  Default [-1]. *)
+
+  val tagged_races : t -> (int * report) list
+  (** Recorded races with their tags, in detection order. *)
+
   val racy_addrs : t -> int list
   (** Sorted distinct racy byte addresses. *)
 end

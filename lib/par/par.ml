@@ -76,67 +76,92 @@ let budget_guard (d : Detector.t) (b : Budget.t) ~degraded ~now_s ~t0 =
 
 (* Replay one shard's stream on a fresh detector, tagging every new
    race report with the global trace offset of the event that produced
-   it.  One event can surface several reports (a race dissolves the
-   whole sharing group), so new reports are taken as the tail of the
-   collector's detection-order list. *)
-let run_shard ~budget ~now_s ~progress ~lane ~recorder_for make
+   it (the collector's tag mechanism: the offset is stamped before
+   each dispatch, and batched detectors stamp it per row themselves).
+
+   With [batched] and an eligible detector the stream is packed into
+   struct-of-arrays batches and handed to [process_batch]; the packing
+   happens before [busy_s] starts, mirroring how the split itself is
+   outside the per-shard analysis time.  The batch path engages only
+   when nothing per-event is requested — no budget guard, recorder,
+   progress heartbeat or tracing lane — so those semantics are exactly
+   the per-event loop's whenever they are observable. *)
+let run_shard ~batched ~budget ~now_s ~progress ~lane ~recorder_for make
     (stream : (int * Event.t) array) index =
   let d : Detector.t = make index in
   let recorder =
     match recorder_for with Some f -> f index d | None -> None
   in
   let degraded = ref false in
+  let want_guard =
+    match budget with
+    | Some b when not (Budget.is_unlimited b) -> true
+    | Some _ | None -> false
+  in
+  let batches =
+    if
+      batched && (not want_guard) && recorder = None && lane = None
+      && progress = None
+    then
+      match d.process_batch with
+      | Some pb -> Some (pb, Trace_shard.batches_of stream)
+      | None -> None
+    else None
+  in
   let t0 = Unix.gettimeofday () in
   let guard =
     match budget with
-    | Some b when not (Budget.is_unlimited b) ->
+    | Some b when want_guard ->
       Some (budget_guard d b ~degraded ~now_s ~t0:(now_s ()))
     | Some _ | None -> None
   in
-  (* The per-event dispatch is built once so the untraced path keeps
-     the direct call; with a lane, dispatch goes through a sampled
-     timer that attributes detector time on the shard's timeline. *)
-  let on_event =
-    match lane with
-    | None -> d.on_event
-    | Some buf ->
-      (* one event in 64 is dispatched armed and timed; the shard's
-         recorder tick stays exact (its merged final sample is
-         observable output), so it lives in the delivery loop, not in
-         the wrapper's [on_sample] *)
-      Span.wrap_dispatch buf ~name:"detector.on_event" ~stride:64
-        ~on_sample:(fun () -> ())
-        d.on_event
-  in
-  let tagged = ref [] in
-  let reported = ref 0 in
   let delivered = ref 0 in
-  let last_off = ref (-1) in
   let stop = ref None in
-  (match lane with Some buf -> Span.begin_span buf "shard.run" | None -> ());
-  (try
+  (match batches with
+   | Some (pb, batches) ->
      Array.iter
-       (fun (off, ev) ->
-         last_off := off;
-         on_event ev;
-         incr delivered;
-         (match recorder with Some r -> Recorder.tick r | None -> ());
-         progress ();
-         let n = Report.Collector.count d.collector in
-         if n > !reported then begin
-           List.iteri
-             (fun i r -> if i >= !reported then tagged := (off, r) :: !tagged)
-             (Report.Collector.races d.collector);
-           reported := n
-         end;
-         match guard with Some g -> g () | None -> ())
-       stream
-   with Stop s ->
-     stop := Some (!last_off, s);
-     (match lane with
-      | Some buf -> Span.instant buf "budget.stop"
-      | None -> ()));
-  (match lane with Some buf -> Span.end_span buf "shard.run" | None -> ());
+       (fun b ->
+         pb b;
+         delivered := !delivered + Dgrace_events.Batch.length b)
+       batches
+   | None ->
+     (* The per-event dispatch is built once so the untraced path keeps
+        the direct call; with a lane, dispatch goes through a sampled
+        timer that attributes detector time on the shard's timeline. *)
+     let on_event =
+       match lane with
+       | None -> d.on_event
+       | Some buf ->
+         (* one event in 64 is dispatched armed and timed; the shard's
+            recorder tick stays exact (its merged final sample is
+            observable output), so it lives in the delivery loop, not in
+            the wrapper's [on_sample] *)
+         Span.wrap_dispatch buf ~name:"detector.on_event" ~stride:64
+           ~on_sample:(fun () -> ())
+           d.on_event
+     in
+     let progress =
+       match progress with None -> fun () -> () | Some f -> f
+     in
+     let last_off = ref (-1) in
+     (match lane with Some buf -> Span.begin_span buf "shard.run" | None -> ());
+     (try
+        Array.iter
+          (fun (off, ev) ->
+            last_off := off;
+            Report.Collector.set_tag d.collector off;
+            on_event ev;
+            incr delivered;
+            (match recorder with Some r -> Recorder.tick r | None -> ());
+            progress ();
+            match guard with Some g -> g () | None -> ())
+          stream
+      with Stop s ->
+        stop := Some (!last_off, s);
+        (match lane with
+         | Some buf -> Span.instant buf "budget.stop"
+         | None -> ()));
+     (match lane with Some buf -> Span.end_span buf "shard.run" | None -> ()));
   (match lane with
    | Some buf -> Span.span buf "shard.finish" d.finish
    | None -> d.finish ());
@@ -145,7 +170,7 @@ let run_shard ~budget ~now_s ~progress ~lane ~recorder_for make
   {
     index;
     detector = d;
-    tagged_races = List.rev !tagged;
+    tagged_races = Report.Collector.tagged_races d.collector;
     stop = !stop;
     degraded = !degraded;
     events = !delivered;
@@ -153,8 +178,9 @@ let run_shard ~budget ~now_s ~progress ~lane ~recorder_for make
     recorder;
   }
 
-let analyze ?(mode = Parallel) ?budget ?(clock = Dgrace_obs.Clock.ns)
-    ?progress ?tracer ?recorder_for ~make ~shards ~granule events =
+let analyze ?(mode = Parallel) ?(batched = true) ?budget
+    ?(clock = Dgrace_obs.Clock.ns) ?progress ?tracer ?recorder_for ~make
+    ~shards ~granule events =
   let now_s () = float_of_int (clock ()) *. 1e-9 in
   let t0 = Unix.gettimeofday () in
   let main = Option.map Span.main tracer in
@@ -176,7 +202,7 @@ let analyze ?(mode = Parallel) ?budget ?(clock = Dgrace_obs.Clock.ns)
   let split_s = Unix.gettimeofday () -. t0 in
   let progress_hook =
     match progress with
-    | None -> fun () -> ()
+    | None -> None
     | Some (every, f) ->
       (* one global heartbeat across all shards: count every delivered
          event atomically and let whichever domain crosses a multiple
@@ -184,17 +210,18 @@ let analyze ?(mode = Parallel) ?budget ?(clock = Dgrace_obs.Clock.ns)
          do not interleave) *)
       let n = Atomic.make 0 in
       let m = Mutex.create () in
-      fun () ->
-        let v = Atomic.fetch_and_add n 1 + 1 in
-        if v mod every = 0 then begin
-          Mutex.lock m;
-          (try f v with e -> Mutex.unlock m; raise e);
-          Mutex.unlock m
-        end
+      Some
+        (fun () ->
+          let v = Atomic.fetch_and_add n 1 + 1 in
+          if v mod every = 0 then begin
+            Mutex.lock m;
+            (try f v with e -> Mutex.unlock m; raise e);
+            Mutex.unlock m
+          end)
   in
   let run i =
-    run_shard ~budget ~now_s ~progress:progress_hook ~lane:lanes.(i)
-      ~recorder_for make plan.shards.(i) i
+    run_shard ~batched ~budget ~now_s ~progress:progress_hook
+      ~lane:lanes.(i) ~recorder_for make plan.shards.(i) i
   in
   let outcomes =
     match mode with

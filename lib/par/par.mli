@@ -64,6 +64,7 @@ type result = {
 
 val analyze :
   ?mode:mode ->
+  ?batched:bool ->
   ?budget:Budget.t ->
   ?clock:Dgrace_obs.Clock.source ->
   ?progress:int * (int -> unit) ->
@@ -75,6 +76,13 @@ val analyze :
   Event.t array ->
   result
 (** [analyze ~make ~shards ~granule events] splits and replays.
+    [batched] (default [true]) lets a shard whose detector has a
+    [process_batch] fast path consume its stream as struct-of-arrays
+    batches ({!Dgrace_trace.Trace_shard.batches_of}); the batch path
+    engages only when no budget, recorder, progress heartbeat or
+    tracer is in play, so per-event semantics are preserved whenever
+    observable, and races are bit-identical either way (the
+    differential harness covers both).
     [make i] must build a fresh detector for shard [i] (called once
     per shard, inside the shard's domain; suppression tables are
     immutable and safe to share).  [budget] applies {e per shard} with

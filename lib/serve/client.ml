@@ -1,5 +1,6 @@
 module Json = Dgrace_obs.Json
 module Trace_codec = Dgrace_trace.Trace_codec
+module Trace_format_v2 = Dgrace_trace.Trace_format_v2
 
 (* Client side of the serve wire protocol — used by [racedet client],
    the differential tests and the socket-path fault harness.  The
@@ -12,6 +13,7 @@ module Trace_codec = Dgrace_trace.Trace_codec
 type t = {
   fd : Unix.file_descr;
   enc : Trace_codec.encoder;
+  benc : Trace_format_v2.block_encoder;  (* 'B' frame bodies *)
   mutable races : string list;  (* newest first *)
 }
 
@@ -31,7 +33,14 @@ let connect ~socket =
   Wire.ignore_sigpipe ();
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | () -> Ok { fd; enc = Trace_codec.encoder (); races = [] }
+  | () ->
+    Ok
+      {
+        fd;
+        enc = Trace_codec.encoder ();
+        benc = Trace_format_v2.block_encoder ();
+        races = [];
+      }
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error (Protocol (Printf.sprintf "connect %s: %s" socket (Unix.error_message e)))
@@ -120,6 +129,15 @@ let feed t events =
   let buf = Buffer.create 4096 in
   List.iter (Trace_codec.encode t.enc buf) events;
   request t (Wire.Feed (Buffer.contents buf)) ~expect:(function
+    | Wire.Ack j -> Some j
+    | _ -> None)
+
+(* One BATCH frame: the batch encodes to a v2 block body once, so an
+   Overloaded retry resends the identical bytes (the encoder's intern
+   table advanced exactly once). *)
+let feed_batch t batch =
+  let body = Trace_format_v2.encode_body t.benc batch in
+  request t (Wire.Feed_batch body) ~expect:(function
     | Wire.Ack j -> Some j
     | _ -> None)
 
@@ -214,6 +232,38 @@ let replay ?spec ?vc_intern ?max_events ?deadline_s ?max_shadow_bytes
              | Error f -> Error f))
        in
        (match feed_all 0 (chunks chunk_events events) with
+        | Error f -> finally_close (Error f)
+        | Ok () -> (
+          match finish t with
+          | Error f -> finally_close (Error f)
+          | Ok summary -> finally_close (Ok { races = races t; summary }))))
+
+(* Same lifecycle over BATCH frames: each chunk is packed into a
+   struct-of-arrays batch and sent as one v2 block body.  Chunks are
+   clamped to the v2 block capacity. *)
+let replay_batched ?spec ?vc_intern ?max_events ?deadline_s ?max_shadow_bytes
+    ?(chunk_events = 512) ~socket events =
+  let chunk_events = min chunk_events Trace_format_v2.block_events in
+  match connect ~socket with
+  | Error f -> Error f
+  | Ok t ->
+    let finally_close r =
+      close t;
+      r
+    in
+    (match
+       open_session ?spec ?vc_intern ?max_events ?deadline_s ?max_shadow_bytes t
+     with
+     | Error f -> finally_close (Error f)
+     | Ok _id ->
+       let rec feed_all = function
+         | [] -> Ok ()
+         | c :: rest -> (
+           match feed_batch t (Dgrace_events.Batch.of_events c) with
+           | Ok _ -> feed_all rest
+           | Error f -> Error f)
+       in
+       (match feed_all (chunks chunk_events events) with
         | Error f -> finally_close (Error f)
         | Ok () -> (
           match finish t with

@@ -38,6 +38,11 @@ val feed : t -> Dgrace_events.Event.t list -> (Json.t, failure) result
 (** Encode and send one FEED frame; returns the [Ack] body.  Location
     strings are interned per connection across feeds. *)
 
+val feed_batch : t -> Dgrace_events.Batch.t -> (Json.t, failure) result
+(** Encode the batch as one v2 block body and send it as a BATCH
+    frame; returns the [Ack] body.  Locations intern per connection
+    across batch frames (independently of {!feed}'s table). *)
+
 val finish : t -> (Json.t, failure) result
 (** Finalize; returns the [Summary] body (the run envelope). *)
 
@@ -78,3 +83,18 @@ val replay :
     in [chunk_events]-sized frames (default 512), finish, close.  With
     [fault], the fault is injected instead of frame
     [fault_after_frames] and the call reports how the session died. *)
+
+val replay_batched :
+  ?spec:string ->
+  ?vc_intern:bool ->
+  ?max_events:int ->
+  ?deadline_s:float ->
+  ?max_shadow_bytes:int ->
+  ?chunk_events:int ->
+  socket:string ->
+  Dgrace_events.Event.t list ->
+  (outcome, failure) result
+(** {!replay} over BATCH frames: each chunk travels as one v2 block
+    body and the server delivers it through the detector's batch fast
+    path.  Results are bit-identical to {!replay} — the differential
+    serve tests compare the two. *)

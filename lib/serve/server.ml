@@ -60,7 +60,10 @@ let default_config =
     spool_vc_intern = true;
   }
 
-type item = Feed_payload of string | Finish_req
+type item =
+  | Feed_payload of string
+  | Batch_payload of string  (* one v2 block body ('B' frame) *)
+  | Finish_req
 
 type entry = {
   session : Session.t;
@@ -131,8 +134,14 @@ let rec drain_inbox entry =
   Mutex.unlock entry.emu;
   match item with
   | None -> ()
-  | Some (Feed_payload payload) ->
-    (match Session.feed_frame entry.session payload with
+  | Some (Feed_payload _ as it) | Some (Batch_payload _ as it) ->
+    let fed =
+      match it with
+      | Feed_payload payload -> Session.feed_frame entry.session payload
+      | Batch_payload payload -> Session.feed_batch_frame entry.session payload
+      | Finish_req -> assert false
+    in
+    (match fed with
      | Ok ack ->
        List.iter
          (fun r -> entry.respond (Wire.Race (Report.to_string r)))
@@ -351,7 +360,13 @@ let handle_conn t fd =
             | Error e ->
               respond (err_frame e);
               loop ()))
-      | Wire.Feed payload -> (
+      | Wire.Feed _ | Wire.Feed_batch _ -> (
+        let item =
+          match frame with
+          | Wire.Feed payload -> Feed_payload payload
+          | Wire.Feed_batch payload -> Batch_payload payload
+          | _ -> assert false
+        in
         match !current with
         | None ->
           respond
@@ -364,7 +379,7 @@ let handle_conn t fd =
             let d =
               if Queue.length entry.inbox >= t.cfg.inbox_frames then `Shed
               else begin
-                Queue.push (Feed_payload payload) entry.inbox;
+                Queue.push item entry.inbox;
                 (schedule t entry :> [ `Queued | `Inline | `Shed ])
               end
             in
@@ -580,7 +595,12 @@ let chunks n l =
   loop [] l
 
 let process_one_spool ~cfg ~id path =
-  match Dgrace_trace.Trace_reader.read_file path with
+  match
+    (* spool directories may mix v1 and v2 traces *)
+    if Dgrace_trace.Trace_reader.probe_version path >= 2 then
+      Dgrace_trace.Trace_format_v2.read_file path
+    else Dgrace_trace.Trace_reader.read_file path
+  with
   | exception Error.E e -> Error e
   | exception exn ->
     Error (Error.Internal { where = "spool.read"; reason = Printexc.to_string exn })

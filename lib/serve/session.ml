@@ -6,6 +6,7 @@ module Budget = Dgrace_resilience.Budget
 module Error = Dgrace_resilience.Error
 module Accounting = Dgrace_shadow.Accounting
 module Trace_codec = Dgrace_trace.Trace_codec
+module Trace_format_v2 = Dgrace_trace.Trace_format_v2
 module Clock = Dgrace_obs.Clock
 
 (* One trace session as a reusable incremental handle: a detector fed
@@ -38,6 +39,9 @@ type t = {
   now_s : unit -> float;
   t0 : float;
   dec : Trace_codec.decoder;
+  v2 : Trace_format_v2.stream_decoder;  (* B-frame (batch) decoder *)
+  mutable v2_base : int;  (* bytes of v2 bodies consumed so far *)
+  batch : Batch.t;  (* reused decode target for both batch paths *)
   mu : Mutex.t;
   mutable detector : Detector.t option;  (* None once terminal *)
   mutable phase : phase;
@@ -59,6 +63,9 @@ let open_ ?(budget = Budget.unlimited) ?(clock = Clock.ns) ?suppression
     now_s;
     t0 = now_s ();
     dec = Trace_codec.decoder ();
+    v2 = Trace_format_v2.stream_decoder ();
+    v2_base = 0;
+    batch = Batch.create ();
     mu = Mutex.create ();
     detector = Some d;
     phase = Streaming;
@@ -79,6 +86,9 @@ let of_detector ?(budget = Budget.unlimited) ?(clock = Clock.ns) ~id d =
     now_s;
     t0 = now_s ();
     dec = Trace_codec.decoder ();
+    v2 = Trace_format_v2.stream_decoder ();
+    v2_base = 0;
+    batch = Batch.create ();
     mu = Mutex.create ();
     detector = Some d;
     phase = Streaming;
@@ -168,56 +178,126 @@ let take_new_races t (races : Report.t list) =
   t.reported <- n;
   fresh
 
+(* Run one delivery action (per-event loop, batch dispatch, or a
+   decode-and-deliver closure) under the session's crash-only contract:
+   success acks, a budget stop seals the partial summary, a decode
+   error or detector exception poisons.  Called with [t.mu] held. *)
+let deliver_locked t (d : Detector.t) run =
+  match run () with
+  | () ->
+    Ok { ack_events = t.events; new_races = take_new_races t (Detector.races d) }
+  | exception Stop_ stop ->
+    (* seal the partial summary now; the feed itself answers the
+       budget error so the client knows to stop sending *)
+    (match seal t d ~partial:(Some stop) with
+     | s -> t.phase <- Stopped (stop, s)
+     | exception exn ->
+       poison_locked t
+         (Error.Internal
+            { where = "session.finish"; reason = Printexc.to_string exn }));
+    Error (terminal_error t.phase)
+  | exception Error.E e ->
+    poison_locked t e;
+    Error e
+  | exception exn ->
+    poison_locked t
+      (Error.Internal
+         { where = "session.detector"; reason = Printexc.to_string exn });
+    Error (terminal_error t.phase)
+
+(* The batch fast path engages only when nothing observable depends on
+   per-event granularity: an unlimited budget makes [check_budget] a
+   no-op, so handing the detector a whole struct-of-arrays batch is
+   race-identical to the event loop (the differential serve tests lock
+   this in). *)
+let batch_sink t (d : Detector.t) =
+  if Budget.is_unlimited t.budget then d.Detector.process_batch else None
+
+let deliver_batch t (d : Detector.t) (b : Batch.t) =
+  match batch_sink t d with
+  | Some pb ->
+    pb b;
+    t.events <- t.events + Batch.length b
+  | None ->
+    Batch.iter_events
+      (fun ev ->
+        d.Detector.on_event ev;
+        t.events <- t.events + 1;
+        check_budget t d)
+      b
+
 let feed_events t evs =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming ->
+    let d = Option.get t.detector in
+    deliver_locked t d (fun () ->
+        List.iter
+          (fun ev ->
+            d.Detector.on_event ev;
+            t.events <- t.events + 1;
+            check_budget t d)
+          evs)
+  | ph -> Error (terminal_error ph)
+
+let feed_frame t payload =
   locked t @@ fun () ->
   match t.phase with
   | Streaming -> (
     let d = Option.get t.detector in
-    match
-      List.iter
-        (fun ev ->
-          d.Detector.on_event ev;
-          t.events <- t.events + 1;
-          check_budget t d)
-        evs
-    with
-    | () ->
-      Ok { ack_events = t.events; new_races = take_new_races t (Detector.races d) }
-    | exception Stop_ stop ->
-      (* seal the partial summary now; the feed itself answers the
-         budget error so the client knows to stop sending *)
-      (match seal t d ~partial:(Some stop) with
-       | s -> t.phase <- Stopped (stop, s)
-       | exception exn ->
-         poison_locked t
-           (Error.Internal
-              { where = "session.finish"; reason = Printexc.to_string exn }));
-      Error (terminal_error t.phase)
-    | exception Error.E e ->
-      poison_locked t e;
-      Error e
-    | exception exn ->
-      poison_locked t
-        (Error.Internal
-           { where = "session.detector"; reason = Printexc.to_string exn });
-      Error (terminal_error t.phase))
-  | ph -> Error (terminal_error ph)
-
-let feed_frame t payload =
-  let decoded =
-    locked t @@ fun () ->
-    match t.phase with
-    | Streaming -> (
+    match batch_sink t d with
+    | Some pb ->
+      (* decode straight into the reused batch and deliver
+         struct-of-arrays; a decode error surfaces as [Error.E] and
+         poisons like the list path *)
+      deliver_locked t d (fun () ->
+          match
+            Trace_codec.decode_frame_batch t.dec payload ~batch:t.batch
+              (fun b ->
+                pb b;
+                t.events <- t.events + Batch.length b)
+          with
+          | Ok () -> ()
+          | Error e -> raise (Error.E e))
+    | None -> (
       match Trace_codec.decode_frame t.dec payload with
-      | Ok evs -> Ok evs
+      | Ok evs ->
+        deliver_locked t d (fun () ->
+            List.iter
+              (fun ev ->
+                d.Detector.on_event ev;
+                t.events <- t.events + 1;
+                check_budget t d)
+              evs)
       | Error e ->
         poison_locked t e;
-        Error e)
-    | ph -> Error (terminal_error ph)
-  in
-  match decoded with
-  | Ok evs -> feed_events t evs
-  | Error e -> Error e
+        Error e))
+  | ph -> Error (terminal_error ph)
+
+(* One BATCH frame: a v2 block body.  The persistent [t.v2] decoder
+   interns locations across frames; [t.v2_base] makes corruption
+   offsets absolute in the session's batch stream. *)
+let feed_batch_frame t payload =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming -> (
+    let d = Option.get t.detector in
+    match Trace_format_v2.decode_body t.v2 ~base:t.v2_base payload t.batch with
+    | Error e ->
+      poison_locked t e;
+      Error e
+    | Ok () ->
+      t.v2_base <- t.v2_base + String.length payload;
+      deliver_locked t d (fun () -> deliver_batch t d t.batch))
+  | ph -> Error (terminal_error ph)
+
+let feed_batch t b =
+  locked t @@ fun () ->
+  match t.phase with
+  | Streaming ->
+    let d = Option.get t.detector in
+    deliver_locked t d (fun () -> deliver_batch t d b)
+  | ph -> Error (terminal_error ph)
 
 let races_so_far t =
   locked t @@ fun () ->

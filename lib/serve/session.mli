@@ -66,7 +66,22 @@ val of_detector :
 val feed_frame : t -> string -> (ack, Error.t) result
 (** Decode one FEED payload ({!Dgrace_trace.Trace_codec}) and deliver
     its events.  A decode error poisons the session ([Corrupt_trace]
-    at the absolute stream offset). *)
+    at the absolute stream offset).  When the session's budget is
+    unlimited and its detector has a batch fast path, records decode
+    straight into a reused {!Dgrace_events.Batch.t} and are delivered
+    struct-of-arrays — race-identical, no per-event allocation. *)
+
+val feed_batch_frame : t -> string -> (ack, Error.t) result
+(** Decode one BATCH payload — a v2 block body
+    ({!Dgrace_trace.Trace_format_v2.encode_body}) — and deliver it.
+    Locations intern across frames on a persistent v2 decoder; a
+    decode error poisons with the offset absolute in the session's
+    batch stream.  Delivery uses the detector's batch fast path under
+    an unlimited budget and falls back to the per-event loop (with
+    full budget semantics) otherwise. *)
+
+val feed_batch : t -> Dgrace_events.Batch.t -> (ack, Error.t) result
+(** Deliver an already-decoded batch (the spool/in-process path). *)
 
 val feed_events : t -> Event.t list -> (ack, Error.t) result
 (** Deliver already-decoded events.  Budget semantics match the

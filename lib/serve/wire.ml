@@ -17,6 +17,7 @@ type frame =
   (* requests *)
   | Open of Json.t  (* session options: spec, budget, vc_intern *)
   | Feed of string  (* binary event records *)
+  | Feed_batch of string  (* one v2 block body (Trace_format_v2) *)
   | Finish
   | Status
   (* responses *)
@@ -31,7 +32,7 @@ type frame =
 (* Frames a client may send; everything else arriving on the server
    side is a protocol error. *)
 let is_request = function
-  | Open _ | Feed _ | Finish | Status -> true
+  | Open _ | Feed _ | Feed_batch _ | Finish | Status -> true
   | _ -> false
 
 let default_max_frame_bytes = 16 * 1024 * 1024
@@ -46,6 +47,7 @@ let ignore_sigpipe () =
 let type_byte = function
   | Open _ -> 'O'
   | Feed _ -> 'F'
+  | Feed_batch _ -> 'B'
   | Finish -> 'N'
   | Status -> 'S'
   | Opened _ -> 'o'
@@ -60,7 +62,7 @@ let payload = function
   | Open j | Opened j | Ack j | Summary j | Err j | Overloaded j
   | Status_doc j ->
     Json.to_string ~minify:true j
-  | Feed s | Race s -> s
+  | Feed s | Feed_batch s | Race s -> s
   | Finish | Status -> ""
 
 (* ------------------------------------------------------------------ *)
@@ -115,6 +117,7 @@ let frame_of ~typ ~body =
   match typ with
   | 'O' -> Result.map (fun j -> Open j) (parse_json body)
   | 'F' -> Ok (Feed body)
+  | 'B' -> Ok (Feed_batch body)
   | 'N' -> Ok Finish
   | 'S' -> Ok Status
   | 'o' -> Result.map (fun j -> Opened j) (parse_json body)

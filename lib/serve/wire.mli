@@ -13,6 +13,12 @@ type frame =
       (** open a session: [{"spec": name, "vc_intern": bool,
           "max_events"/"deadline_s"/"max_shadow_bytes": budget}] *)
   | Feed of string  (** binary event records ({!Dgrace_trace.Trace_codec}) *)
+  | Feed_batch of string
+      (** one v2 block body ({!Dgrace_trace.Trace_format_v2.encode_body}):
+          the batched feed path — the server decodes it straight into a
+          struct-of-arrays {!Dgrace_events.Batch.t} and, when the
+          session's detector has a batch fast path and the budget is
+          unlimited, delivers it without materializing events *)
   | Finish  (** finalize the session and request its summary *)
   | Status  (** request the server status document *)
   | Opened of Json.t  (** [{"session": id}] *)

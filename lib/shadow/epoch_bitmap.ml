@@ -226,6 +226,35 @@ let test t ~write addr =
     b land (plane_bit write lsl shift) <> 0
   end
 
+(* One lookup for the common whole-access probe: when [lo] and [hi]
+   (inclusive) land in the same chunk — any access up to the block
+   size that doesn't straddle a boundary — both bits come out of a
+   single cached-chunk fetch; a straddling probe falls back to two
+   independent tests. *)
+let test_range t ~write ~lo ~hi =
+  let base = lo land lnot (t.block - 1) in
+  if hi land lnot (t.block - 1) <> base then
+    test t ~write lo && test t ~write hi
+  else begin
+    let c =
+      if base = t.cached_base then t.cached_chunk
+      else begin
+        let r = row_for t (row_of t lo) in
+        if r == no_row then no_chunk else r.(row_slot t lo)
+      end
+    in
+    if c == no_chunk then false
+    else begin
+      let bit = plane_bit write in
+      let probe addr =
+        let off = addr land (t.block - 1) in
+        let i = off lsr 2 and shift = (off land 3) * 2 in
+        Char.code (Bytes.get c i) land (bit lsl shift) <> 0
+      in
+      probe lo && (hi = lo || probe hi)
+    end
+  end
+
 (* Epoch boundary: detach every live chunk from its row, zero it into
    the pool, and charge the footprint back down to zero.  The rows
    themselves stay, so the next epoch's marks pay no directory or

@@ -27,6 +27,11 @@ val test : t -> write:bool -> int -> bool
 (** Has this address already been analysed (in the given plane) during
     the current epoch? *)
 
+val test_range : t -> write:bool -> lo:int -> hi:int -> bool
+(** [test lo && test hi] ([hi] inclusive) in one chunk lookup when
+    both fall in the same chunk — the whole-access same-epoch probe on
+    the detectors' fast path. *)
+
 val reset : t -> unit
 (** Epoch boundary: clear all marks and release chunk storage.  The
     chunks are detached into a small zeroed pool and the directory is

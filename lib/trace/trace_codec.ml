@@ -145,6 +145,88 @@ let decode_frame d payload =
   in
   loop []
 
+(* Decode one record straight into the next row of [b] — the batched
+   shape of [decode_one], no [Event.t] allocated. *)
+let decode_one_into d cur (b : Batch.t) =
+  let i = b.Batch.len in
+  let tag = byte cur in
+  if tag > max_tag then raise (Corrupt (Printf.sprintf "unknown tag %d" tag));
+  b.Batch.kind.(i) <- tag;
+  if tag = tag_read || tag = tag_write then begin
+    b.Batch.a.(i) <- read_tid cur;
+    b.Batch.b.(i) <- varint cur;
+    b.Batch.c.(i) <- read_size cur;
+    b.Batch.loc.(i) <- read_loc d cur
+  end
+  else if tag = tag_acquire || tag = tag_release then begin
+    b.Batch.a.(i) <- read_tid cur;
+    b.Batch.b.(i) <- varint cur;
+    let s = varint cur in
+    if s > 3 then raise (Corrupt (Printf.sprintf "bad sync kind %d" s));
+    b.Batch.c.(i) <- s;
+    b.Batch.loc.(i) <- ""
+  end
+  else if tag = tag_fork || tag = tag_join then begin
+    b.Batch.a.(i) <- read_tid cur;
+    b.Batch.b.(i) <- read_tid cur;
+    b.Batch.c.(i) <- 0;
+    b.Batch.loc.(i) <- ""
+  end
+  else if tag = tag_alloc || tag = tag_free then begin
+    b.Batch.a.(i) <- read_tid cur;
+    b.Batch.b.(i) <- varint cur;
+    b.Batch.c.(i) <- read_size cur;
+    b.Batch.loc.(i) <- ""
+  end
+  else begin
+    b.Batch.a.(i) <- read_tid cur;
+    b.Batch.b.(i) <- 0;
+    b.Batch.c.(i) <- 0;
+    b.Batch.loc.(i) <- ""
+  end;
+  b.Batch.off.(i) <- d.events;
+  b.Batch.len <- i + 1
+
+(* Batched frame decode: fill [batch] from the payload's records and
+   hand it to [emit] each time it fills (and once more at payload end
+   if non-empty).  Same error contract as [decode_frame]; on error the
+   batch contents are unspecified — the session layer treats the error
+   as terminal. *)
+let decode_frame_batch d payload ~batch emit =
+  let cur = { s = payload; pos = 0 } in
+  Batch.clear batch;
+  let flush () =
+    if Batch.length batch > 0 then begin
+      emit batch;
+      Batch.clear batch
+    end
+  in
+  let rec loop () =
+    if cur.pos >= String.length payload then begin
+      flush ();
+      Ok ()
+    end
+    else begin
+      let start = cur.pos in
+      match decode_one_into d cur batch with
+      | () ->
+        d.events <- d.events + 1;
+        d.offset <- d.offset + (cur.pos - start);
+        if Batch.is_full batch then flush ();
+        loop ()
+      | exception Corrupt reason ->
+        Error
+          (Error.Corrupt_trace
+             {
+               path = None;
+               offset = d.offset + start;
+               events_read = d.events;
+               reason;
+             })
+    end
+  in
+  loop ()
+
 (* ------------------------------------------------------------------ *)
 (* encoding *)
 

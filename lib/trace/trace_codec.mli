@@ -33,6 +33,20 @@ val decode_frame :
     After an error the decoder state is unspecified: the session layer
     treats the error as terminal (poisoned) and never decodes again. *)
 
+val decode_frame_batch :
+  decoder ->
+  string ->
+  batch:Batch.t ->
+  (Batch.t -> unit) ->
+  (unit, Dgrace_resilience.Error.t) result
+(** Batched counterpart of {!decode_frame}: decode the payload's
+    records straight into [batch] (no [Event.t] allocation; rows get
+    [off] = running event index) and call the consumer each time the
+    batch fills, plus once at payload end if non-empty.  Same error
+    contract as {!decode_frame}; on error the batch contents are
+    unspecified and the session layer must treat the error as
+    terminal. *)
+
 (** {1 Encoding (client side)} *)
 
 type encoder

@@ -31,6 +31,26 @@ let check_header ?path ic =
       fail ~offset:(String.length magic)
         (Printf.sprintf "unsupported version %d" v)
 
+(* Read just the header and report the container version — how the
+   CLI auto-detects v1 vs v2 files before choosing a decode path. *)
+let probe_version path =
+  let ic = open_in_bin path in
+  let fail ~offset reason =
+    close_in ic;
+    raise
+      (Error.E
+         (Error.Corrupt_trace { path = Some path; offset; events_read = 0; reason }))
+  in
+  (match really_input_string ic (String.length magic) with
+   | exception End_of_file -> fail ~offset:0 "bad magic (shorter than header)"
+   | m -> if m <> magic then fail ~offset:0 "bad magic");
+  match input_byte ic with
+  | exception End_of_file ->
+    fail ~offset:(String.length magic) "missing version byte"
+  | v ->
+    close_in ic;
+    v
+
 let sync_of_code = function
   | 0 -> Event.Lock
   | 1 -> Event.Barrier

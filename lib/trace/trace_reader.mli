@@ -18,6 +18,13 @@
 
 open Dgrace_events
 
+val probe_version : string -> int
+(** Read just the header and report the container version byte, so
+    callers can pick the v1 ({!Trace_reader}) or v2
+    ({!Trace_format_v2}) decode path.
+    @raise Dgrace_resilience.Error.E on a bad magic or missing
+    version. *)
+
 val read : ?path:string -> in_channel -> Event.t Seq.t
 (** Lazy sequence of events; consumes the channel as it is forced.
     [path] is carried into error values for context.

@@ -47,6 +47,23 @@ let union parent a b =
   let ra = find parent a and rb = find parent b in
   if ra <> rb then Hashtbl.replace parent (max ra rb) (min ra rb)
 
+(* Pack one shard's [(offset, event)] stream into struct-of-arrays
+   batches for the detectors' [process_batch] fast path; the stream
+   offsets become the batch [off] column, so race attribution is
+   unchanged.  O(n) and allocation-proportional to the stream. *)
+let batches_of ?(capacity = Batch.default_capacity) stream =
+  let n = Array.length stream in
+  let nb = (n + capacity - 1) / capacity in
+  Array.init nb (fun bi ->
+      let lo = bi * capacity in
+      let hi = min n (lo + capacity) in
+      let b = Batch.create ~capacity () in
+      for i = lo to hi - 1 do
+        let off, ev = stream.(i) in
+        Batch.push b ~off ev
+      done;
+      b)
+
 let split ~shards:k ~granule events =
   if k < 1 then invalid_arg "Trace_shard.split: shards must be >= 1";
   if not (is_pow2 granule) then

@@ -34,6 +34,12 @@ type t = {
   straddling : int;  (** accesses that straddled a line boundary *)
 }
 
+val batches_of : ?capacity:int -> (int * Event.t) array -> Batch.t array
+(** Pack one shard's stream into {!Batch.t} struct-of-arrays buffers
+    (capacity {!Batch.default_capacity} each) for the detectors'
+    [process_batch] fast path; stream offsets become the batch [off]
+    column, so race attribution is unchanged. *)
+
 val split : shards:int -> granule:int -> Event.t array -> t
 (** [split ~shards:k ~granule events] routes every event as above.
     Deterministic: the same input always yields the same shards

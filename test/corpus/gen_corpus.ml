@@ -12,7 +12,17 @@
      opposite orders, serialised so the recording completed — the
      hazard is in the lock history, not the replay;
    - truncated.trace: racy.trace cut mid-record — strict reads fail
-     with a structured error, resync salvages the decodable prefix. *)
+     with a structured error, resync salvages the decodable prefix;
+   - straddle.trace: one access straddling the 4 KiB share-granule
+     line, racing an access in the next line — the shard splitter must
+     weld the two lines into one super-granule or the sharded replay
+     loses the race.
+
+   Every trace except truncated also gets a v2 twin — same name with
+   a .v2 suffix, the blocked column format — carrying the same events,
+   plus
+   truncated.trace.v2 — racy's v2 twin cut mid-block — for the strict
+   v2 error path. *)
 
 open Dgrace_events
 
@@ -88,8 +98,35 @@ let deadlock_adjacent =
         Event.Join { parent = 0; child = 2 } ];
     ]
 
+(* The share line is 4 KiB (Dynamic_granularity.share_granule, also
+   the shard splitter's default granule): t1's write starts 2 bytes
+   before the 0x3000 boundary and ends 2 bytes past it, t2's races
+   with its tail from the next line. *)
+let straddle =
+  List.concat
+    [
+      [ Event.Fork { parent = 0; child = 1 };
+        Event.Fork { parent = 0; child = 2 } ];
+      [ Event.Access
+          { tid = 1; kind = Write; addr = 0x2FFE; size = 4;
+            loc = "t1:straddle" };
+        Event.Access
+          { tid = 2; kind = Write; addr = 0x3000; size = 4;
+            loc = "t2:next-line" } ];
+      [ Event.Thread_exit { tid = 1 };
+        Event.Join { parent = 0; child = 1 };
+        Event.Thread_exit { tid = 2 };
+        Event.Join { parent = 0; child = 2 } ];
+    ]
+
 let write_trace path events =
   let (), n = Dgrace_trace.Trace_writer.to_file path (fun sink ->
+      List.iter sink events)
+  in
+  Printf.printf "%s: %d events\n" path n
+
+let write_trace_v2 path events =
+  let (), n = Dgrace_trace.Trace_format_v2.to_file path (fun sink ->
       List.iter sink events)
   in
   Printf.printf "%s: %d events\n" path n
@@ -111,4 +148,10 @@ let () =
   write_trace "clean.trace" clean;
   write_trace "racy.trace" racy;
   write_trace "deadlock_adjacent.trace" deadlock_adjacent;
-  truncate_trace ~src:"racy.trace" ~dst:"truncated.trace"
+  write_trace "straddle.trace" straddle;
+  truncate_trace ~src:"racy.trace" ~dst:"truncated.trace";
+  write_trace_v2 "clean.trace.v2" clean;
+  write_trace_v2 "racy.trace.v2" racy;
+  write_trace_v2 "deadlock_adjacent.trace.v2" deadlock_adjacent;
+  write_trace_v2 "straddle.trace.v2" straddle;
+  truncate_trace ~src:"racy.trace.v2" ~dst:"truncated.trace.v2"

@@ -13,6 +13,7 @@ let () =
          Test_events.suites;
          Test_sim.suites;
          Test_trace.suites;
+         Test_trace_v2.suites;
          Test_state_machine.suites;
          Test_fasttrack.suites;
          Test_djit.suites;

@@ -83,6 +83,46 @@ let diff_workload (w : Workload.t) spec () =
         shard_counts)
     seeds
 
+(* The batch dispatch cross-product: the struct-of-arrays fast path
+   and the per-event sink must be indistinguishable on everything
+   [check_equivalent] looks at, for every workload, with and without
+   vector-clock interning, sequential and sharded.  One seed — the
+   batch path has no scheduling freedom of its own, so extra seeds
+   only re-test the splitter (covered above). *)
+let diff_batch_workload (w : Workload.t) () =
+  let events = recorded w 1 in
+  List.iter
+    (fun vc_intern ->
+      let seq =
+        Engine.replay ~batched:false ~vc_intern ~spec:Spec.dynamic
+          (Array.to_seq events)
+      in
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun batched ->
+              let par =
+                Engine.replay_sharded ~batched ~vc_intern ~shards
+                  ~spec:Spec.dynamic (Array.to_seq events)
+              in
+              let ctx =
+                Printf.sprintf "%s vc_intern=%b shards=%d batched=%b" w.name
+                  vc_intern shards batched
+              in
+              check_equivalent ~ctx seq par)
+            [ true; false ])
+        [ 1; 4 ];
+      (* sequential batched path (Engine.replay ~batched:true) against
+         the same per-event reference *)
+      let seq_batched =
+        Engine.replay ~batched:true ~vc_intern ~spec:Spec.dynamic
+          (Array.to_seq events)
+      in
+      check_equivalent
+        ~ctx:(Printf.sprintf "%s vc_intern=%b replay batched" w.name vc_intern)
+        seq seq_batched)
+    [ true; false ]
+
 (* ------------------------------------------------------------------ *)
 (* splitter invariants *)
 
@@ -292,6 +332,13 @@ let suites : unit Alcotest.test list =
       diff_cases Spec.dynamic "dynamic" );
     ( "par.differential.byte",
       diff_cases Spec.byte "byte" );
+    ( "par.differential.batch",
+      List.map
+        (fun (w : Workload.t) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s batched x per-event x vc-intern" w.name)
+            `Slow (diff_batch_workload w))
+        Registry.all );
     ( "par.split",
       [
         Alcotest.test_case "one shard is the identity" `Quick

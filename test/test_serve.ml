@@ -67,7 +67,10 @@ let temp_dir () =
 
 let frames_equal a b =
   match (a, b) with
-  | Wire.Feed x, Wire.Feed y | Wire.Race x, Wire.Race y -> x = y
+  | Wire.Feed x, Wire.Feed y
+  | Wire.Feed_batch x, Wire.Feed_batch y
+  | Wire.Race x, Wire.Race y ->
+    x = y
   | Wire.Finish, Wire.Finish | Wire.Status, Wire.Status -> true
   | Wire.Open x, Wire.Open y
   | Wire.Opened x, Wire.Opened y
@@ -91,7 +94,8 @@ let test_wire_roundtrip () =
   let sample = Json.Obj [ ("spec", Json.String "dynamic"); ("n", Json.Int 3) ] in
   let all =
     [
-      Wire.Open sample; Wire.Feed "\x00\x01binary\xff"; Wire.Finish;
+      Wire.Open sample; Wire.Feed "\x00\x01binary\xff";
+      Wire.Feed_batch "\x00\x01block\xff"; Wire.Finish;
       Wire.Status; Wire.Opened sample; Wire.Ack sample; Wire.Race "race on 0x1";
       Wire.Summary sample; Wire.Err sample; Wire.Overloaded sample;
       Wire.Status_doc sample;
@@ -406,31 +410,42 @@ let test_server_concurrent_differential () =
   let events = racy_events () in
   let oracle = baseline_lines events in
   (* the oracle itself is stable across the engine's own modes *)
-  Alcotest.(check (list string))
-    "sharded oracle agrees" oracle
-    (race_lines
-       (Engine.replay_sharded ~shards:4 ~spec:Spec.dynamic (List.to_seq events)));
+  List.iter
+    (fun batched ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "sharded oracle agrees (batched=%b)" batched)
+        oracle
+        (race_lines
+           (Engine.replay_sharded ~batched ~shards:4 ~spec:Spec.dynamic
+              (List.to_seq events))))
+    [ true; false ];
   Alcotest.(check (list string))
     "no-intern oracle agrees" oracle
     (baseline_lines ~vc_intern:false events);
   with_server (fun _server socket ->
-      (* N concurrent sessions across client configurations: every one
-         must report the oracle's races, byte for byte *)
+      (* N concurrent sessions across client configurations — half over
+         'E' event frames, half over 'B' v2-block batch frames: every
+         one must report the oracle's races, byte for byte *)
       let configs =
         [
-          (true, 512); (true, 64); (false, 512); (true, 7); (false, 131);
-          (true, 2048);
+          (`Events, true, 512); (`Events, true, 64); (`Events, false, 512);
+          (`Batches, true, 7); (`Batches, false, 131); (`Batches, true, 2048);
         ]
       in
       let results =
         List.map
-          (fun (vc_intern, chunk_events) ->
+          (fun (framing, vc_intern, chunk_events) ->
             let slot = ref (Error (Client.Protocol "not run")) in
             let th =
               Thread.create
                 (fun () ->
                   slot :=
-                    Client.replay ~vc_intern ~chunk_events ~socket events)
+                    (match framing with
+                     | `Events ->
+                       Client.replay ~vc_intern ~chunk_events ~socket events
+                     | `Batches ->
+                       Client.replay_batched ~vc_intern ~chunk_events ~socket
+                         events))
                 ()
             in
             (th, slot))

@@ -283,6 +283,76 @@ let test_corpus_truncated () =
   Alcotest.(check bool) "the damage is on the books" true
     (r.Trace_reader.gaps >= 1)
 
+(* v2 twins: same events through the blocked column format, and the
+   batched replay path agrees with the per-event verdicts above. *)
+
+let replay_corpus_v2_batched name =
+  Dgrace_core.Engine.replay_batches ~spec:Dgrace_core.Spec.dynamic
+    (fun consume ->
+      Trace_format_v2.fold_batches (corpus name) (fun () b -> consume b) ())
+
+let test_corpus_v2_twins () =
+  List.iter
+    (fun (name, count, races) ->
+      let v1 = Trace_reader.read_file (corpus name) in
+      let v2 = Trace_format_v2.read_file (corpus (name ^ ".v2")) in
+      Alcotest.(check (list string))
+        (name ^ ": v2 twin carries the same events")
+        (List.map Event.to_string v1)
+        (List.map Event.to_string v2);
+      Alcotest.(check int) (name ^ ": pinned count") count (List.length v2);
+      let s = replay_corpus_v2_batched (name ^ ".v2") in
+      Alcotest.(check int) (name ^ ": batched v2 verdict") races s.race_count;
+      Alcotest.(check int)
+        (name ^ ": per-event verdict agrees")
+        (replay_corpus name).race_count s.race_count)
+    [
+      ("clean.trace", 22, 0);
+      ("racy.trace", 18, 1);
+      ("deadlock_adjacent.trace", 16, 0);
+      ("straddle.trace", 8, 1);
+    ]
+
+let test_corpus_v2_truncated () =
+  match Trace_format_v2.read_file (corpus "truncated.trace.v2") with
+  | _ -> Alcotest.fail "strict read of a truncated v2 trace must fail"
+  | exception Error.E (Error.Corrupt_trace { events_read; _ }) ->
+    Alcotest.(check bool) "failed before racy's event count" true
+      (events_read >= 0 && events_read < 18)
+  | exception e ->
+    Alcotest.fail ("expected Corrupt_trace, got " ^ Printexc.to_string e)
+
+(* The straddling access welds the two 4 KiB lines it touches into one
+   super-granule, so the sharded replay keeps both racing accesses in
+   one shard and the verdict matches the sequential run. *)
+let test_corpus_straddle_welds () =
+  let events = Trace_reader.read_file (corpus "straddle.trace") in
+  Alcotest.(check int) "pinned event count" 8 (List.length events);
+  let seq = replay_corpus "straddle.trace" in
+  Alcotest.(check int) "sequential sees the race" 1 seq.race_count;
+  let gauge (s : Dgrace_core.Engine.summary) name =
+    match List.assoc_opt name (Dgrace_obs.Metrics.gauges s.metrics) with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing gauge " ^ name)
+  in
+  List.iter
+    (fun shards ->
+      let s =
+        Dgrace_core.Engine.replay_sharded ~shards ~spec:Dgrace_core.Spec.dynamic
+          (List.to_seq events)
+      in
+      let tag = Printf.sprintf "shards=%d: " shards in
+      Alcotest.(check int) (tag ^ "race survives sharding") 1 s.race_count;
+      Alcotest.(check int)
+        (tag ^ "exactly the one straddling access")
+        1
+        (gauge s "par.straddling");
+      Alcotest.(check int)
+        (tag ^ "one welded super-granule")
+        1
+        (gauge s "par.super_granules"))
+    [ 1; 4 ]
+
 let suites : unit Alcotest.test list =
     [
       ( "trace.format",
@@ -303,6 +373,10 @@ let suites : unit Alcotest.test list =
           Alcotest.test_case "deadlock-adjacent" `Quick
             test_corpus_deadlock_adjacent;
           Alcotest.test_case "truncated" `Quick test_corpus_truncated;
+          Alcotest.test_case "v2 twins" `Quick test_corpus_v2_twins;
+          Alcotest.test_case "v2 truncated" `Quick test_corpus_v2_truncated;
+          Alcotest.test_case "straddle welds share lines" `Quick
+            test_corpus_straddle_welds;
         ] );
       ( "trace.roundtrip",
         [
