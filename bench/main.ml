@@ -29,6 +29,8 @@ let all_tables : (string * (unit -> unit)) list =
     ("vclock", Vclock_bench.run);
     ("ext", Tables.ext);
     ("related", Tables.related);
+    ("sampling", Tables.sampling);
+    ("sampling-scaled", Tables.sampling_scaled);
     ("threads", Tables.threads);
     ("csv", Tables.csv);
     ("fig1", Tables.fig1);
@@ -165,7 +167,10 @@ let () =
   let selected = parse [] args in
   let selected =
     if selected = [] && args = [] then
-      List.filter (fun n -> n <> "csv") (List.map fst all_tables)
+      (* csv is opt-in output, sampling-scaled is a long-running demo *)
+      List.filter
+        (fun n -> n <> "csv" && n <> "sampling-scaled")
+        (List.map fst all_tables)
     else selected
   in
   Printf.printf

@@ -759,3 +759,250 @@ let par () =
       !mismatches;
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Sampling table: races-found vs fraction-sampled vs speedup for the
+   granule sampler (doc/sampling.md) wrapped around the dynamic
+   detector, across all 11 workloads.  Both sides replay the identical
+   recorded stream through the batched pipeline; the speedup column is
+   the median of ABBA-paired ratios exactly as in the batch table.
+   Races and analysed fractions are deterministic (hash-selected
+   granules over a seeded recording), so the [samplestat] rows are
+   checked against bench/sampling_baseline_s1.txt by the CI sampling
+   job.  The sampler's granule guarantee — every reported race is one
+   the full run reports — is asserted here on every workload. *)
+
+let sampling_rates = [ 0.25; 0.05 ]
+
+let sampling () =
+  header
+    "Table S. Granule sampling: races-found vs fraction-sampled vs speedup \
+     (inner: dynamic)";
+  let supp = Measure.suppression_for Spec.dynamic in
+  let batches_for : (string, Dgrace_events.Batch.t array) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let batches (w : Workload.t) =
+    match Hashtbl.find_opt batches_for w.name with
+    | Some b -> b
+    | None ->
+      let events, _ = Measure.recorded w in
+      let b =
+        Dgrace_trace.Trace_shard.batches_of
+          (Array.mapi (fun i ev -> (i, ev)) events)
+      in
+      Hashtbl.replace batches_for w.name b;
+      b
+  in
+  let best : (string * string, Engine.summary) Hashtbl.t = Hashtbl.create 64 in
+  let ratios : (string * float, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  let run_spec w spec =
+    Gc.full_major ();
+    Engine.replay_batches ~suppression:supp ~spec (fun consume ->
+        Array.iter consume (batches w))
+  in
+  let keep w spec (s : Engine.summary) =
+    let key = (w.Workload.name, Spec.name spec) in
+    match Hashtbl.find_opt best key with
+    | Some p when p.Engine.elapsed <= s.Engine.elapsed -> ()
+    | _ -> Hashtbl.replace best key s
+  in
+  let measure (w : Workload.t) rate =
+    let spec = Spec.Sampling { rate; granule = true } in
+    let rl =
+      match Hashtbl.find_opt ratios (w.name, rate) with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace ratios (w.name, rate) r;
+        r
+    in
+    for _ = 1 to max 1 !Measure.reps do
+      (* ABBA pairing: load drift cancels out of the ratio *)
+      let f1 = run_spec w Spec.dynamic in
+      let s1 = run_spec w spec in
+      let s2 = run_spec w spec in
+      let f2 = run_spec w Spec.dynamic in
+      keep w Spec.dynamic f1;
+      keep w Spec.dynamic f2;
+      keep w spec s1;
+      keep w spec s2;
+      let smin = Float.min s1.Engine.elapsed s2.Engine.elapsed in
+      if smin > 0. then
+        rl := (Float.min f1.Engine.elapsed f2.Engine.elapsed /. smin) :: !rl
+    done
+  in
+  let speedup (w : Workload.t) rate =
+    match Hashtbl.find_opt ratios (w.name, rate) with
+    | None | Some { contents = [] } -> Float.nan
+    | Some { contents = rs } ->
+      let a = Array.of_list rs in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n land 1 = 1 then a.(n / 2)
+      else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+  in
+  let fraction (s : Engine.summary) =
+    let c name =
+      Option.value ~default:0 (Dgrace_obs.Metrics.find_counter s.metrics name)
+    in
+    let a = c "sampling.analysed" and k = c "sampling.skipped" in
+    if a + k = 0 then 1. else float_of_int a /. float_of_int (a + k)
+  in
+  List.iter
+    (fun (w : Workload.t) -> List.iter (measure w) sampling_rates)
+    Registry.all;
+  Printf.printf "%-14s %10s %6s |" "program" "events" "races";
+  List.iter
+    (fun r -> Printf.printf " r=%-4g %6s %6s %7s |" r "races" "frac%" "spd")
+    sampling_rates;
+  print_newline ();
+  let bad = ref false in
+  List.iter
+    (fun (w : Workload.t) ->
+      let full = Hashtbl.find best (w.name, Spec.name Spec.dynamic) in
+      Printf.printf "%-14s %10d %6d |" w.name
+        (Array.length (fst (Measure.recorded w)))
+        full.race_count;
+      List.iter
+        (fun rate ->
+          let spec = Spec.Sampling { rate; granule = true } in
+          let s = Hashtbl.find best (w.name, Spec.name spec) in
+          (* the granule guarantee: sampled races are a subset of the
+             full run's, bit-identical where they overlap *)
+          let full_set =
+            List.map Dgrace_events.Report.to_string full.races
+          in
+          List.iter
+            (fun r ->
+              let r = Dgrace_events.Report.to_string r in
+              if not (List.mem r full_set) then begin
+                Printf.eprintf
+                  "bench: sampling: %s r=%g reported a race the full run \
+                   did not: %s\n"
+                  w.name rate r;
+                bad := true
+              end)
+            s.races;
+          Printf.printf "       %6d %5.1f%% %6.2fx |" s.race_count
+            (100. *. fraction s) (speedup w rate))
+        sampling_rates;
+      print_newline ())
+    Registry.all;
+  (* machine-readable rows for the CI guard: name, full races, then
+     per rate races + analysed fraction in permille — everything on
+     the row is deterministic (timing is deliberately excluded) *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let full = Hashtbl.find best (w.name, Spec.name Spec.dynamic) in
+      Printf.printf "samplestat %s %d" w.name full.race_count;
+      List.iter
+        (fun rate ->
+          let s =
+            Hashtbl.find best
+              (w.name, Spec.name (Spec.Sampling { rate; granule = true }))
+          in
+          Printf.printf " %d %.0f" s.race_count (1000. *. fraction s))
+        sampling_rates;
+      print_newline ())
+    Registry.all;
+  print_endline
+    "\nfrac% is the analysed share of accesses (sampling.analysed /\n\
+     (analysed+skipped)); sync, alloc and free events are never sampled\n\
+     away.  Races found at any rate are bit-identical to the full run's\n\
+     reports on the selected granules (doc/sampling.md).";
+  if !bad then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* The ROADMAP item-3 scenario at 100x scale: under a shadow budget
+   the full detector degrades, exhausts, and stops partial a fraction
+   of the way into the trace, while a campaign of bounded sampling
+   passes (one in-budget run per seed, each analysing ~rate of the
+   granule population) covers the whole trace and still finds true
+   races.  Everything is deterministic: seeded workload, seeded
+   scheduler, hash-selected granules per pass seed. *)
+
+let scaled_workload = "raytrace"
+let scaled_scale = 100
+let scaled_budget_bytes = 8_000_000
+let scaled_rate = 0.1
+let scaled_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let sampling_scaled () =
+  header
+    (Printf.sprintf
+       "Sampling at %dx scale: budgeted full detector vs bounded sampling \
+        campaign (%s)"
+       scaled_scale scaled_workload)
+  ;
+  let w = Option.get (Registry.find scaled_workload) in
+  let p = Workload.with_params ~scale:scaled_scale w in
+  let policy = Dgrace_sim.Scheduler.Chunked { seed = 1; chunk = 64 } in
+  let budget =
+    Dgrace_resilience.Budget.make ~max_shadow_bytes:scaled_budget_bytes ()
+  in
+  let supp = Measure.suppression_for Spec.dynamic in
+  let full =
+    Engine.run ~policy ~budget ~suppression:supp ~spec:Spec.dynamic
+      (w.program p)
+  in
+  let stopped = full.partial <> None in
+  Printf.printf
+    "full %-12s: %8d accesses analysed, peak %6dKB, races %d%s\n"
+    full.detector full.stats.accesses
+    (full.mem.peak_bytes / 1024)
+    full.race_count
+    (if stopped then "  STOPPED PARTIAL (budget)" else "");
+  let union : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let all_ok = ref true in
+  List.iter
+    (fun seed ->
+      let inner = Spec.to_detector ~suppression:supp Spec.dynamic in
+      let d =
+        Dgrace_detectors.Race_sampler.create ~rate:scaled_rate ~seed ~inner ()
+      in
+      let s = Engine.with_detector ~policy ~budget d (w.program p) in
+      let ok = s.partial = None && not s.degraded in
+      if not ok then all_ok := false;
+      List.iter
+        (fun r ->
+          Hashtbl.replace union (Dgrace_events.Report.to_string r) ())
+        s.races;
+      let c name =
+        Option.value ~default:0
+          (Dgrace_obs.Metrics.find_counter s.metrics name)
+      in
+      let a = c "sampling.analysed" and k = c "sampling.skipped" in
+      Printf.printf
+        "pass seed=%-2d  : %8d/%d accesses analysed (%4.1f%%), peak %6dKB, \
+         races %d%s\n"
+        seed a (a + k)
+        (100. *. float_of_int a /. float_of_int (max 1 (a + k)))
+        (s.mem.peak_bytes / 1024)
+        s.race_count
+        (if ok then "" else "  FAILED TO COMPLETE"))
+    scaled_seeds;
+  let union_races = Hashtbl.length union in
+  Printf.printf
+    "campaign     : %d bounded passes at rate %g under a %dKB budget, \
+     union races %d\n"
+    (List.length scaled_seeds) scaled_rate (scaled_budget_bytes / 1024)
+    union_races;
+  Printf.printf "scaledstat full_partial=%b passes_ok=%b union_races=%d\n"
+    stopped !all_ok union_races;
+  if not stopped then begin
+    Printf.eprintf
+      "bench: sampling-scaled: full detector completed under the budget — \
+       the scenario no longer demonstrates anything\n";
+    exit 1
+  end;
+  if not !all_ok then begin
+    Printf.eprintf
+      "bench: sampling-scaled: a sampling pass breached the budget\n";
+    exit 1
+  end;
+  if union_races < 1 then begin
+    Printf.eprintf
+      "bench: sampling-scaled: the campaign found no race\n";
+    exit 1
+  end

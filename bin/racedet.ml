@@ -401,6 +401,7 @@ let compare_cmd =
         Spec.No_detection; Spec.byte; Spec.word; Spec.dynamic;
         Spec.Djit { granularity = 4 }; Spec.Drd; Spec.Inspector; Spec.Eraser;
         Spec.Multirace; Spec.Racetrack { region = 64 }; Spec.Literace;
+        Spec.Sampling { rate = 0.1; granule = true };
       ];
     (* the paper's Figure 7 summary statistic: geometric-mean slowdown
        of each detector relative to the uninstrumented (null) run *)

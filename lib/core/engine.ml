@@ -204,6 +204,15 @@ let make_sink (d : Detector.t) ~budget ~recorder ~exact ~progress ~lane =
    or lane), so the fallback per-event loop keeps those semantics
    bit-exact.  [off] is the running event index: the same monotone
    order key the shard splitter and the v2 decoder use. *)
+(* A batched run that had to unroll to the per-event loop (no
+   [process_batch], or a budget/recorder/progress/lane forcing exact
+   per-event semantics) is surfaced as the [engine.batch_fallback]
+   counter in the detector's registry: once per run for the push-style
+   entry points, once per unrolled batch in [replay_batches].  Silent
+   unrolling made sampling-detector slowdowns invisible. *)
+let note_batch_fallback (d : Detector.t) =
+  Metrics.incr (Metrics.counter d.Detector.metrics "engine.batch_fallback")
+
 let batching_sink pb =
   let batch = Batch.create () in
   let n = ref 0 in
@@ -265,6 +274,7 @@ let with_detector ?policy ?(batched = false) ?(budget = Budget.unlimited)
            && Option.is_none progress && Option.is_none lane ->
       batching_sink pb
     | _ ->
+      if batched then note_batch_fallback d;
       ( make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
           ~exact:(sample_every <> None) ~progress ~lane,
         fun () -> () )
@@ -311,6 +321,7 @@ let replay ?(batched = false) ?(budget = Budget.unlimited)
            && Option.is_none progress && Option.is_none lane ->
       batching_sink pb
     | _ ->
+      if batched then note_batch_fallback d;
       ( make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
           ~exact:(sample_every <> None) ~progress ~lane,
         fun () -> () )
@@ -359,7 +370,9 @@ let replay_batches ?(budget = Budget.unlimited) ?(clock = Dgrace_obs.Clock.ns)
         make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
           ~exact:(sample_every <> None) ~progress ~lane
       in
-      fun b -> Batch.iter_events sink b
+      fun b ->
+        note_batch_fallback d;
+        Batch.iter_events sink b
   in
   (match lane with Some b -> Span.begin_span b "engine.replay" | None -> ());
   let partial =

@@ -12,6 +12,7 @@ type t =
   | Multirace
   | Racetrack of { region : int }
   | Literace
+  | Sampling of { rate : float; granule : bool }
 
 let byte = Fasttrack { granularity = 1 }
 let word = Fasttrack { granularity = 4 }
@@ -32,6 +33,8 @@ let name = function
   | Multirace -> "multirace"
   | Racetrack { region } -> Printf.sprintf "racetrack-%dB" region
   | Literace -> "literace"
+  | Sampling { rate; granule = true } -> Printf.sprintf "sample-granule:%g" rate
+  | Sampling { rate; granule = false } -> Printf.sprintf "sample:%g" rate
   | Drd -> "drd"
   | Inspector -> "inspector"
   | Eraser -> "eraser"
@@ -40,6 +43,18 @@ let parse_gran prefix s =
   let plen = String.length prefix in
   if String.length s > plen && String.sub s 0 plen = prefix then
     int_of_string_opt (String.sub s plen (String.length s - plen))
+  else None
+
+(* [sample:<rate>] / [sample-granule:<rate>] — the rate is a float in
+   (0, 1]; anything else is a parse error, not a clamp. *)
+let parse_rate prefix s =
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    match float_of_string_opt (String.sub s plen (String.length s - plen)) with
+    | Some r when r > 0. && r <= 1. -> Some (Ok r)
+    | Some _ ->
+      Some (Error (Printf.sprintf "%s rate must be in (0, 1], got %S" prefix s))
+    | None -> Some (Error (Printf.sprintf "bad rate in %S" s))
   else None
 
 let of_string s =
@@ -60,6 +75,8 @@ let of_string s =
   | "multirace" -> Ok Multirace
   | "racetrack" -> Ok (Racetrack { region = 64 })
   | "literace" -> Ok Literace
+  | "sample" -> Ok (Sampling { rate = 0.1; granule = false })
+  | "sample-granule" -> Ok (Sampling { rate = 0.1; granule = true })
   | _ -> (
     match parse_gran "ft:" s with
     | Some g -> Ok (Fasttrack { granularity = g })
@@ -69,16 +86,26 @@ let of_string s =
       | None -> (
         match parse_gran "racetrack:" s with
         | Some region -> Ok (Racetrack { region })
-        | None -> Error (Printf.sprintf "unknown detector %S" s))))
+        | None -> (
+          (* sample-granule: first — "sample:" is its prefix *)
+          match parse_rate "sample-granule:" s with
+          | Some (Ok rate) -> Ok (Sampling { rate; granule = true })
+          | Some (Error e) -> Error e
+          | None -> (
+            match parse_rate "sample:" s with
+            | Some (Ok rate) -> Ok (Sampling { rate; granule = false })
+            | Some (Error e) -> Error e
+            | None -> Error (Printf.sprintf "unknown detector %S" s))))))
 
 let all_names =
   [
     "none"; "byte"; "word"; "dynamic"; "dynamic-no-init-sharing";
     "dynamic-no-init-state"; "dynamic-ext"; "djit"; "djit:<n>"; "ft:<n>"; "drd"; "inspector";
     "eraser"; "multirace"; "racetrack"; "racetrack:<n>"; "literace";
+    "sample:<rate>"; "sample-granule:<rate>";
   ]
 
-let to_detector ?suppression ?vc_intern ?tracer spec =
+let rec to_detector ?suppression ?vc_intern ?tracer spec =
   match spec with
   | No_detection -> Detector.null ()
   | Fasttrack { granularity = 1 } ->
@@ -108,3 +135,10 @@ let to_detector ?suppression ?vc_intern ?tracer spec =
   | Racetrack { region } ->
     Racetrack_adaptive.create ~region ?suppression ?vc_intern ()
   | Literace -> Literace_sampling.create ?suppression ()
+  | Sampling { rate; granule } ->
+    (* the sampler wraps the full dynamic detector: granule-level
+       sampling and dynamic granularity compose (doc/sampling.md) *)
+    let inner = to_detector ?suppression ?vc_intern ?tracer dynamic in
+    Race_sampler.create
+      ~mode:(if granule then Race_sampler.Granule else Race_sampler.Access)
+      ~rate ~name:(name spec) ~inner ()

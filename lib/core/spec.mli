@@ -24,6 +24,12 @@ type t =
       (** RaceTrack-style coarse-to-fine adaptive granularity (§VI) —
           misses one-shot races by design *)
   | Literace  (** LiteRace-style cold-region sampling (§VI) *)
+  | Sampling of { rate : float; granule : bool }
+      (** deterministic O(1)-cost sampling wrapper around the dynamic
+          detector ({!Dgrace_detectors.Race_sampler}): [granule = true]
+          samples whole share-granule lines — exact on the sampled
+          subspace — [false] flips an independent per-access coin.
+          doc/sampling.md *)
 
 val byte : t
 (** FastTrack at byte granularity. *)
@@ -40,7 +46,9 @@ val name : t -> string
 val of_string : string -> (t, string) result
 (** Parses the CLI names: [none], [byte], [word], [ft:<n>], [djit],
     [djit:<n>], [dynamic], [dynamic-no-init-sharing],
-    [dynamic-no-init-state], [drd], [inspector], [eraser]. *)
+    [dynamic-no-init-state], [drd], [inspector], [eraser],
+    [sample:<rate>], [sample-granule:<rate>] (rate a float in (0, 1];
+    bare [sample]/[sample-granule] default to 0.1). *)
 
 val all_names : string list
 (** Accepted [of_string] inputs, for CLI help. *)

@@ -1,4 +1,5 @@
 open Dgrace_events
+module Metrics = Dgrace_obs.Metrics
 
 type region = {
   mutable rate_log2 : int;  (* sample 1 access in 2^rate_log2 *)
@@ -12,7 +13,26 @@ type state = {
   regions : (string, region) Hashtbl.t;
   inner : Detector.t;
   stats : Run_stats.t;
+  analysed_c : Metrics.counter;
+  skipped_c : Metrics.counter;
 }
+
+let check_floor_rate floor_rate =
+  if floor_rate <= 0. || floor_rate > 1. then
+    invalid_arg "Literace_sampling: floor_rate must be in (0, 1]"
+
+(* The deepest halving that stays at or above the floor:
+   2^-floor_log2 >= floor_rate.  [floor], not [ceil] — rounding the
+   exponent up once put the effective rate a whole halving *below*
+   the documented floor (0.02 became 1/64 = 1.56%).  The post-check
+   guards against the log ratio landing an ulp high. *)
+let floor_log2_of_rate floor_rate =
+  let k = max 0 (int_of_float (Float.floor (-.log floor_rate /. log 2.))) in
+  if 1. /. float_of_int (1 lsl k) < floor_rate then max 0 (k - 1) else k
+
+let effective_floor ~floor_rate =
+  check_floor_rate floor_rate;
+  1. /. float_of_int (1 lsl floor_log2_of_rate floor_rate)
 
 let region_of st loc =
   match Hashtbl.find_opt st.regions loc with
@@ -37,22 +57,20 @@ let sampled st r =
 
 let create ?(floor_rate = 0.02) ?(decay_every = 64)
     ?(suppression = Suppression.empty) () =
-  if floor_rate <= 0. || floor_rate > 1. then
-    invalid_arg "Literace_sampling.create: floor_rate must be in (0, 1]";
+  check_floor_rate floor_rate;
   if decay_every < 1 then invalid_arg "Literace_sampling.create: decay_every < 1";
-  let floor_log2 =
-    int_of_float (ceil (-.log floor_rate /. log 2.))
-  in
   let inner =
     Dynamic_granularity.create ~sharing:false ~name:"ft-byte" ~suppression ()
   in
   let st =
     {
-      floor_log2;
+      floor_log2 = floor_log2_of_rate floor_rate;
       decay_every;
       regions = Hashtbl.create 64;
       inner;
       stats = Run_stats.create ();
+      analysed_c = Metrics.counter inner.Detector.metrics "sampling.analysed";
+      skipped_c = Metrics.counter inner.Detector.metrics "sampling.skipped";
     }
   in
   let on_event ev =
@@ -61,11 +79,14 @@ let create ?(floor_rate = 0.02) ?(decay_every = 64)
       st.stats.accesses <- st.stats.accesses + 1;
       if kind = Event.Write then st.stats.writes <- st.stats.writes + 1
       else st.stats.reads <- st.stats.reads + 1;
-      let r = region_of st loc in
-      if sampled st r then st.inner.on_event ev
+      if sampled st (region_of st loc) then begin
+        Metrics.incr st.analysed_c;
+        st.inner.on_event ev
+      end
       else
-        (* skipped entirely: LiteRace's unsoundness, counted here *)
-        st.stats.same_epoch <- st.stats.same_epoch + 1
+        (* skipped entirely: LiteRace's unsoundness, counted in its own
+           instrument — [same_epoch] keeps meaning same-epoch hits *)
+        Metrics.incr st.skipped_c
     | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
     | Event.Thread_exit _ ->
       st.stats.sync_ops <- st.stats.sync_ops + 1;
@@ -77,10 +98,15 @@ let create ?(floor_rate = 0.02) ?(decay_every = 64)
       st.stats.frees <- st.stats.frees + 1;
       st.inner.on_event ev
   in
+  let process_batch =
+    Race_sampler.filtering_batch ~inner ~stats:st.stats ~analysed:st.analysed_c
+      ~skipped:st.skipped_c ~keep:(fun b i ->
+        sampled st (region_of st b.Batch.loc.(i)))
+  in
   {
     Detector.name = "literace-sampling";
     on_event;
-    process_batch = None;
+    process_batch = Some process_batch;
     finish = st.inner.finish;
     collector = st.inner.collector;
     account = st.inner.account;

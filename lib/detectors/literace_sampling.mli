@@ -9,11 +9,23 @@
     processed (the clocks must stay exact); skipped accesses simply
     never reach the underlying detector — which is why sampling trades
     coverage for speed and "may miss critical data races" (§VI).
+    Skipped accesses are counted in the [sampling.skipped] counter
+    (and analysed ones in [sampling.analysed]) of the detector's
+    registry, never in [Run_stats.same_epoch].
 
     We use the access's source-location label as the code region and
-    byte-granularity FastTrack underneath. *)
+    byte-granularity FastTrack underneath.  See doc/sampling.md for
+    the rate-floor contract and {!Race_sampler} for the granule-level
+    sampler that composes with dynamic granularity. *)
 
 open Dgrace_events
+
+val effective_floor : floor_rate:float -> float
+(** The steady-state rate a maximally hot region converges to: the
+    deepest power-of-two halving that is still [>= floor_rate]
+    (e.g. [0.02 -> 1/32 = 0.03125]).  Exposed so tests can pin the
+    floor contract.
+    @raise Invalid_argument on a floor_rate outside (0, 1]. *)
 
 val create :
   ?floor_rate:float ->
@@ -22,6 +34,8 @@ val create :
   unit ->
   Detector.t
 (** Each region starts at rate 1.0; after every [decay_every] analysed
-    accesses from a region its rate halves, stopping at [floor_rate]
-    (defaults: 0.02 and 64).  Deterministic: the "coin" is a counter
-    per region, not a PRNG. *)
+    accesses from a region its rate halves, stopping at the {e last
+    halving at or above} [floor_rate] (defaults: 0.02 and 64) — the
+    effective rate never drops below [floor_rate], see
+    {!effective_floor}.  Deterministic: the "coin" is a counter per
+    region, not a PRNG. *)

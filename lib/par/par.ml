@@ -105,7 +105,11 @@ let run_shard ~batched ~budget ~now_s ~progress ~lane ~recorder_for make
     then
       match d.process_batch with
       | Some pb -> Some (pb, Trace_shard.batches_of stream)
-      | None -> None
+      | None ->
+        (* surfaced per shard; the merged registry sums them *)
+        Dgrace_obs.Metrics.incr
+          (Dgrace_obs.Metrics.counter d.metrics "engine.batch_fallback");
+        None
     else None
   in
   let t0 = Unix.gettimeofday () in

@@ -9,10 +9,12 @@ List what is available:
     ferret         four-stage pipeline over malloc'd items (threads=4, 2 seeded races)
     fluidanimate   region-locked grid updates with barrier iterations (threads=4, 1 seeded races)
 
-  $ racedet list | grep -E 'dynamic$|multirace|literace' | sed 's/ *$//'
+  $ racedet list | grep -E 'dynamic$|multirace|literace|sample' | sed 's/ *$//'
     dynamic
     multirace
     literace
+    sample:<rate>
+    sample-granule:<rate>
 
 Run a clean workload (exit code 0, no races):
 
@@ -31,6 +33,12 @@ The word detector masks x264's packed byte fields (996 < 1000):
 
   $ racedet run x264 --detector byte 2>/dev/null | grep -o 'races: [0-9]*'
   races: 1000
+
+Granule-level sampling at rate 1.0 forwards everything — it is the
+full dynamic detector (doc/sampling.md):
+
+  $ racedet run hmmsearch --detector sample-granule:1 2>/dev/null | grep races:
+  races: 1 (0 suppressed)
 
 Unknown arguments fail cleanly:
 

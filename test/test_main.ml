@@ -21,6 +21,7 @@ let () =
          Test_baselines.suites;
          Test_properties.suites;
          Test_related.suites;
+         Test_sampler.suites;
          Test_workloads.suites;
          Test_engine.suites;
          Test_resilience.suites;

@@ -91,7 +91,22 @@ let test_literace_sync_always_processed () =
 let test_literace_skipped_counted () =
   let evs = fork 0 1 :: List.init 1000 (fun _ -> rd ~loc:"hot" 0 0x100) in
   let d = feed_events (Literace_sampling.create ()) evs in
-  Alcotest.(check bool) "accesses skipped" true (d.Detector.stats.same_epoch > 500)
+  let skipped =
+    Option.value ~default:0
+      (Dgrace_obs.Metrics.find_counter d.Detector.metrics "sampling.skipped")
+  in
+  let analysed =
+    Option.value ~default:0
+      (Dgrace_obs.Metrics.find_counter d.Detector.metrics "sampling.analysed")
+  in
+  Alcotest.(check bool) "accesses skipped" true (skipped > 500);
+  Alcotest.(check int) "every access accounted once" 1000 (skipped + analysed);
+  (* the skip count must no longer pollute same-epoch telemetry: all
+     1000 reads are a single thread re-reading one address, and only
+     the analysed ones can register as same-epoch hits *)
+  Alcotest.(check bool)
+    "same_epoch not overloaded" true
+    (d.Detector.stats.same_epoch <= analysed)
 
 (* ------------------------------------------------------------------ *)
 (* MultiRace *)
