@@ -26,6 +26,7 @@ let all_tables : (string * (unit -> unit)) list =
     ("par", Tables.par);
     ("trace", Tables.trace);
     ("batch", Tables.batch);
+    ("pipeline", Tables.pipeline);
     ("vclock", Vclock_bench.run);
     ("ext", Tables.ext);
     ("related", Tables.related);

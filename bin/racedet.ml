@@ -124,6 +124,37 @@ let no_vc_intern_arg =
            per-capture deep copies).  Escape hatch for one release; races are \
            identical either way.")
 
+let no_page_cluster_arg =
+  Arg.(
+    value & flag
+    & info [ "no-page-cluster" ]
+        ~doc:
+          "Disable page-clustered batch application (apply batch rows in row \
+           order instead of grouped by aligned shadow page).  Escape hatch \
+           for one release; races, report order and stats are identical \
+           either way (doc/shadow.md).")
+
+(* tri-state: None = auto (pipeline v2 inputs), Some true/false forced *)
+let pipeline_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "pipeline" ]
+              ~doc:
+                "Force the two-stage decode/detect pipeline (requires a v2 \
+                 trace).  This is already the default for v2 inputs; the \
+                 flag exists to make scripts explicit and to get an error \
+                 instead of a silent sequential replay on a v1 trace." );
+          ( Some false,
+            info [ "no-pipeline" ]
+              ~doc:
+                "Decode and detect on one domain, strictly alternating (the \
+                 pre-pipeline behaviour).  Races and offsets are identical; \
+                 this is a performance escape hatch." );
+        ])
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race report.")
 
@@ -640,12 +671,27 @@ let record_cmd =
    from one decoder into the other encoder, so traces larger than
    memory convert fine. *)
 let convert_cmd =
-  let action src v2 dst =
+  let action src v2 dst progress progress_every =
     or_fail @@ fun () ->
     let src_version = Dgrace_trace.Trace_reader.probe_version src in
     (* default output flips the input format; --trace-v2 forces v2 *)
     let to_v2 = v2 || src_version < 2 in
+    (* optional heartbeat: conversion is streaming (one decoded block
+       resident at a time), so on multi-gigabyte traces the heartbeat
+       is the only sign of life *)
+    let count = ref 0 in
+    let tick =
+      if progress then (fun () ->
+        incr count;
+        if !count mod progress_every = 0 then
+          Stderr_line.line "racedet: convert: %d events" !count)
+      else fun () -> incr count
+    in
     let feed sink =
+      let sink ev =
+        sink ev;
+        tick ()
+      in
       if src_version >= 2 then
         Dgrace_trace.Trace_format_v2.fold_file src (fun () ev -> sink ev) ()
       else Dgrace_trace.Trace_reader.fold_file src (fun () ev -> sink ev) ()
@@ -680,13 +726,17 @@ let convert_cmd =
              "Without $(b,--trace-v2) the output uses the format the input \
               is not in (v1 input converts to v2 and vice versa); with it \
               the output is always v2.  Replay results are bit-identical \
-              across formats." ])
-    Term.(const action $ src_arg $ trace_v2_arg $ dst_arg)
+              across formats.  Conversion streams block by block — memory \
+              stays bounded no matter the trace size — and $(b,--progress) \
+              prints a heartbeat every $(b,--progress-every) events." ])
+    Term.(
+      const action $ src_arg $ trace_v2_arg $ dst_arg $ progress_arg
+      $ progress_every_arg)
 
 let replay_cmd =
-  let action path spec no_suppress no_vc_intern verbose resync no_batch shards
-      metrics_out sample_every trace_out progress progress_every max_shadow
-      max_events deadline =
+  let action path spec no_suppress no_vc_intern no_page_cluster pipeline
+      verbose resync no_batch shards metrics_out sample_every trace_out
+      progress progress_every max_shadow max_events deadline =
     or_fail @@ fun () ->
     let version = Dgrace_trace.Trace_reader.probe_version path in
     if resync && version >= 2 then
@@ -705,7 +755,27 @@ let replay_cmd =
     let suppression = suppression no_suppress in
     let progress = replay_progress progress progress_every in
     let vc_intern = not no_vc_intern in
+    let page_cluster = not no_page_cluster in
     let sample_every = Option.map (fun _ -> sample_every) metrics_out in
+    (* pipeline disposition: on for v2 inputs unless --no-pipeline or
+       --no-batch (auto); --pipeline forces it and faults on v1 *)
+    let use_pipeline =
+      match pipeline with
+      | Some false -> false
+      | Some true ->
+        if version < 2 then
+          raise
+            (Rerr.E
+               (Rerr.Invalid_input
+                  {
+                    what = "replay --pipeline";
+                    reason =
+                      "the decode/detect pipeline needs a v2 trace; convert \
+                       first (racedet convert --trace-v2)";
+                  }));
+        true
+      | None -> version >= 2 && not no_batch
+    in
     let read_events () =
       (* decode vs dispatch: the trace shows file reading as its own
          span, before the engine's replay span starts *)
@@ -727,11 +797,29 @@ let replay_cmd =
       (events, recovered_gaps)
     in
     let s, recovered_gaps =
-      if version >= 2 && shards = 1 && not no_batch then
+      if use_pipeline && shards = 1 then
+        (* decode on its own domain, detect here; identical races,
+           offsets and stop reasons as the sequential v2 paths *)
+        ( Engine.replay_pipelined ~budget ~suppression ~vc_intern ~page_cluster
+            ?sample_every ?progress ?tracer ~spec path,
+          0 )
+      else if
+        use_pipeline && shards > 1
+        && Budget.is_unlimited budget
+        && sample_every = None && progress = None && tracer = None
+      then
+        (* streaming sharded pipeline: planner prepass + decoder domain
+           + router + one detector domain per shard.  Per-event
+           machinery (budget/metrics/progress/tracer) needs the
+           materialised sharded path below. *)
+        ( Engine.replay_sharded_pipelined ~suppression ~vc_intern ~page_cluster
+            ~shards ~spec path,
+          0 )
+      else if version >= 2 && shards = 1 && not no_batch then
         (* stream blocks straight into the detector's batch fast path;
            decode interleaves with dispatch, no event list is built *)
-        ( Engine.replay_batches ~budget ~suppression ~vc_intern ?sample_every
-            ?progress ?tracer ~spec
+        ( Engine.replay_batches ~budget ~suppression ~vc_intern ~page_cluster
+            ?sample_every ?progress ?tracer ~spec
             (fun consume ->
               Dgrace_trace.Trace_format_v2.fold_batches path
                 (fun () b -> consume b)
@@ -741,13 +829,12 @@ let replay_cmd =
         let events, recovered_gaps = read_events () in
         let s =
           if shards = 1 then
-            Engine.replay ~budget ~suppression ~vc_intern ?sample_every
-              ?progress ?tracer ~spec
-              (List.to_seq events)
+            Engine.replay ~budget ~suppression ~vc_intern ~page_cluster
+              ?sample_every ?progress ?tracer ~spec (List.to_seq events)
           else
             Engine.replay_sharded ~batched:(not no_batch) ~budget ~suppression
-              ~vc_intern ?sample_every ?progress ?tracer ~shards ~spec
-              (List.to_seq events)
+              ~vc_intern ~page_cluster ?sample_every ?progress ?tracer ~shards
+              ~spec (List.to_seq events)
         in
         (s, recovered_gaps)
       end
@@ -789,9 +876,10 @@ let replay_cmd =
   let term =
     Term.(
       const action $ path_arg $ spec_arg $ no_suppress_arg $ no_vc_intern_arg
-      $ verbose_arg $ resync_arg $ no_batch_arg $ shards_arg $ metrics_out_arg
-      $ sample_every_arg $ trace_out_arg $ progress_arg $ progress_every_arg
-      $ max_shadow_arg $ max_events_arg $ deadline_arg)
+      $ no_page_cluster_arg $ pipeline_arg $ verbose_arg $ resync_arg
+      $ no_batch_arg $ shards_arg $ metrics_out_arg $ sample_every_arg
+      $ trace_out_arg $ progress_arg $ progress_every_arg $ max_shadow_arg
+      $ max_events_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Analyse a recorded trace."
@@ -800,7 +888,19 @@ let replay_cmd =
            `P
              "A corrupt trace fails with a structured error (exit 4) unless \
               $(b,--resync) is given, in which case decodable events around \
-              the damage are still analysed (exit 3)." ])
+              the damage are still analysed (exit 3).";
+           `P
+             "v2 traces replay through a two-stage pipeline by default: a \
+              decoder domain streams blocks into a bounded ring while the \
+              detector drains it ($(b,--shards) K adds a router and one \
+              detector domain per shard).  Races, report offsets, corruption \
+              offsets and budget stop reasons are bit-identical to the \
+              sequential path; $(b,--no-pipeline) restores it.  The summary \
+              metrics report $(b,pipeline.decode_stall_us) / \
+              $(b,pipeline.detect_stall_us) gauges, and with \
+              $(b,--trace-out) the decoder runs on its own $(b,decoder) \
+              timeline lane ($(b,racedet timings) then shows the \
+              decode-vs-detect split)." ])
     term
 
 (* ------------------------------------------------------------------ *)

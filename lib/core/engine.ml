@@ -11,6 +11,7 @@ module State_matrix = Dgrace_obs.State_matrix
 module Export = Dgrace_obs.Export
 module Budget = Dgrace_resilience.Budget
 module Error = Dgrace_resilience.Error
+module Trace_pipeline = Dgrace_trace.Trace_pipeline
 
 type summary = {
   detector : string;
@@ -298,18 +299,20 @@ let with_detector ?policy ?(batched = false) ?(budget = Budget.unlimited)
   let timeseries = match sample_every with Some _ -> recorder | None -> None in
   summarize d ~elapsed ~sim ~partial ~degraded:!degraded ~timeseries
 
-let run ?policy ?batched ?budget ?clock ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~spec program =
+let run ?policy ?batched ?budget ?clock ?suppression ?vc_intern ?page_cluster
+    ?sample_every ?progress ?tracer ~spec program =
   with_detector ?policy ?batched ?budget ?clock ?sample_every ?progress ?tracer
-    (Spec.to_detector ?suppression ?vc_intern
+    (Spec.to_detector ?suppression ?vc_intern ?page_cluster
        ?tracer:(Option.map Span.main tracer) spec)
     program
 
 let replay ?(batched = false) ?(budget = Budget.unlimited)
-    ?(clock = Dgrace_obs.Clock.ns) ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~spec events =
+    ?(clock = Dgrace_obs.Clock.ns) ?suppression ?vc_intern ?page_cluster
+    ?sample_every ?progress ?tracer ~spec events =
   let lane = Option.map Span.main tracer in
-  let d = Spec.to_detector ?suppression ?vc_intern ?tracer:lane spec in
+  let d =
+    Spec.to_detector ?suppression ?vc_intern ?page_cluster ?tracer:lane spec
+  in
   let recorder = make_recorder d ~sample_every ~tracer in
   let now_s = seconds_of clock in
   let t0 = now_s () in
@@ -352,9 +355,12 @@ let replay ?(batched = false) ?(budget = Budget.unlimited)
    through the same composed per-event sink as {!replay}, preserving
    those semantics exactly. *)
 let replay_batches ?(budget = Budget.unlimited) ?(clock = Dgrace_obs.Clock.ns)
-    ?suppression ?vc_intern ?sample_every ?progress ?tracer ~spec feed =
+    ?suppression ?vc_intern ?page_cluster ?sample_every ?progress ?tracer ~spec
+    feed =
   let lane = Option.map Span.main tracer in
-  let d = Spec.to_detector ?suppression ?vc_intern ?tracer:lane spec in
+  let d =
+    Spec.to_detector ?suppression ?vc_intern ?page_cluster ?tracer:lane spec
+  in
   let recorder = make_recorder d ~sample_every ~tracer in
   let now_s = seconds_of clock in
   let t0 = now_s () in
@@ -525,7 +531,7 @@ let merge_sharded ~elapsed ~timeseries (r : Par.result) =
   }
 
 let replay_sharded ?mode ?batched ?budget ?clock ?suppression ?vc_intern
-    ?sample_every ?progress ?tracer ~shards ~spec events =
+    ?page_cluster ?sample_every ?progress ?tracer ~shards ~spec events =
   if shards < 1 then invalid_arg "Engine.replay_sharded: shards must be >= 1";
   let t0 = Unix.gettimeofday () in
   (* materialise first: the splitter needs two passes, and forcing the
@@ -535,7 +541,7 @@ let replay_sharded ?mode ?batched ?budget ?clock ?suppression ?vc_intern
   (* shard [i]'s detector traces onto the same lane the shard's own
      spans land on (the [Par.shard_lane] convention) *)
   let make i =
-    Spec.to_detector ?suppression ?vc_intern
+    Spec.to_detector ?suppression ?vc_intern ?page_cluster
       ?tracer:(Option.map (fun t -> Span.lane t (Par.shard_lane i)) tracer)
       spec
   in
@@ -590,6 +596,104 @@ let replay_sharded ?mode ?batched ?budget ?clock ?suppression ?vc_intern
   merge_sharded ~elapsed:(Unix.gettimeofday () -. t0) ~timeseries r
 
 (* ------------------------------------------------------------------ *)
+(* pipelined replay (doc/trace.md): decode on its own domain, detect
+   here — the decode and detect stages of a v2 file replay overlap
+   instead of alternating.  Results are bit-identical to the
+   sequential [replay_batches] over [fold_batches]: same batches, same
+   row numbering, errors surfacing after the same prefix (the ring
+   drains before re-raising), and per-event semantics (budgets,
+   recorders, progress, tracing) via the same unrolled sink. *)
+
+let pipeline_gauges metrics (p : Trace_pipeline.stats) =
+  let usec ns = ns / 1000 in
+  Metrics.set (Metrics.gauge metrics "pipeline.blocks") p.Trace_pipeline.blocks;
+  Metrics.set
+    (Metrics.gauge metrics "pipeline.decode_stall_us")
+    (usec p.Trace_pipeline.decode_stall_ns);
+  Metrics.set
+    (Metrics.gauge metrics "pipeline.detect_stall_us")
+    (usec p.Trace_pipeline.detect_stall_ns);
+  Metrics.set
+    (Metrics.gauge metrics "pipeline.decode_us")
+    (usec p.Trace_pipeline.decode_ns)
+
+let replay_pipelined ?slots ?(budget = Budget.unlimited)
+    ?(clock = Dgrace_obs.Clock.ns) ?suppression ?vc_intern ?page_cluster
+    ?sample_every ?progress ?tracer ~spec path =
+  let lane = Option.map Span.main tracer in
+  let d =
+    Spec.to_detector ?suppression ?vc_intern ?page_cluster ?tracer:lane spec
+  in
+  let recorder = make_recorder d ~sample_every ~tracer in
+  let now_s = seconds_of clock in
+  let t0 = now_s () in
+  let degraded = ref false in
+  let consume =
+    match d.Detector.process_batch with
+    | Some pb
+      when Budget.is_unlimited budget && Option.is_none recorder
+           && Option.is_none progress && Option.is_none lane ->
+      pb
+    | _ ->
+      let sink =
+        make_sink d ~budget:(Some (budget, degraded, now_s, t0)) ~recorder
+          ~exact:(sample_every <> None) ~progress ~lane
+      in
+      fun b ->
+        note_batch_fallback d;
+        Batch.iter_events sink b
+  in
+  (* the decoder domain lands its block decodes on a "decoder" lane, so
+     [racedet timings] shows the decode-vs-detect split side by side *)
+  let span =
+    Option.map
+      (fun t ->
+        let dl = Span.lane t "decoder" in
+        fun name f -> Span.span dl name f)
+      tracer
+  in
+  let consumer_span =
+    Option.map (fun b -> fun name f -> Span.span b name f) lane
+  in
+  (match lane with Some b -> Span.begin_span b "engine.replay" | None -> ());
+  let pipe = ref None in
+  let partial =
+    match Trace_pipeline.feed ?slots ~clock ?span ?consumer_span path consume with
+    | stats ->
+      pipe := Some stats;
+      None
+    | exception Stop stop ->
+      (match lane with Some b -> Span.instant b "budget.stop" | None -> ());
+      Some stop
+  in
+  Option.iter (pipeline_gauges d.Detector.metrics) !pipe;
+  (match lane with Some b -> Span.end_span b "engine.replay" | None -> ());
+  (match lane with
+   | Some b -> Span.span b "engine.finish" d.finish
+   | None -> d.finish ());
+  Option.iter Recorder.flush recorder;
+  feed_counter_tracks ~tracer ~prefix:d.name recorder;
+  let elapsed = now_s () -. t0 in
+  let timeseries = match sample_every with Some _ -> recorder | None -> None in
+  summarize d ~elapsed ~sim:None ~partial ~degraded:!degraded ~timeseries
+
+let replay_sharded_pipelined ?slots ?(clock = Dgrace_obs.Clock.ns) ?suppression
+    ?vc_intern ?page_cluster ~shards ~spec path =
+  if shards < 1 then
+    invalid_arg "Engine.replay_sharded_pipelined: shards must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let make (_ : int) =
+    Spec.to_detector ?suppression ?vc_intern ?page_cluster spec
+  in
+  let r, pipe =
+    Par.analyze_pipelined ?slots ~clock ~make ~shards
+      ~granule:Dynamic_granularity.share_granule path
+  in
+  let s = merge_sharded ~elapsed:(Unix.gettimeofday () -. t0) ~timeseries:None r in
+  pipeline_gauges s.metrics pipe;
+  s
+
+(* ------------------------------------------------------------------ *)
 (* checked entry points: structured errors instead of exceptions *)
 
 let checked f =
@@ -600,28 +704,41 @@ let checked f =
     Error (Error.Deadlock { blocked; held })
 
 let run_checked ?policy ?batched ?budget ?clock ?suppression ?vc_intern
-    ?sample_every ?progress ?tracer ~spec program =
+    ?page_cluster ?sample_every ?progress ?tracer ~spec program =
   checked (fun () ->
-      run ?policy ?batched ?budget ?clock ?suppression ?vc_intern ?sample_every
-        ?progress ?tracer ~spec program)
+      run ?policy ?batched ?budget ?clock ?suppression ?vc_intern ?page_cluster
+        ?sample_every ?progress ?tracer ~spec program)
 
 let replay_checked ?batched ?budget ?clock ?suppression ?vc_intern
-    ?sample_every ?progress ?tracer ~spec events =
+    ?page_cluster ?sample_every ?progress ?tracer ~spec events =
   checked (fun () ->
-      replay ?batched ?budget ?clock ?suppression ?vc_intern ?sample_every
-        ?progress ?tracer ~spec events)
+      replay ?batched ?budget ?clock ?suppression ?vc_intern ?page_cluster
+        ?sample_every ?progress ?tracer ~spec events)
 
-let replay_batches_checked ?budget ?clock ?suppression ?vc_intern ?sample_every
-    ?progress ?tracer ~spec feed =
+let replay_batches_checked ?budget ?clock ?suppression ?vc_intern ?page_cluster
+    ?sample_every ?progress ?tracer ~spec feed =
   checked (fun () ->
-      replay_batches ?budget ?clock ?suppression ?vc_intern ?sample_every
-        ?progress ?tracer ~spec feed)
+      replay_batches ?budget ?clock ?suppression ?vc_intern ?page_cluster
+        ?sample_every ?progress ?tracer ~spec feed)
 
 let replay_sharded_checked ?mode ?batched ?budget ?clock ?suppression
-    ?vc_intern ?sample_every ?progress ?tracer ~shards ~spec events =
+    ?vc_intern ?page_cluster ?sample_every ?progress ?tracer ~shards ~spec
+    events =
   checked (fun () ->
       replay_sharded ?mode ?batched ?budget ?clock ?suppression ?vc_intern
-        ?sample_every ?progress ?tracer ~shards ~spec events)
+        ?page_cluster ?sample_every ?progress ?tracer ~shards ~spec events)
+
+let replay_pipelined_checked ?slots ?budget ?clock ?suppression ?vc_intern
+    ?page_cluster ?sample_every ?progress ?tracer ~spec path =
+  checked (fun () ->
+      replay_pipelined ?slots ?budget ?clock ?suppression ?vc_intern
+        ?page_cluster ?sample_every ?progress ?tracer ~spec path)
+
+let replay_sharded_pipelined_checked ?slots ?clock ?suppression ?vc_intern
+    ?page_cluster ~shards ~spec path =
+  checked (fun () ->
+      replay_sharded_pipelined ?slots ?clock ?suppression ?vc_intern
+        ?page_cluster ~shards ~spec path)
 
 let summarize_detector d ~elapsed ~partial ~degraded =
   summarize d ~elapsed ~sim:None ~partial ~degraded ~timeseries:None

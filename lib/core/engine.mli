@@ -79,6 +79,7 @@ val run :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -122,6 +123,7 @@ val replay :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -139,6 +141,7 @@ val replay_batches :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -166,6 +169,7 @@ val replay_sharded :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -200,6 +204,63 @@ val replay_sharded :
     hits a corrupt record.
     @raise Invalid_argument when [shards < 1]. *)
 
+val replay_pipelined :
+  ?slots:int ->
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?page_cluster:bool ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
+  spec:Spec.t ->
+  string ->
+  summary
+(** Pipelined replay of a trace-v2 file (doc/trace.md): a dedicated
+    decoder domain streams blocks into a bounded ring of [slots]
+    recycled batches ({!Dgrace_trace.Trace_pipeline}) while the
+    calling domain detects — decode and detect overlap instead of
+    alternating.  Results are bit-identical to
+    [replay_batches ~spec (fold_batches path)]: same batches and row
+    numbering; a [Corrupt_trace] surfaces at the same absolute offset
+    after the same prefix was analysed (the ring drains before
+    re-raising); budgets, [sample_every], [progress] and [tracer]
+    force the same per-event unrolled sink, with decode still
+    overlapped.  On completion the summary metrics gain the
+    [pipeline.blocks] / [pipeline.decode_stall_us] /
+    [pipeline.detect_stall_us] / [pipeline.decode_us] gauges (stall
+    time is measured on [clock]); with a [tracer], block decodes land
+    on a ["decoder"] lane so [racedet timings] shows the
+    decode-vs-detect split.
+    @raise Dgrace_resilience.Error.E on corrupt input (see
+    {!replay_pipelined_checked}). *)
+
+val replay_sharded_pipelined :
+  ?slots:int ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?page_cluster:bool ->
+  shards:int ->
+  spec:Spec.t ->
+  string ->
+  summary
+(** Pipelined {e sharded} replay of a trace-v2 file: a sequential
+    planner prepass ({!Dgrace_trace.Trace_shard.planner}) learns the
+    straddle welds — and surfaces any [Corrupt_trace] at the
+    sequential offset — then a decoder domain streams blocks while the
+    calling domain routes rows into one bounded ring per shard and
+    [shards] detector domains drain them
+    ({!Dgrace_par.Par.analyze_pipelined}).  The merged summary is
+    bit-identical to {!replay_sharded} on races, stats, transitions
+    and exit code, and gains the same [pipeline.*] gauges as
+    {!replay_pipelined} on top of the [par.*] ones.  Per-event
+    machinery (budget, recorder, progress, tracer) is not offered on
+    this path — callers needing it use {!replay_sharded}.
+    @raise Dgrace_resilience.Error.E on corrupt input.
+    @raise Invalid_argument when [shards < 1]. *)
+
 val with_detector :
   ?policy:Scheduler.policy ->
   ?batched:bool ->
@@ -232,6 +293,7 @@ val run_checked :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -245,6 +307,7 @@ val replay_checked :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -257,6 +320,7 @@ val replay_batches_checked :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
@@ -271,12 +335,38 @@ val replay_sharded_checked :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?sample_every:int ->
   ?progress:int * (int -> unit) ->
   ?tracer:Dgrace_obs.Span.t ->
   shards:int ->
   spec:Spec.t ->
   Event.t Seq.t ->
+  (summary, Dgrace_resilience.Error.t) result
+
+val replay_pipelined_checked :
+  ?slots:int ->
+  ?budget:Dgrace_resilience.Budget.t ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?page_cluster:bool ->
+  ?sample_every:int ->
+  ?progress:int * (int -> unit) ->
+  ?tracer:Dgrace_obs.Span.t ->
+  spec:Spec.t ->
+  string ->
+  (summary, Dgrace_resilience.Error.t) result
+
+val replay_sharded_pipelined_checked :
+  ?slots:int ->
+  ?clock:Dgrace_obs.Clock.source ->
+  ?suppression:Suppression.t ->
+  ?vc_intern:bool ->
+  ?page_cluster:bool ->
+  shards:int ->
+  spec:Spec.t ->
+  string ->
   (summary, Dgrace_resilience.Error.t) result
 
 val summarize_detector :

@@ -105,29 +105,30 @@ let all_names =
     "sample:<rate>"; "sample-granule:<rate>";
   ]
 
-let rec to_detector ?suppression ?vc_intern ?tracer spec =
+let rec to_detector ?suppression ?vc_intern ?page_cluster ?tracer spec =
   match spec with
   | No_detection -> Detector.null ()
   | Fasttrack { granularity = 1 } ->
     (* the paper's byte detector: access-footprint locations with
        byte-resolution indexing (see Dynamic_granularity) *)
     Dynamic_granularity.create ~sharing:false ~name:"ft-byte" ?suppression
-      ?vc_intern ?tracer ()
+      ?vc_intern ?page_cluster ?tracer ()
   | Fasttrack { granularity = 4 } ->
     (* the paper's word detector: the same machinery, addresses masked
        to word granules *)
     Dynamic_granularity.create ~sharing:false
       ~index:(Dgrace_shadow.Shadow_table.Fixed_bytes 4) ~name:"ft-word"
-      ?suppression ?vc_intern ?tracer ()
+      ?suppression ?vc_intern ?page_cluster ?tracer ()
   | Fasttrack { granularity } ->
-    Fasttrack.create ~granularity ?suppression ?vc_intern ?tracer ()
+    Fasttrack.create ~granularity ?suppression ?vc_intern ?page_cluster
+      ?tracer ()
   | Djit { granularity } -> Djit.create ~granularity ?suppression ()
   | Dynamic { init_state; init_sharing } ->
     Dynamic_granularity.create ~init_state ~init_sharing ?suppression
-      ?vc_intern ?tracer ()
+      ?vc_intern ?page_cluster ?tracer ()
   | Dynamic_ext ->
     Dynamic_granularity.create ~reshare_after:4 ~write_guided_reads:true
-      ?suppression ?vc_intern ?tracer ()
+      ?suppression ?vc_intern ?page_cluster ?tracer ()
   | Drd -> Drd_segment.create ?suppression ?vc_intern ()
   | Inspector -> Hybrid_inspector.create ?suppression ?vc_intern ()
   | Eraser -> Lockset.create ?suppression ()
@@ -138,7 +139,9 @@ let rec to_detector ?suppression ?vc_intern ?tracer spec =
   | Sampling { rate; granule } ->
     (* the sampler wraps the full dynamic detector: granule-level
        sampling and dynamic granularity compose (doc/sampling.md) *)
-    let inner = to_detector ?suppression ?vc_intern ?tracer dynamic in
+    let inner =
+      to_detector ?suppression ?vc_intern ?page_cluster ?tracer dynamic
+    in
     Race_sampler.create
       ~mode:(if granule then Race_sampler.Granule else Race_sampler.Access)
       ~rate ~name:(name spec) ~inner ()

@@ -49,6 +49,7 @@ val create :
   ?name:string ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?tracer:Dgrace_obs.Span.buf ->
   unit ->
   Detector.t
@@ -78,6 +79,15 @@ val create :
     snapshot arena (the [--no-vc-intern] escape hatch): every capture
     materialises a private snapshot, reproducing the legacy deep-copy
     memory behaviour with identical race verdicts.
+
+    [~page_cluster:false] disables page-clustered batch application
+    (the [--no-page-cluster] escape hatch): [process_batch] then walks
+    rows strictly in order.  With clustering on (the default), access
+    rows are grouped by aligned share-granule line and applied
+    line-by-line — sync rows, frees and line-straddling accesses act
+    as in-order barriers — which is report- and stats-identical to row
+    order (doc/shadow.md gives the argument; [cluster.rows] /
+    [cluster.pages] / [cluster.barriers] count the grouping).
 
     [~tracer:buf] registers sampled per-phase timers
     ([phase.shadow_lookup], [phase.vc_check], [phase.granularity]) on

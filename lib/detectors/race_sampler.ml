@@ -35,7 +35,13 @@ let selected ~rate ~seed id = mix ~seed id < threshold_of_rate rate
    reused batch (offsets preserved) and hand it to the inner detector.
    Non-access rows are always copied — clocks must stay exact — and
    stream statistics are counted here exactly as the per-event
-   wrappers count them, so both paths produce the same stats. *)
+   wrappers count them, so both paths produce the same stats.
+
+   Recycling-safe (batch.mli): the input batch may come from a
+   {!Dgrace_trace.Batch_ring} and is invalid once this callback
+   returns, so every surviving row is copied into the sampler-owned
+   [out] buffer and [out] is flushed to the inner detector before the
+   callback returns — no reference to [b] or its arrays escapes. *)
 
 let filtering_batch ~(inner : Detector.t) ~(stats : Run_stats.t) ~analysed
     ~skipped ~keep =

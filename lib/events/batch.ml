@@ -134,6 +134,20 @@ let push t ?(off = -1) ev =
   t.off.(i) <- off;
   t.len <- i + 1
 
+(* Copy one row between batches — the shard router's primitive when it
+   repacks a recycled decoder batch into per-shard batches.  The copy
+   is columnar (six array stores), so routing costs no allocation. *)
+let copy_row ~src i ~dst =
+  let j = dst.len in
+  if j >= Array.length dst.kind then invalid_arg "Batch.copy_row: batch full";
+  dst.kind.(j) <- src.kind.(i);
+  dst.a.(j) <- src.a.(i);
+  dst.b.(j) <- src.b.(i);
+  dst.c.(j) <- src.c.(i);
+  dst.loc.(j) <- src.loc.(i);
+  dst.off.(j) <- src.off.(i);
+  dst.len <- j + 1
+
 (* Reconstruct the [Event.t] at index [i] — the slow path for rare
    sync events inside a batched detector and for fallback loops. *)
 let event t i =

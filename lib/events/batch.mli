@@ -4,7 +4,17 @@
     columns plus a string column of location pointers, so decoders can
     fill it and detectors can walk it with no per-event allocation.
     See doc/trace.md for the column layout and the [process_batch]
-    contract. *)
+    contract.
+
+    {b Recycling contract.}  Every producer in this codebase — the v2
+    stream decoder, the pipeline ring, the shard packer, the serve
+    session — reuses a small pool of batches: a batch handed to a
+    consumer callback is {e invalid the moment the callback returns}
+    (it will be cleared and refilled with unrelated rows).  A consumer
+    that needs rows past the callback must copy them out — either with
+    {!copy_row} into a batch it owns, or by materialising {!event}s.
+    Retaining the batch itself, its arrays, or row indices into it is
+    a bug even when it appears to work on a single-buffer producer. *)
 
 (** Default (and framing) batch capacity: 4096 events. *)
 val default_capacity : int
@@ -50,6 +60,12 @@ val clear : t -> unit
 (** Append one decoded event; raises [Invalid_argument] when full.
     [off] is the record's absolute offset in the source stream. *)
 val push : t -> ?off:int -> Event.t -> unit
+
+(** [copy_row ~src i ~dst] appends row [i] of [src] to [dst] — six
+    columnar stores, no allocation.  Raises [Invalid_argument] when
+    [dst] is full.  This is how a consumer keeps rows beyond the
+    producer's callback (see the recycling contract above). *)
+val copy_row : src:t -> int -> dst:t -> unit
 
 (** Reconstruct the event at a row — the slow path for rare sync
     events inside a batched detector and for fallback loops. *)

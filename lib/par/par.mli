@@ -103,6 +103,37 @@ val analyze :
     @raise Invalid_argument if [shards < 1] or [granule] is not a
     power of two. *)
 
+val analyze_pipelined :
+  ?slots:int ->
+  ?clock:Dgrace_obs.Clock.source ->
+  make:(int -> Detector.t) ->
+  shards:int ->
+  granule:int ->
+  string ->
+  result * Dgrace_trace.Trace_pipeline.stats
+(** [analyze_pipelined ~make ~shards ~granule path] is the streaming
+    pipelined counterpart of {!analyze} over a trace-v2 file: a
+    sequential prepass folds the file through a
+    {!Dgrace_trace.Trace_shard.planner} (straddle welds and broadcast
+    counts — and any [Corrupt_trace] surfaces here, with exactly the
+    sequential offset), then a decoder domain streams blocks through
+    {!Dgrace_trace.Trace_pipeline} while the calling domain routes
+    rows into one bounded {!Dgrace_trace.Batch_ring} of recycled
+    batches per shard ([slots] buffers each, default
+    {!Dgrace_trace.Trace_pipeline.default_slots}) and [shards]
+    detector domains drain their rings via [process_batch] (or the
+    tagged per-event fallback).  Routing and broadcast classes match
+    {!Dgrace_trace.Trace_shard.split} exactly, so the merged outcome
+    is bit-identical to {!analyze} on the same trace.  Per-event
+    machinery (budgets, recorders, progress, tracing) is not offered
+    here — callers needing it use the materialised {!analyze} path.
+    [clock] feeds the rings' stall accounting; the summed stalls come
+    back in the pipeline stats.
+    @raise Invalid_argument if [shards < 1] or [granule] is not a
+    power of two.
+    @raise Dgrace_resilience.Error.Corrupt_trace as the sequential
+    reader would, at the same offset. *)
+
 (** {1 Merge helpers} *)
 
 val merged_races : result -> Report.t list

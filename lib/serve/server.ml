@@ -62,7 +62,12 @@ let default_config =
 
 type item =
   | Feed_payload of string
-  | Batch_payload of string  (* one v2 block body ('B' frame) *)
+  | Decoded_batch of Dgrace_events.Batch.t
+      (* one 'B' frame, decoded on the connection thread
+         (Session.decode_batch_frame) so decode overlaps detection *)
+  | Decode_failed of Error.t
+      (* a 'B' frame that failed reader-side decode; poisons the
+         session when it reaches this position in the stream *)
   | Finish_req
 
 type entry = {
@@ -134,11 +139,12 @@ let rec drain_inbox entry =
   Mutex.unlock entry.emu;
   match item with
   | None -> ()
-  | Some (Feed_payload _ as it) | Some (Batch_payload _ as it) ->
+  | Some ((Feed_payload _ | Decoded_batch _ | Decode_failed _) as it) ->
     let fed =
       match it with
       | Feed_payload payload -> Session.feed_frame entry.session payload
-      | Batch_payload payload -> Session.feed_batch_frame entry.session payload
+      | Decoded_batch b -> Session.apply_decoded entry.session b
+      | Decode_failed e -> Session.poison_decoded entry.session e
       | Finish_req -> assert false
     in
     (match fed with
@@ -361,12 +367,6 @@ let handle_conn t fd =
               respond (err_frame e);
               loop ()))
       | Wire.Feed _ | Wire.Feed_batch _ -> (
-        let item =
-          match frame with
-          | Wire.Feed payload -> Feed_payload payload
-          | Wire.Feed_batch payload -> Batch_payload payload
-          | _ -> assert false
-        in
         match !current with
         | None ->
           respond
@@ -374,25 +374,48 @@ let handle_conn t fd =
                (Error.Invalid_input { what = "feed"; reason = "no open session" }));
           loop ()
         | Some entry ->
-          let disposition =
+          (* shed check before any decode: a shed frame is retried
+             verbatim by the client, so the session's v2 decoder must
+             not have advanced over it.  Only this connection thread
+             pushes to this inbox, so the length can only shrink
+             between the check and the push below. *)
+          let full =
             Mutex.lock entry.emu;
-            let d =
-              if Queue.length entry.inbox >= t.cfg.inbox_frames then `Shed
-              else begin
-                Queue.push item entry.inbox;
-                (schedule t entry :> [ `Queued | `Inline | `Shed ])
-              end
-            in
+            let f = Queue.length entry.inbox >= t.cfg.inbox_frames in
             Mutex.unlock entry.emu;
-            d
+            f
           in
-          (match disposition with
-           | `Queued -> ()
-           | `Inline -> drain_inbox entry
-           | `Shed ->
-             locked t (fun () -> t.shed <- t.shed + 1);
-             respond (overloaded_frame t));
-          loop ())
+          if full then begin
+            locked t (fun () -> t.shed <- t.shed + 1);
+            respond (overloaded_frame t);
+            loop ()
+          end
+          else begin
+            let item =
+              match frame with
+              | Wire.Feed payload -> Feed_payload payload
+              | Wire.Feed_batch payload -> (
+                (* decode on this connection thread — outside [emu],
+                   since an exhausted pool blocks until the worker
+                   recycles — so decode overlaps the worker's
+                   detection of earlier batches *)
+                match Session.decode_batch_frame entry.session payload with
+                | Ok b -> Decoded_batch b
+                | Error e -> Decode_failed e)
+              | _ -> assert false
+            in
+            let disposition =
+              Mutex.lock entry.emu;
+              Queue.push item entry.inbox;
+              let d = schedule t entry in
+              Mutex.unlock entry.emu;
+              d
+            in
+            (match disposition with
+             | `Queued -> ()
+             | `Inline -> drain_inbox entry);
+            loop ()
+          end)
       | Wire.Finish -> (
         match !current with
         | None ->

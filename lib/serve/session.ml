@@ -7,6 +7,7 @@ module Error = Dgrace_resilience.Error
 module Accounting = Dgrace_shadow.Accounting
 module Trace_codec = Dgrace_trace.Trace_codec
 module Trace_format_v2 = Dgrace_trace.Trace_format_v2
+module Batch_ring = Dgrace_trace.Batch_ring
 module Clock = Dgrace_obs.Clock
 
 (* One trace session as a reusable incremental handle: a detector fed
@@ -42,6 +43,9 @@ type t = {
   v2 : Trace_format_v2.stream_decoder;  (* B-frame (batch) decoder *)
   mutable v2_base : int;  (* bytes of v2 bodies consumed so far *)
   batch : Batch.t;  (* reused decode target for both batch paths *)
+  dmu : Mutex.t;  (* serialises reader-side B-frame decodes *)
+  dpool : Batch_ring.t;  (* bounded pool of reader-side decode targets *)
+  mutable dec_failed : Error.t option;  (* sticky decode failure *)
   mu : Mutex.t;
   mutable detector : Detector.t option;  (* None once terminal *)
   mutable phase : phase;
@@ -52,9 +56,15 @@ type t = {
 
 type ack = { ack_events : int; new_races : Report.t list }
 
+(* How far a reader-side decode may run ahead of the worker applying
+   the batches: the pool is the session's pipeline depth, and blocking
+   on an exhausted pool is the natural backpressure (the connection
+   thread simply stops reading the socket). *)
+let decode_pool_slots = 4
+
 let open_ ?(budget = Budget.unlimited) ?(clock = Clock.ns) ?suppression
-    ?vc_intern ?tracer ~id ~spec () =
-  let d = Spec.to_detector ?suppression ?vc_intern ?tracer spec in
+    ?vc_intern ?page_cluster ?tracer ~id ~spec () =
+  let d = Spec.to_detector ?suppression ?vc_intern ?page_cluster ?tracer spec in
   let now_s () = float_of_int (clock ()) *. 1e-9 in
   {
     id;
@@ -66,6 +76,9 @@ let open_ ?(budget = Budget.unlimited) ?(clock = Clock.ns) ?suppression
     v2 = Trace_format_v2.stream_decoder ();
     v2_base = 0;
     batch = Batch.create ();
+    dmu = Mutex.create ();
+    dpool = Batch_ring.create ~slots:decode_pool_slots ();
+    dec_failed = None;
     mu = Mutex.create ();
     detector = Some d;
     phase = Streaming;
@@ -89,6 +102,9 @@ let of_detector ?(budget = Budget.unlimited) ?(clock = Clock.ns) ~id d =
     v2 = Trace_format_v2.stream_decoder ();
     v2_base = 0;
     batch = Batch.create ();
+    dmu = Mutex.create ();
+    dpool = Batch_ring.create ~slots:decode_pool_slots ();
+    dec_failed = None;
     mu = Mutex.create ();
     detector = Some d;
     phase = Streaming;
@@ -158,7 +174,10 @@ let seal t (d : Detector.t) ~partial =
 
 let poison_locked t e =
   t.detector <- None;
-  t.phase <- Poisoned e
+  t.phase <- Poisoned e;
+  (* a reader thread blocked acquiring a decode batch must not wait on
+     a worker that will never recycle one *)
+  Batch_ring.abort t.dpool
 
 (* The state every answer derives from once the session left
    [Streaming]. *)
@@ -274,22 +293,77 @@ let feed_frame t payload =
         Error e))
   | ph -> Error (terminal_error ph)
 
-(* One BATCH frame: a v2 block body.  The persistent [t.v2] decoder
-   interns locations across frames; [t.v2_base] makes corruption
-   offsets absolute in the session's batch stream. *)
-let feed_batch_frame t payload =
+(* Reader-side decode of one BATCH frame — the serve half of the
+   replay pipeline (doc/trace.md): the connection systhread decodes
+   the v2 body into a batch from the bounded pool while a worker
+   domain applies previously decoded batches, so decode and detect
+   overlap for streamed sessions exactly as they do for file replays.
+   Decodes serialise in frame order under [t.dmu] (the interning v2
+   decoder is sequential state); the pool bounds how far decode runs
+   ahead, and {!apply_decoded} recycles.
+
+   A decode error is {e not} applied here: ordering demands the
+   session poison only after every earlier decoded batch was applied,
+   so the caller enqueues the error and the worker answers it through
+   {!poison_decoded} when it reaches that point in the stream.  The
+   sticky [dec_failed] makes every later decode on the ruined decoder
+   answer the same error. *)
+let decode_batch_frame t payload =
+  Mutex.lock t.dmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.dmu) @@ fun () ->
+  match t.dec_failed with
+  | Some e -> Error e
+  | None -> (
+    match locked t (fun () -> t.phase) with
+    | (Stopped _ | Finalized _ | Poisoned _) as ph -> Error (terminal_error ph)
+    | Streaming -> (
+      match Batch_ring.acquire t.dpool with
+      | None ->
+        (* poisoned while we blocked for a batch *)
+        Error
+          (Error.Internal
+             { where = "session.decode"; reason = "session aborted" })
+      | Some b -> (
+        match Trace_format_v2.decode_body t.v2 ~base:t.v2_base payload b with
+        | Ok () ->
+          t.v2_base <- t.v2_base + String.length payload;
+          Ok b
+        | Error e ->
+          Batch_ring.restore t.dpool b;
+          t.dec_failed <- Some e;
+          Error e)))
+
+(* Worker side of the split: apply one reader-decoded batch and return
+   its buffer to the pool (also on failure — a terminal session must
+   not strand the reader). *)
+let apply_decoded t b =
+  Fun.protect
+    ~finally:(fun () -> Batch_ring.recycle t.dpool b)
+    (fun () ->
+      locked t @@ fun () ->
+      match t.phase with
+      | Streaming ->
+        let d = Option.get t.detector in
+        deliver_locked t d (fun () -> deliver_batch t d b)
+      | ph -> Error (terminal_error ph))
+
+(* Worker side of a reader decode failure, applied at its position in
+   the stream: every batch decoded before it has been applied by now,
+   so poisoning here matches where the inline path would have. *)
+let poison_decoded t e =
   locked t @@ fun () ->
   match t.phase with
-  | Streaming -> (
-    let d = Option.get t.detector in
-    match Trace_format_v2.decode_body t.v2 ~base:t.v2_base payload t.batch with
-    | Error e ->
-      poison_locked t e;
-      Error e
-    | Ok () ->
-      t.v2_base <- t.v2_base + String.length payload;
-      deliver_locked t d (fun () -> deliver_batch t d t.batch))
+  | Streaming ->
+    poison_locked t e;
+    Error e
   | ph -> Error (terminal_error ph)
+
+(* One BATCH frame, decoded and applied in one call — the spool/test
+   path; the socket path splits it across reader and worker. *)
+let feed_batch_frame t payload =
+  match decode_batch_frame t payload with
+  | Ok b -> apply_decoded t b
+  | Error e -> poison_decoded t e
 
 let feed_batch t b =
   locked t @@ fun () ->

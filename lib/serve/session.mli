@@ -43,6 +43,7 @@ val open_ :
   ?clock:Dgrace_obs.Clock.source ->
   ?suppression:Suppression.t ->
   ?vc_intern:bool ->
+  ?page_cluster:bool ->
   ?tracer:Dgrace_obs.Span.buf ->
   id:int ->
   spec:Spec.t ->
@@ -82,6 +83,34 @@ val feed_batch_frame : t -> string -> (ack, Error.t) result
 
 val feed_batch : t -> Dgrace_events.Batch.t -> (ack, Error.t) result
 (** Deliver an already-decoded batch (the spool/in-process path). *)
+
+(** {2 Pipelined BATCH feeding}
+
+    The split form of {!feed_batch_frame} the server uses to overlap
+    decode and detect (doc/trace.md): the connection thread calls
+    {!decode_batch_frame} — decoding the v2 body into a batch drawn
+    from a bounded per-session pool while a worker domain is still
+    applying earlier batches — and enqueues the result; the worker
+    applies it with {!apply_decoded} (recycling the buffer) or, for a
+    decode failure, poisons at the right stream position with
+    {!poison_decoded}.  Decodes serialise in frame order; results are
+    bit-identical to the inline path. *)
+
+val decode_batch_frame : t -> string -> (Batch.t, Error.t) result
+(** Decode one BATCH payload into a pooled batch.  Blocks while the
+    pool is exhausted (the worker is [decode] batches behind — this is
+    the socket-side backpressure) and fails without blocking once the
+    session is terminal or a previous decode failed.  The returned
+    batch {e must} be handed to {!apply_decoded}, in decode order. *)
+
+val apply_decoded : t -> Batch.t -> (ack, Error.t) result
+(** Deliver one batch returned by {!decode_batch_frame} and recycle
+    its buffer into the pool (also on error). *)
+
+val poison_decoded : t -> Error.t -> (ack, Error.t) result
+(** Record a {!decode_batch_frame} failure at its position in the
+    stream: poisons a streaming session with the given error (the
+    terminal answer otherwise) — always an [Error]. *)
 
 val feed_events : t -> Event.t list -> (ack, Error.t) result
 (** Deliver already-decoded events.  Budget semantics match the

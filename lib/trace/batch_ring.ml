@@ -1,0 +1,149 @@
+open Dgrace_events
+
+(* A bounded ring of recycled [Batch.t] buffers between one producer
+   (the decoder domain) and one consumer (the detector).  The ring owns
+   its batches: the producer [acquire]s an empty one, fills it and
+   [publish]es; the consumer [take]s it, applies it and [recycle]s it
+   back.  With [slots] buffers the decoder runs at most [slots - 1]
+   blocks ahead of the detector — double/triple buffering with explicit
+   backpressure, and a bounded memory footprint no matter how far the
+   decode outpaces the detect.
+
+   Termination is ordered so errors surface exactly where the
+   sequential path surfaces them: [close ?error] marks the stream done
+   but the consumer keeps draining every batch published {e before} the
+   close; only when the ring is empty does [take] raise the stored
+   error (or return [None] on a clean end).  A [Corrupt_trace] mid-file
+   therefore interrupts the replay after precisely the same rows as
+   [fold_batches] would have delivered.  The consumer side can [abort]
+   to make a blocked or future [acquire] return [None], which is how a
+   consumer exception (a budget stop unrolling through the per-event
+   sink, say) shuts the decoder down without deadlock.
+
+   Stall accounting: time the producer spends blocked in [acquire] is
+   decode stall (the detector is the bottleneck), time the consumer
+   spends blocked in [take] is detect stall (the decoder is).  The
+   clock is injected — this library doesn't link unix — and defaults to
+   a null clock, so embedders that don't care pay nothing. *)
+
+type t = {
+  mu : Mutex.t;
+  nonfull : Condition.t;  (* signalled when a free slot appears *)
+  nonempty : Condition.t;  (* signalled when a filled slot (or close) appears *)
+  free : Batch.t Queue.t;
+  filled : Batch.t Queue.t;
+  mutable closed : bool;  (* producer finished (cleanly or not) *)
+  mutable error : exn option;  (* raised by [take] once [filled] drains *)
+  mutable aborted : bool;  (* consumer gone; producer must stop *)
+  clock : unit -> int;
+  mutable decode_stall_ns : int;
+  mutable detect_stall_ns : int;
+  mutable blocks : int;  (* batches published *)
+}
+
+let create ?(slots = 4) ?(capacity = Batch.default_capacity)
+    ?(clock = fun () -> 0) () =
+  if slots < 2 then invalid_arg "Batch_ring.create: need at least 2 slots";
+  let free = Queue.create () in
+  for _ = 1 to slots do
+    Queue.push (Batch.create ~capacity ()) free
+  done;
+  {
+    mu = Mutex.create ();
+    nonfull = Condition.create ();
+    nonempty = Condition.create ();
+    free;
+    filled = Queue.create ();
+    closed = false;
+    error = None;
+    aborted = false;
+    clock;
+    decode_stall_ns = 0;
+    detect_stall_ns = 0;
+    blocks = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* producer side *)
+
+let acquire t =
+  locked t @@ fun () ->
+  if t.aborted then None
+  else if Queue.is_empty t.free then begin
+    let t0 = t.clock () in
+    while Queue.is_empty t.free && not t.aborted do
+      Condition.wait t.nonfull t.mu
+    done;
+    t.decode_stall_ns <- t.decode_stall_ns + (t.clock () - t0);
+    if t.aborted then None
+    else begin
+      let b = Queue.pop t.free in
+      Batch.clear b;
+      Some b
+    end
+  end
+  else begin
+    let b = Queue.pop t.free in
+    Batch.clear b;
+    Some b
+  end
+
+let publish t b =
+  locked t @@ fun () ->
+  if not t.aborted then begin
+    Queue.push b t.filled;
+    t.blocks <- t.blocks + 1;
+    Condition.signal t.nonempty
+  end
+
+(* Return an acquired-but-unfilled batch (clean EOF found nothing to
+   decode into it). *)
+let restore t b =
+  locked t @@ fun () ->
+  Queue.push b t.free;
+  Condition.signal t.nonfull
+
+let close ?error t =
+  locked t @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    t.error <- error
+  end;
+  Condition.broadcast t.nonempty
+
+(* consumer side *)
+
+let take t =
+  locked t @@ fun () ->
+  if Queue.is_empty t.filled && not t.closed then begin
+    let t0 = t.clock () in
+    while Queue.is_empty t.filled && not t.closed do
+      Condition.wait t.nonempty t.mu
+    done;
+    t.detect_stall_ns <- t.detect_stall_ns + (t.clock () - t0)
+  end;
+  if not (Queue.is_empty t.filled) then Some (Queue.pop t.filled)
+  else
+    match t.error with
+    | Some exn -> raise exn
+    | None -> None
+
+let recycle t b =
+  locked t @@ fun () ->
+  Queue.push b t.free;
+  Condition.signal t.nonfull
+
+let abort t =
+  locked t @@ fun () ->
+  t.aborted <- true;
+  Condition.broadcast t.nonfull;
+  Condition.broadcast t.nonempty
+
+(* stats *)
+
+let decode_stall_ns t = locked t (fun () -> t.decode_stall_ns)
+let detect_stall_ns t = locked t (fun () -> t.detect_stall_ns)
+let blocks t = locked t (fun () -> t.blocks)

@@ -1,0 +1,43 @@
+(** Two-stage v2 replay: a decoder domain streams blocks into a
+    bounded {!Batch_ring} while the calling domain consumes them.
+
+    [feed path consume] spawns the decoder, applies [consume] to every
+    batch in file order (same row numbering and decoder state as
+    {!Trace_format_v2.fold_batches} — the batch is invalid once
+    [consume] returns, per the recycling contract in [batch.mli]), and
+    returns pipeline statistics.  A decoder error ([Corrupt_trace])
+    is re-raised here only after all earlier batches were consumed, so
+    it surfaces with the same absolute offset and after the same
+    prefix as the sequential path.  If [consume] raises, the decoder
+    is aborted and joined before the exception escapes.
+
+    [slots] sizes the ring (decoder runs ≤ [slots - 1] blocks ahead);
+    [clock] is a nanosecond source for stall accounting; [span] wraps
+    each block decode as ["pipeline.decode"] and each ring acquire as
+    ["pipeline.decode_stall"] on the decoder's lane, and
+    [consumer_span] wraps each ring take as ["pipeline.detect_stall"]
+    on the consumer's (the engine passes tracing-lane closures so
+    [racedet timings] shows the decode-vs-detect split and the stall
+    totals). *)
+
+open Dgrace_events
+
+type stats = {
+  blocks : int;  (** batches delivered by the decoder *)
+  decode_stall_ns : int;  (** decoder blocked on a full ring *)
+  detect_stall_ns : int;  (** consumer blocked on an empty ring *)
+  decode_ns : int;  (** decoder domain wall time, stalls included *)
+}
+
+val default_slots : int
+(** Ring slots used when [slots] is omitted (4: triple buffering plus
+    one in flight on each side). *)
+
+val feed :
+  ?slots:int ->
+  ?clock:(unit -> int) ->
+  ?span:(string -> (unit -> unit) -> unit) ->
+  ?consumer_span:(string -> (unit -> unit) -> unit) ->
+  string ->
+  (Batch.t -> unit) ->
+  stats

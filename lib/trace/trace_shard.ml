@@ -64,6 +64,81 @@ let batches_of ?(capacity = Batch.default_capacity) stream =
       done;
       b)
 
+(* Streaming planner: the prepass of the pipelined sharded replay.
+   [plan_batch] folds decoded batches (no event materialisation),
+   welding straddle-linked granules and counting the broadcast
+   classes; [plan_shard] then answers the routing question for the
+   second pass, and [plan_stats] freezes the counts into a [t] (with
+   empty per-shard streams — the pipelined path never materialises
+   them) for the same merge bookkeeping [split] feeds. *)
+
+type planner = {
+  p_gshift : int;
+  p_granule : int;
+  p_parent : (int, int) Hashtbl.t;
+  mutable p_events : int;
+  mutable p_sync_ops : int;
+  mutable p_allocs : int;
+  mutable p_frees : int;
+  mutable p_straddling : int;
+}
+
+let planner ~granule () =
+  if not (is_pow2 granule) then
+    invalid_arg "Trace_shard.planner: granule must be a power of two";
+  {
+    p_gshift = log2 granule;
+    p_granule = granule;
+    p_parent = Hashtbl.create 256;
+    p_events = 0;
+    p_sync_ops = 0;
+    p_allocs = 0;
+    p_frees = 0;
+    p_straddling = 0;
+  }
+
+let plan_batch p (b : Batch.t) =
+  let n = Batch.length b in
+  p.p_events <- p.p_events + n;
+  for i = 0 to n - 1 do
+    let k = b.Batch.kind.(i) in
+    if k <= Batch.code_write then begin
+      let addr = b.Batch.b.(i) in
+      let size = b.Batch.c.(i) in
+      let g0 = addr lsr p.p_gshift in
+      let g1 = (addr + max size 1 - 1) lsr p.p_gshift in
+      if g1 > g0 then begin
+        p.p_straddling <- p.p_straddling + 1;
+        for g = g0 to g1 - 1 do
+          union p.p_parent g (g + 1)
+        done
+      end
+    end
+    else if k = Batch.code_alloc then p.p_allocs <- p.p_allocs + 1
+    else if k = Batch.code_free then p.p_frees <- p.p_frees + 1
+    else p.p_sync_ops <- p.p_sync_ops + 1
+  done
+
+let plan_shard p ~shards:k addr =
+  if k = 1 then 0
+  else Hashtbl.hash (find p.p_parent (addr lsr p.p_gshift)) mod k
+
+let plan_stats p ~shards:k =
+  let roots = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun g _ -> Hashtbl.replace roots (find p.p_parent g) ())
+    p.p_parent;
+  {
+    shards = Array.make k [||];
+    events = p.p_events;
+    granule = p.p_granule;
+    sync_ops = p.p_sync_ops;
+    allocs = p.p_allocs;
+    frees = p.p_frees;
+    super_granules = Hashtbl.length roots;
+    straddling = p.p_straddling;
+  }
+
 let split ~shards:k ~granule events =
   if k < 1 then invalid_arg "Trace_shard.split: shards must be >= 1";
   if not (is_pow2 granule) then

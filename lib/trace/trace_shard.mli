@@ -40,6 +40,30 @@ val batches_of : ?capacity:int -> (int * Event.t) array -> Batch.t array
     [process_batch] fast path; stream offsets become the batch [off]
     column, so race attribution is unchanged. *)
 
+(** {1 Streaming planner} — the prepass of the pipelined sharded
+    replay ({!Trace_pipeline}): fold decoded batches once to learn the
+    straddle welds and broadcast counts, then route a second streaming
+    pass with {!plan_shard}.  Routing agrees exactly with {!split} on
+    the same stream (same union-find, same [Hashtbl.hash]). *)
+
+type planner
+
+val planner : granule:int -> unit -> planner
+(** @raise Invalid_argument if [granule] is not a power of two. *)
+
+val plan_batch : planner -> Batch.t -> unit
+(** Fold one decoded batch: weld straddle-linked granule lines, count
+    sync/alloc/free rows. *)
+
+val plan_shard : planner -> shards:int -> int -> int
+(** [plan_shard p ~shards addr] — the owning shard of [addr], after
+    every batch was planned.  Deterministic. *)
+
+val plan_stats : planner -> shards:int -> t
+(** Freeze the planner into a {!t} carrying the counts the merge
+    needs; the per-shard streams are left empty (the pipelined replay
+    never materialises them). *)
+
 val split : shards:int -> granule:int -> Event.t array -> t
 (** [split ~shards:k ~granule events] routes every event as above.
     Deterministic: the same input always yields the same shards

@@ -26,5 +26,6 @@ let () =
          Test_engine.suites;
          Test_resilience.suites;
          Test_par.suites;
+         Test_pipeline.suites;
          Test_serve.suites;
        ])
